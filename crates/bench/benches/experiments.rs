@@ -1,0 +1,32 @@
+//! Smoke-scale versions of the paper experiments, wired into `cargo
+//! bench` so the whole reproduction pipeline (workload → protocol →
+//! accounting → error measurement) is exercised and timed on every bench
+//! run. The full-scale tables come from the `dtrack-bench` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtrack_bench::measure::{
+    count_run, frequency_run, rank_run, CountAlgo, FreqAlgo, RankAlgo,
+};
+use dtrack_bounds::SamplingProblem;
+
+fn bench_experiment_smoke(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiment_smoke");
+    g.sample_size(10);
+
+    g.bench_function("table1_count_row", |b| {
+        b.iter(|| count_run(CountAlgo::Randomized, 16, 0.05, 50_000, 1))
+    });
+    g.bench_function("table1_frequency_row", |b| {
+        b.iter(|| frequency_run(FreqAlgo::Randomized, 16, 0.05, 50_000, 1))
+    });
+    g.bench_function("table1_rank_row", |b| {
+        b.iter(|| rank_run(RankAlgo::Randomized, 16, 0.05, 50_000, 1))
+    });
+    g.bench_function("figure1_point", |b| {
+        b.iter(|| SamplingProblem::new(1_000).failure_rate(100, 500, 1))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_experiment_smoke);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! End-to-end protocol throughput on the lock-step runner: elements per
+//! second through each tracking protocol (site processing + coordinator
+//! processing + accounting).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dtrack_core::count::{DeterministicCount, RandomizedCount};
+use dtrack_core::frequency::{DeterministicFrequency, RandomizedFrequency};
+use dtrack_core::rank::{DeterministicRank, RandomizedRank};
+use dtrack_core::sampling::ContinuousSampling;
+use dtrack_core::TrackingConfig;
+use dtrack_sim::{Protocol, Runner, Site};
+use dtrack_workload::items::{DistinctSeq, ItemGen};
+
+fn drive<P>(proto: &P, n: u64) -> u64
+where
+    P: Protocol,
+    P::Site: Site<Item = u64>,
+{
+    let mut r = Runner::new(proto, 1);
+    let mut seq = DistinctSeq::new(3);
+    let mut rng = dtrack_sim::rng::rng_from_seed(2);
+    let k = proto.k() as u64;
+    for t in 0..n {
+        let v = seq.next_item(&mut rng);
+        r.feed((t % k) as usize, black_box(&v));
+    }
+    r.stats().total_msgs()
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let n = 50_000u64;
+    let cfg = TrackingConfig::new(16, 0.05);
+    let mut g = c.benchmark_group("protocol_throughput");
+    g.throughput(Throughput::Elements(n));
+    g.sample_size(10);
+
+    g.bench_function("count_randomized", |b| {
+        b.iter(|| drive(&RandomizedCount::new(cfg), n))
+    });
+    g.bench_function("count_deterministic", |b| {
+        b.iter(|| drive(&DeterministicCount::new(cfg), n))
+    });
+    g.bench_function("frequency_randomized", |b| {
+        b.iter(|| drive(&RandomizedFrequency::new(cfg), n))
+    });
+    g.bench_function("frequency_deterministic", |b| {
+        b.iter(|| drive(&DeterministicFrequency::new(cfg), n))
+    });
+    g.bench_function("rank_randomized", |b| {
+        b.iter(|| drive(&RandomizedRank::new(cfg), n))
+    });
+    g.bench_function("rank_deterministic", |b| {
+        b.iter(|| drive(&DeterministicRank::new(cfg), n))
+    });
+    g.bench_function("sampling", |b| {
+        b.iter(|| drive(&ContinuousSampling::new(cfg), n))
+    });
+    g.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    // Query latency at the coordinator after a substantial stream.
+    let cfg = TrackingConfig::new(16, 0.05);
+    let n = 200_000u64;
+
+    let mut g = c.benchmark_group("coordinator_query");
+
+    let mut r = Runner::new(&RandomizedFrequency::new(cfg), 1);
+    for t in 0..n {
+        r.feed((t % 16) as usize, &(t % 1000));
+    }
+    g.bench_function("frequency_estimate", |b| {
+        b.iter(|| r.coord().estimate_frequency(black_box(7)))
+    });
+
+    let mut rr = Runner::new(&RandomizedRank::new(cfg), 1);
+    let mut seq = DistinctSeq::new(4);
+    let mut rng = dtrack_sim::rng::rng_from_seed(5);
+    for t in 0..n {
+        let v = seq.next_item(&mut rng);
+        rr.feed((t % 16) as usize, &v);
+    }
+    g.bench_function("rank_estimate", |b| {
+        b.iter(|| rr.coord().estimate_rank(black_box(u64::MAX / 2)))
+    });
+    g.bench_function("rank_quantile", |b| {
+        b.iter(|| rr.coord().quantile(black_box(0.5), 0, u64::MAX))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_protocols, bench_queries);
+criterion_main!(benches);

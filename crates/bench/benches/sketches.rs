@@ -1,0 +1,115 @@
+//! Microbenchmarks for the streaming-summary substrate: per-element update
+//! and query costs of every sketch used by the protocols.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dtrack_sketch::{GkSummary, KllSketch, MisraGries, SpaceSaving, StickyCounters};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_updates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sketch_update");
+    let n = 10_000u64;
+    g.throughput(Throughput::Elements(n));
+
+    g.bench_function("misra_gries_c100", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| {
+            let mut mg = MisraGries::new(100);
+            for _ in 0..n {
+                mg.observe(black_box(rng.gen_range(0..5_000)));
+            }
+            mg.len()
+        })
+    });
+
+    g.bench_function("space_saving_c100", |b| {
+        let mut rng = SmallRng::seed_from_u64(2);
+        b.iter(|| {
+            let mut ss = SpaceSaving::new(100);
+            for _ in 0..n {
+                ss.observe(black_box(rng.gen_range(0..5_000)));
+                ss.maybe_compact();
+            }
+            ss.len()
+        })
+    });
+
+    g.bench_function("sticky_p01", |b| {
+        let mut rng = SmallRng::seed_from_u64(3);
+        b.iter(|| {
+            let mut st = StickyCounters::new(0.01);
+            for _ in 0..n {
+                st.observe(black_box(rng.gen_range(0..5_000)), &mut rng);
+            }
+            st.len()
+        })
+    });
+
+    g.bench_function("gk_eps01", |b| {
+        let mut rng = SmallRng::seed_from_u64(4);
+        b.iter(|| {
+            let mut gk = GkSummary::new(0.01);
+            for _ in 0..n {
+                gk.insert(black_box(rng.gen()));
+            }
+            gk.len()
+        })
+    });
+
+    g.bench_function("kll_eps01", |b| {
+        let mut rng = SmallRng::seed_from_u64(5);
+        b.iter(|| {
+            let mut kll = KllSketch::with_error(0.01, 7);
+            for _ in 0..n {
+                kll.insert(black_box(rng.gen()));
+            }
+            kll.stored()
+        })
+    });
+    g.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sketch_query");
+    let mut rng = SmallRng::seed_from_u64(6);
+    let mut kll = KllSketch::with_error(0.01, 8);
+    let mut gk = GkSummary::new(0.01);
+    for _ in 0..100_000u64 {
+        let v = rng.gen();
+        kll.insert(v);
+        gk.insert(v);
+    }
+    let summary = kll.summary();
+    g.bench_function("kll_rank", |b| {
+        b.iter(|| kll.estimate_rank(black_box(u64::MAX / 2)))
+    });
+    g.bench_function("kll_summary_rank", |b| {
+        b.iter(|| summary.estimate_rank(black_box(u64::MAX / 2)))
+    });
+    g.bench_function("gk_rank", |b| {
+        b.iter(|| gk.estimate_rank(black_box(u64::MAX / 2)))
+    });
+    g.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sketch_merge");
+    let mut rng = SmallRng::seed_from_u64(9);
+    let mut a = KllSketch::with_error(0.01, 10);
+    let mut b2 = KllSketch::with_error(0.01, 11);
+    for _ in 0..50_000u64 {
+        a.insert(rng.gen());
+        b2.insert(rng.gen());
+    }
+    g.bench_function("kll_merge_50k", |b| {
+        b.iter(|| {
+            let mut m = a.clone();
+            m.merge(black_box(&b2));
+            m.stored()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_updates, bench_queries, bench_merge);
+criterion_main!(benches);

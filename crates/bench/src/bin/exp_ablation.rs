@@ -1,0 +1,208 @@
+//! Experiment **ABL**: ablations of the design choices the paper argues
+//! for. Each arm removes one ingredient and measures the damage the
+//! paper predicts:
+//!
+//! 1. **Count eq. (1) two-case estimator** — "separating the two cases in
+//!    (1) is actually important. Otherwise … a bias of Θ(1/p) … summing
+//!    over all k sites, this would exceed our error requirement."
+//! 2. **Frequency eq. (4) −d/p branch** — "this estimator [eq. (2)] is
+//!    biased and its bias might be as large as Θ(εn/√k). Summing over k
+//!    streams, this would exceed our error guarantee."
+//! 3. **Count p-halving re-thinning** — without the adjustment the
+//!    coordinator misreads stale n̄ᵢ under the new p, overestimating by
+//!    ≈ k/p right after every round boundary.
+//! 4. **Rank block tree** — plain Bernoulli sampling at the same word
+//!    budget has strictly larger variance than the tree + tail-sample
+//!    decomposition.
+//!
+//! Usage: `exp_ablation [N] [SEEDS]`
+
+use dtrack_bench::cli::{arg, banner};
+use dtrack_bench::table::{fmt_num, Table};
+use dtrack_core::count::RandomizedCount;
+use dtrack_core::frequency::RandomizedFrequency;
+use dtrack_core::rank::RandomizedRank;
+use dtrack_core::TrackingConfig;
+use dtrack_sim::Runner;
+use dtrack_workload::items::DistinctSeq;
+use rand::Rng;
+
+fn main() {
+    let n: u64 = arg(0, 200_000);
+    let seeds: u64 = arg(1, 20);
+    banner("ABL — design ablations", &format!("N={n}, seeds={seeds}"));
+
+    ablate_count_estimator(n, seeds);
+    ablate_frequency_estimator(n, seeds);
+    ablate_rethinning(n, seeds);
+    ablate_rank_tree(n.min(100_000), seeds.min(10));
+}
+
+/// Arm 1: the two-case estimator of eq. (1) vs the naive one-case form,
+/// on a workload with many near-silent sites (99% of traffic at site 0).
+fn ablate_count_estimator(n: u64, seeds: u64) {
+    let (k, eps) = (64, 0.02);
+    let cfg = TrackingConfig::new(k, eps);
+    let mut two_case = 0.0;
+    let mut naive = 0.0;
+    for seed in 0..seeds {
+        let mut r = Runner::new(&RandomizedCount::new(cfg), seed);
+        for t in 0..n {
+            let site = if t % 100 == 0 { 1 + (t as usize / 100) % (k - 1) } else { 0 };
+            r.feed(site, &t);
+        }
+        two_case += r.coord().estimate() - n as f64;
+        naive += r.coord().estimate_naive() - n as f64;
+    }
+    let mut t = Table::new(["count estimator", "mean signed error", "× (eps·n)"]);
+    for (name, bias) in [("eq. (1) two-case", two_case), ("naive one-case", naive)] {
+        let b = bias / seeds as f64;
+        t.row([
+            name.to_string(),
+            fmt_num(b),
+            format!("{:+.2}", b / (eps * n as f64)),
+        ]);
+    }
+    println!("-- arm 1: count eq. (1) two-case estimator (k={k}, eps={eps}, 99% at one site) --");
+    t.print();
+    println!("(paper: naive form is biased by Θ(1/p) per silent site)\n");
+}
+
+/// Arm 2: the unbiased eq. (4) estimator vs the biased eq. (2) form, on
+/// a workload of many items each with frequency Θ(εn/√k).
+fn ablate_frequency_estimator(n: u64, seeds: u64) {
+    let (k, eps) = (16, 0.05);
+    let cfg = TrackingConfig::new(k, eps);
+    let domain = 24u64; // per-site item frequency ≈ 1/(2p): peak-bias regime
+    let mut unbiased = 0.0;
+    let mut naive = 0.0;
+    let probes = 8u64;
+    for seed in 0..seeds {
+        let mut r = Runner::new(&RandomizedFrequency::new(cfg), seed);
+        for t in 0..n {
+            r.feed((t % k as u64) as usize, &(t % domain));
+        }
+        let truth = n as f64 / domain as f64;
+        for j in 0..probes {
+            unbiased += r.coord().estimate_frequency(j) - truth;
+            naive += r.coord().estimate_frequency_naive(j) - truth;
+        }
+    }
+    let den = (seeds * probes) as f64;
+    let mut t = Table::new(["frequency estimator", "mean signed error", "× (eps·n)"]);
+    for (name, bias) in [("eq. (4) with −d/p", unbiased), ("eq. (2) biased", naive)] {
+        let b = bias / den;
+        t.row([
+            name.to_string(),
+            fmt_num(b),
+            format!("{:+.2}", b / (eps * n as f64)),
+        ]);
+    }
+    println!("-- arm 2: frequency -d/p correction (k={k}, eps={eps}, {domain} mid-items) --");
+    t.print();
+    println!("(paper: eq. (2) bias is Θ(εn/√k) per site when f = Θ(εn/√k))\n");
+}
+
+/// Arm 3: the p-halving re-thinning step vs keeping stale n̄ᵢ.
+fn ablate_rethinning(n: u64, seeds: u64) {
+    let (k, eps) = (16, 0.05);
+    let cfg = TrackingConfig::new(k, eps);
+    // Mean |error| sampled 20 elements after each round boundary — the
+    // instants where stale n̄ᵢ would be misread under the halved p.
+    let boundary_err = |proto: &RandomizedCount, seed: u64| {
+        let mut r = Runner::new(proto, seed);
+        let mut last_round = 0;
+        let mut probe_at = u64::MAX;
+        let (mut total, mut count) = (0.0f64, 0u32);
+        for t in 0..n {
+            r.feed((t % k as u64) as usize, &t);
+            if r.coord().round() != last_round {
+                last_round = r.coord().round();
+                probe_at = t + 20;
+            }
+            if t == probe_at {
+                let e = (r.coord().estimate() - (t + 1) as f64).abs() / (t + 1) as f64;
+                total += e;
+                count += 1;
+            }
+        }
+        total / count.max(1) as f64
+    };
+    let with: Vec<f64> = (0..seeds)
+        .map(|s| boundary_err(&RandomizedCount::new(cfg), s))
+        .collect();
+    let without: Vec<f64> = (0..seeds)
+        .map(|s| boundary_err(&RandomizedCount::ablation_no_rethinning(cfg), s))
+        .collect();
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let mut t = Table::new(["variant", "mean |err| after boundaries", "× eps"]);
+    t.row([
+        "with re-thinning (§2.1)".to_string(),
+        format!("{:.4}", mean(&with)),
+        format!("{:.2}", mean(&with) / eps),
+    ]);
+    t.row([
+        "ablated (stale n̄ᵢ)".to_string(),
+        format!("{:.4}", mean(&without)),
+        format!("{:.2}", mean(&without) / eps),
+    ]);
+    println!("-- arm 3: p-halving re-thinning (k={k}, eps={eps}) --");
+    t.print();
+    println!("(stale n̄ᵢ under a halved p is misread by the eq.-(1) estimator)\n");
+}
+
+/// Arm 4: remove the §4 block tree and keep only the sampling machinery
+/// at the protocol's own rate `p = C·√k/(εn̄)`: the words drop (no
+/// summaries) but the variance jumps from O((εn)²) to n/p = Θ(εn²/√k) —
+/// the tree is what turns a sample into an ε-guarantee.
+fn ablate_rank_tree(n: u64, seeds: u64) {
+    let (k, eps) = (16, 0.01);
+    let cfg = TrackingConfig::new(k, eps);
+    let seq = DistinctSeq::new(33);
+    let data: Vec<u64> = (0..n).map(|t| seq.value_at(t)).collect();
+    let mut sorted = data.clone();
+    sorted.sort_unstable();
+    let x = sorted[(n / 2) as usize];
+    let truth = (n / 2) as f64;
+
+    let mut tree_se = 0.0;
+    let mut words = 0u64;
+    for seed in 0..seeds {
+        let mut r = Runner::new(&RandomizedRank::new(cfg), seed);
+        for (t, v) in data.iter().enumerate() {
+            r.feed(t % k, v);
+        }
+        tree_se += (r.coord().estimate_rank(x) - truth).powi(2);
+        words = r.stats().total_words();
+    }
+    // Samples only, at the protocol's own final-round rate.
+    let q = (8.0 * (k as f64).sqrt() / (eps * n as f64)).min(1.0);
+    let mut samp_se = 0.0;
+    for seed in 0..seeds {
+        let mut rng = dtrack_sim::rng::rng_from_seed(777 + seed);
+        let mut below = 0u64;
+        for v in &data {
+            if rng.gen::<f64>() < q && *v < x {
+                below += 1;
+            }
+        }
+        samp_se += (below as f64 / q - truth).powi(2);
+    }
+    let samp_words = (2.0 * q * n as f64) as u64;
+    let mut t = Table::new(["variant", "rank RMSE", "× (eps·n)", "words"]);
+    t.row([
+        "block tree + tail samples (§4)".to_string(),
+        fmt_num((tree_se / seeds as f64).sqrt()),
+        format!("{:.2}", (tree_se / seeds as f64).sqrt() / (eps * n as f64)),
+        fmt_num(words as f64),
+    ]);
+    t.row([
+        "samples only (tree ablated)".to_string(),
+        fmt_num((samp_se / seeds as f64).sqrt()),
+        format!("{:.2}", (samp_se / seeds as f64).sqrt() / (eps * n as f64)),
+        fmt_num(samp_words as f64),
+    ]);
+    println!("-- arm 4: rank block tree vs samples-only (k={k}, eps={eps}, N={n}) --");
+    t.print();
+    println!("(the tree's summaries are what turn a Θ(√k/(εn)) sample into an εn guarantee)");
+}

@@ -1,0 +1,60 @@
+//! Experiment **T1-space**: peak per-site space.
+//!
+//! Table 1 claims: count O(1); frequency NEW `O(1/(ε√k))` — *below* the
+//! streaming lower bound Ω(1/ε), and shrinking as k grows; frequency
+//! deterministic `O(1/ε)`; rank NEW `O(1/(ε√k)·polylog)`; sampling O(1).
+//!
+//! Usage: `exp_space [N] [SEEDS]`
+
+use dtrack_bench::cli::{arg, banner};
+use dtrack_bench::measure::{
+    count_run, frequency_run, rank_run, CountAlgo, FreqAlgo, RankAlgo,
+};
+use dtrack_bench::table::{fmt_num, Table};
+
+fn main() {
+    let n: u64 = arg(0, 1_000_000);
+    let seeds: u64 = arg(1, 3);
+    let rank_n = n.min(400_000);
+    banner(
+        "T1-space — peak words per site",
+        &format!("N={n} (rank {rank_n}), seeds={seeds}"),
+    );
+
+    let med = |f: &dyn Fn(u64) -> u64| -> f64 {
+        let mut v: Vec<u64> = (0..seeds).map(f).collect();
+        v.sort_unstable();
+        v[v.len() / 2] as f64
+    };
+
+    println!("-- frequency space vs k (eps = 0.01): NEW should shrink ~1/√k --");
+    let mut t = Table::new(["k", "freq-NEW", "1/(eps*sqrt(k))", "freq-det", "cnt-NEW", "sampling"]);
+    for &k in &[4usize, 16, 64, 256] {
+        let eps = 0.01;
+        t.row([
+            k.to_string(),
+            fmt_num(med(&|s| frequency_run(FreqAlgo::Randomized, k, eps, n, s).0.max_space)),
+            fmt_num(1.0 / (eps * (k as f64).sqrt())),
+            fmt_num(med(&|s| frequency_run(FreqAlgo::Deterministic, k, eps, n, s).0.max_space)),
+            fmt_num(med(&|s| count_run(CountAlgo::Randomized, k, eps, n, s).0.max_space)),
+            fmt_num(med(&|s| count_run(CountAlgo::Sampling, k, eps, n, s).0.max_space)),
+        ]);
+    }
+    t.print();
+
+    println!();
+    println!("-- frequency/rank space vs eps (k = 16) --");
+    let mut t2 = Table::new(["eps", "freq-NEW", "freq-det", "rank-NEW", "rank-det"]);
+    for &eps in &[0.04f64, 0.02, 0.01, 0.005] {
+        let k = 16;
+        let reps = eps.max(0.02);
+        t2.row([
+            format!("{eps}"),
+            fmt_num(med(&|s| frequency_run(FreqAlgo::Randomized, k, eps, n, s).0.max_space)),
+            fmt_num(med(&|s| frequency_run(FreqAlgo::Deterministic, k, eps, n, s).0.max_space)),
+            fmt_num(med(&|s| rank_run(RankAlgo::Randomized, k, reps, rank_n, s).0.max_space)),
+            fmt_num(med(&|s| rank_run(RankAlgo::Deterministic, k, reps, rank_n, s).0.max_space)),
+        ]);
+    }
+    t2.print();
+}

@@ -1,0 +1,123 @@
+//! Reproduces **Table 1** of the paper: space and communication of every
+//! algorithm, old and new, measured on the standard workloads.
+//!
+//! Paper's claims (upper bounds, in words; k ≤ 1/ε²):
+//!
+//! | problem | algorithm | space/site | communication |
+//! |---|---|---|---|
+//! | count | trivial | O(1) | Θ(k/ε·logN) |
+//! | count | new | O(1) | O(√k/ε·logN) |
+//! | frequency | [29] | O(1/ε) | Θ(k/ε·logN) |
+//! | frequency | new | O(1/(ε√k)) | O(√k/ε·logN) |
+//! | rank | [29]/[6] | O(1/ε·log n) | O(k/ε·logN·log²(1/ε)) |
+//! | rank | new | O(1/(ε√k)·polylog) | O(√k/ε·logN·polylog) |
+//! | all | sampling [9] | O(1) | O(1/ε²·logN) |
+//!
+//! Usage: `table1 [N] [K] [EPS] [SEEDS]`
+
+use dtrack_bench::cli::{arg, banner};
+use dtrack_bench::measure::{
+    count_run, frequency_run, rank_run, CountAlgo, FreqAlgo, RankAlgo,
+};
+use dtrack_bench::table::{fmt_num, Table};
+
+fn main() {
+    let n: u64 = arg(0, 2_000_000);
+    let k: usize = arg(1, 64);
+    let eps: f64 = arg(2, 0.01);
+    let seeds: u64 = arg(3, 3);
+    let rank_n = n.min(500_000); // rank protocols are heavier per element
+    banner(
+        "Table 1 — space and communication of all algorithms",
+        &format!("N={n} (rank: {rank_n}), k={k}, eps={eps}, seeds={seeds}"),
+    );
+
+    let mut t = Table::new([
+        "problem", "algorithm", "space(words)", "msgs", "words", "words/elem", "max err/n",
+    ]);
+
+    let med = |f: &dyn Fn(u64) -> (dtrack_bench::CommSpace, f64)| {
+        let mut runs: Vec<(dtrack_bench::CommSpace, f64)> = (0..seeds).map(f).collect();
+        runs.sort_by_key(|r| r.0.words);
+        runs[runs.len() / 2]
+    };
+
+    type RowFn = Box<dyn Fn(u64) -> (dtrack_bench::CommSpace, f64)>;
+    let rows: Vec<(&str, &str, RowFn, u64)> = vec![
+        (
+            "count",
+            "trivial (det)",
+            Box::new(move |s| count_run(CountAlgo::Deterministic, k, eps, n, s)),
+            n,
+        ),
+        (
+            "count",
+            "NEW randomized",
+            Box::new(move |s| count_run(CountAlgo::Randomized, k, eps, n, s)),
+            n,
+        ),
+        (
+            "count",
+            "sampling [9]",
+            Box::new(move |s| count_run(CountAlgo::Sampling, k, eps, n, s)),
+            n,
+        ),
+        (
+            "frequency",
+            "[29]-style det",
+            Box::new(move |s| frequency_run(FreqAlgo::Deterministic, k, eps, n, s)),
+            n,
+        ),
+        (
+            "frequency",
+            "NEW randomized",
+            Box::new(move |s| frequency_run(FreqAlgo::Randomized, k, eps, n, s)),
+            n,
+        ),
+        (
+            "frequency",
+            "sampling [9]",
+            Box::new(move |s| frequency_run(FreqAlgo::Sampling, k, eps, n, s)),
+            n,
+        ),
+        (
+            "rank",
+            "[6]-style det",
+            Box::new(move |s| rank_run(RankAlgo::Deterministic, k, eps.max(0.02), rank_n, s)),
+            rank_n,
+        ),
+        (
+            "rank",
+            "NEW randomized",
+            Box::new(move |s| rank_run(RankAlgo::Randomized, k, eps.max(0.02), rank_n, s)),
+            rank_n,
+        ),
+        (
+            "rank",
+            "sampling [9]",
+            Box::new(move |s| rank_run(RankAlgo::Sampling, k, eps.max(0.02), rank_n, s)),
+            rank_n,
+        ),
+    ];
+
+    for (problem, algo, f, rows_n) in rows {
+        let (cs, err) = med(&*f);
+        t.row([
+            problem.to_string(),
+            algo.to_string(),
+            fmt_num(cs.max_space as f64),
+            fmt_num(cs.msgs as f64),
+            fmt_num(cs.words as f64),
+            fmt_num(cs.words as f64 / rows_n as f64),
+            fmt_num(err),
+        ]);
+    }
+    t.print();
+
+    println!();
+    println!(
+        "expected shapes: NEW count/frequency ≈ √k/k ≈ {:.2}× the deterministic words;",
+        1.0 / (k as f64).sqrt()
+    );
+    println!("sampling [9] ≈ 1/ε² logN words regardless of k; NEW space ≈ 1/(ε√k) words.");
+}

@@ -1,0 +1,20 @@
+//! Tiny positional-argument parsing for the experiment binaries.
+//!
+//! Every binary accepts optional positional overrides, e.g.
+//! `table1 [N] [SEEDS]`; anything omitted falls back to the default.
+
+/// Parse positional argument `idx` (0-based, after the program name) as
+/// `T`, falling back to `default`.
+pub fn arg<T: std::str::FromStr>(idx: usize, default: T) -> T {
+    std::env::args()
+        .nth(idx + 1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Standard experiment banner.
+pub fn banner(name: &str, detail: &str) {
+    println!("== {name} ==");
+    println!("{detail}");
+    println!();
+}

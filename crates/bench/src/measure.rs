@@ -1,0 +1,422 @@
+//! Instrumented end-to-end protocol runs over standard workloads.
+
+use dtrack_core::boost::{median, Replicated};
+use dtrack_core::count::{DeterministicCount, RandomizedCount};
+use dtrack_core::frequency::{DeterministicFrequency, RandomizedFrequency};
+use dtrack_core::rank::{DeterministicRank, RandomizedRank};
+use dtrack_core::sampling::ContinuousSampling;
+use dtrack_core::TrackingConfig;
+use dtrack_sim::{Protocol, Runner};
+use dtrack_sketch::exact::{ExactCounts, ExactRanks};
+use dtrack_workload::items::{DistinctSeq, ItemGen, ZipfItems};
+use dtrack_workload::{Arrival, RoundRobin, SiteAssign, UniformSites, Workload};
+
+/// Communication + space outcome of one run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CommSpace {
+    /// Total messages, both directions.
+    pub msgs: u64,
+    /// Total words, both directions.
+    pub words: u64,
+    /// Broadcast events.
+    pub broadcasts: u64,
+    /// Peak resident words over all sites.
+    pub max_space: u64,
+}
+
+impl CommSpace {
+    fn from_runner<P: Protocol>(r: &Runner<P>) -> Self {
+        Self {
+            msgs: r.stats().total_msgs(),
+            words: r.stats().total_words(),
+            broadcasts: r.stats().broadcast_events,
+            max_space: r.space().max_peak(),
+        }
+    }
+}
+
+/// Count-tracking algorithm selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CountAlgo {
+    /// §2.1 randomized protocol (Theorem 2.1).
+    Randomized,
+    /// Trivial (1+ε)-threshold baseline.
+    Deterministic,
+    /// Continuous sampling baseline [9].
+    Sampling,
+}
+
+/// Frequency-tracking algorithm selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FreqAlgo {
+    /// §3.1 randomized protocol (Theorem 3.1).
+    Randomized,
+    /// [29]-style deterministic baseline.
+    Deterministic,
+    /// Continuous sampling baseline [9].
+    Sampling,
+}
+
+/// Rank-tracking algorithm selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankAlgo {
+    /// §4 randomized protocol (Theorem 4.1).
+    Randomized,
+    /// [6]-style deterministic GK baseline.
+    Deterministic,
+    /// Continuous sampling baseline [9].
+    Sampling,
+}
+
+/// Run count-tracking over a round-robin stream of `n` elements.
+/// Returns cost and the final relative error `|n̂ − n|/n`.
+pub fn count_run(
+    algo: CountAlgo,
+    k: usize,
+    eps: f64,
+    n: u64,
+    seed: u64,
+) -> (CommSpace, f64) {
+    let cfg = TrackingConfig::new(k, eps);
+    let feed = |r: &mut dyn FnMut(usize, u64)| {
+        for t in 0..n {
+            r((t % k as u64) as usize, t);
+        }
+    };
+    match algo {
+        CountAlgo::Randomized => {
+            let mut r = Runner::new(&RandomizedCount::new(cfg), seed);
+            feed(&mut |s, v| r.feed(s, &v));
+            let err = (r.coord().estimate() - n as f64).abs() / n as f64;
+            (CommSpace::from_runner(&r), err)
+        }
+        CountAlgo::Deterministic => {
+            let mut r = Runner::new(&DeterministicCount::new(cfg), seed);
+            feed(&mut |s, v| r.feed(s, &v));
+            let err = (r.coord().estimate() - n as f64).abs() / n as f64;
+            (CommSpace::from_runner(&r), err)
+        }
+        CountAlgo::Sampling => {
+            let mut r = Runner::new(&ContinuousSampling::new(cfg), seed);
+            feed(&mut |s, v| r.feed(s, &v));
+            let err = (r.coord().estimate_count() - n as f64).abs() / n as f64;
+            (CommSpace::from_runner(&r), err)
+        }
+    }
+}
+
+/// Relative count error at geometric checkpoints (for all-times plots).
+pub fn count_error_trace(
+    algo: CountAlgo,
+    k: usize,
+    eps: f64,
+    n: u64,
+    seed: u64,
+    checkpoints: &[u64],
+) -> Vec<f64> {
+    let cfg = TrackingConfig::new(k, eps);
+    let mut out = Vec::with_capacity(checkpoints.len());
+    macro_rules! trace {
+        ($proto:expr, $est:expr) => {{
+            let mut r = Runner::new(&$proto, seed);
+            let mut ci = 0;
+            for t in 0..n {
+                r.feed((t % k as u64) as usize, &t);
+                while ci < checkpoints.len() && t + 1 == checkpoints[ci] {
+                    let est: f64 = $est(&r);
+                    out.push((est - (t + 1) as f64).abs() / (t + 1) as f64);
+                    ci += 1;
+                }
+            }
+        }};
+    }
+    match algo {
+        CountAlgo::Randomized => {
+            trace!(RandomizedCount::new(cfg), |r: &Runner<RandomizedCount>| r
+                .coord()
+                .estimate())
+        }
+        CountAlgo::Deterministic => {
+            trace!(
+                DeterministicCount::new(cfg),
+                |r: &Runner<DeterministicCount>| r.coord().estimate()
+            )
+        }
+        CountAlgo::Sampling => {
+            trace!(
+                ContinuousSampling::new(cfg),
+                |r: &Runner<ContinuousSampling>| r.coord().estimate_count()
+            )
+        }
+    }
+    out
+}
+
+/// Median-boosted randomized count tracking: returns the *maximum*
+/// relative error over all checkpoints (the all-times guarantee).
+pub fn count_boosted_max_error(
+    k: usize,
+    eps: f64,
+    n: u64,
+    copies: usize,
+    seed: u64,
+    checkpoints: &[u64],
+) -> f64 {
+    let cfg = TrackingConfig::new(k, eps);
+    let proto = Replicated::new(RandomizedCount::new(cfg), copies);
+    let mut r = Runner::new(&proto, seed);
+    let mut worst = 0.0f64;
+    let mut ci = 0;
+    for t in 0..n {
+        r.feed((t % k as u64) as usize, &t);
+        while ci < checkpoints.len() && t + 1 == checkpoints[ci] {
+            let est = r.coord().median_by(|c| c.estimate());
+            worst = worst.max((est - (t + 1) as f64).abs() / (t + 1) as f64);
+            ci += 1;
+        }
+    }
+    worst
+}
+
+/// The standard frequency workload: zipf(1.1) items over a 10⁴ domain,
+/// uniformly random site per element.
+fn freq_workload(k: usize, n: u64, seed: u64) -> Vec<Arrival> {
+    Workload::new(ZipfItems::new(10_000, 1.1), UniformSites::new(k), n, seed)
+        .collect_vec()
+}
+
+/// Run frequency-tracking; returns cost and the maximum `|f̂ − f|/n` over
+/// the 20 most frequent items plus 5 absent probes.
+pub fn frequency_run(
+    algo: FreqAlgo,
+    k: usize,
+    eps: f64,
+    n: u64,
+    seed: u64,
+) -> (CommSpace, f64) {
+    let cfg = TrackingConfig::new(k, eps);
+    let arrivals = freq_workload(k, n, seed ^ 0xF00D);
+    let mut exact = ExactCounts::new();
+    let probes: Vec<u64> = (0..20u64).chain(2_000_000..2_000_005).collect();
+    macro_rules! run {
+        ($proto:expr, $est:expr) => {{
+            let mut r = Runner::new(&$proto, seed);
+            for a in &arrivals {
+                r.feed(a.site, &a.item);
+                exact.observe(a.item);
+            }
+            let worst = probes
+                .iter()
+                .map(|&j| {
+                    let est: f64 = $est(&r, j);
+                    (est - exact.frequency(j) as f64).abs() / n as f64
+                })
+                .fold(0.0f64, f64::max);
+            (CommSpace::from_runner(&r), worst)
+        }};
+    }
+    match algo {
+        FreqAlgo::Randomized => {
+            run!(RandomizedFrequency::new(cfg), |r: &Runner<
+                RandomizedFrequency,
+            >,
+                                                 j| r
+                .coord()
+                .estimate_frequency(j))
+        }
+        FreqAlgo::Deterministic => {
+            run!(DeterministicFrequency::new(cfg), |r: &Runner<
+                DeterministicFrequency,
+            >,
+                                                    j| {
+                r.coord().estimate_frequency(j)
+            })
+        }
+        FreqAlgo::Sampling => {
+            run!(ContinuousSampling::new(cfg), |r: &Runner<
+                ContinuousSampling,
+            >,
+                                                j| {
+                r.coord().estimate_frequency(j)
+            })
+        }
+    }
+}
+
+/// Per-query error on a single probe (the hottest zipf item): this is
+/// the quantity the paper's per-instant 0.9 guarantee (Theorem 3.1)
+/// speaks about — unlike [`frequency_run`], which takes the max over 25
+/// probes (a union, so necessarily worse than the per-query bound).
+pub fn frequency_single_probe_error(
+    algo: FreqAlgo,
+    k: usize,
+    eps: f64,
+    n: u64,
+    seed: u64,
+) -> f64 {
+    let cfg = TrackingConfig::new(k, eps);
+    let arrivals = freq_workload(k, n, seed ^ 0xF00D);
+    let mut exact = ExactCounts::new();
+    macro_rules! run {
+        ($proto:expr, $est:expr) => {{
+            let mut r = Runner::new(&$proto, seed);
+            for a in &arrivals {
+                r.feed(a.site, &a.item);
+                exact.observe(a.item);
+            }
+            let est: f64 = $est(&r, 0u64);
+            (est - exact.frequency(0) as f64).abs() / n as f64
+        }};
+    }
+    match algo {
+        FreqAlgo::Randomized => {
+            run!(RandomizedFrequency::new(cfg), |r: &Runner<
+                RandomizedFrequency,
+            >,
+                                                 j| r
+                .coord()
+                .estimate_frequency(j))
+        }
+        FreqAlgo::Deterministic => {
+            run!(DeterministicFrequency::new(cfg), |r: &Runner<
+                DeterministicFrequency,
+            >,
+                                                    j| {
+                r.coord().estimate_frequency(j)
+            })
+        }
+        FreqAlgo::Sampling => {
+            run!(ContinuousSampling::new(cfg), |r: &Runner<
+                ContinuousSampling,
+            >,
+                                                j| {
+                r.coord().estimate_frequency(j)
+            })
+        }
+    }
+}
+
+/// Run rank-tracking over a duplicate-free round-robin stream; returns
+/// cost and the maximum `|rank̂ − rank|/n` over the deciles.
+pub fn rank_run(
+    algo: RankAlgo,
+    k: usize,
+    eps: f64,
+    n: u64,
+    seed: u64,
+) -> (CommSpace, f64) {
+    let cfg = TrackingConfig::new(k, eps);
+    let mut items = DistinctSeq::new(seed ^ 0xBEEF);
+    let mut assign = RoundRobin::new(k);
+    let mut wl_rng = dtrack_sim::rng::rng_from_seed(seed);
+    let mut exact = ExactRanks::new();
+    let arrivals: Vec<(usize, u64)> = (0..n)
+        .map(|_| {
+            (
+                assign.next_site(&mut wl_rng),
+                items.next_item(&mut wl_rng),
+            )
+        })
+        .collect();
+    macro_rules! run {
+        ($proto:expr, $est:expr) => {{
+            let mut r = Runner::new(&$proto, seed);
+            for (s, v) in &arrivals {
+                r.feed(*s, v);
+                exact.insert(*v);
+            }
+            let worst = (1..10)
+                .map(|d| {
+                    let x = exact.quantile(d as f64 / 10.0).unwrap();
+                    let truth = exact.rank(x) as f64;
+                    let est: f64 = $est(&r, x);
+                    (est - truth).abs() / n as f64
+                })
+                .fold(0.0f64, f64::max);
+            (CommSpace::from_runner(&r), worst)
+        }};
+    }
+    match algo {
+        RankAlgo::Randomized => {
+            run!(RandomizedRank::new(cfg), |r: &Runner<RandomizedRank>, x| r
+                .coord()
+                .estimate_rank(x))
+        }
+        RankAlgo::Deterministic => {
+            run!(
+                DeterministicRank::new(cfg),
+                |r: &Runner<DeterministicRank>, x| r.coord().estimate_rank(x)
+            )
+        }
+        RankAlgo::Sampling => {
+            run!(
+                ContinuousSampling::new(cfg),
+                |r: &Runner<ContinuousSampling>, x| r.coord().estimate_rank(x)
+            )
+        }
+    }
+}
+
+/// Median over seeds of a per-seed scalar measurement.
+pub fn median_over_seeds<F: Fn(u64) -> f64>(seeds: std::ops::Range<u64>, f: F) -> f64 {
+    median(seeds.map(f).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_runs_all_algos() {
+        for algo in [
+            CountAlgo::Randomized,
+            CountAlgo::Deterministic,
+            CountAlgo::Sampling,
+        ] {
+            let (cs, err) = count_run(algo, 4, 0.2, 20_000, 1);
+            assert!(cs.msgs > 0);
+            assert!(cs.words >= cs.msgs);
+            assert!(err < 0.5, "{algo:?} err {err}");
+        }
+    }
+
+    #[test]
+    fn frequency_runs_all_algos() {
+        for algo in [
+            FreqAlgo::Randomized,
+            FreqAlgo::Deterministic,
+            FreqAlgo::Sampling,
+        ] {
+            let (cs, err) = frequency_run(algo, 4, 0.2, 20_000, 2);
+            assert!(cs.msgs > 0);
+            assert!(err < 0.5, "{algo:?} err {err}");
+        }
+    }
+
+    #[test]
+    fn rank_runs_all_algos() {
+        for algo in [
+            RankAlgo::Randomized,
+            RankAlgo::Deterministic,
+            RankAlgo::Sampling,
+        ] {
+            let (cs, err) = rank_run(algo, 4, 0.2, 20_000, 3);
+            assert!(cs.msgs > 0);
+            assert!(err < 0.5, "{algo:?} err {err}");
+        }
+    }
+
+    #[test]
+    fn boosted_error_is_small_at_all_checkpoints() {
+        let checkpoints: Vec<u64> = (1..20).map(|i| i * 1000).collect();
+        let worst = count_boosted_max_error(8, 0.15, 20_000, 7, 11, &checkpoints);
+        assert!(worst <= 0.15, "worst {worst}");
+    }
+
+    #[test]
+    fn trace_has_checkpoint_arity() {
+        let cps = vec![100, 1000, 5000];
+        let t = count_error_trace(CountAlgo::Randomized, 4, 0.2, 5000, 5, &cps);
+        assert_eq!(t.len(), 3);
+    }
+}

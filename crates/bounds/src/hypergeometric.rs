@@ -1,0 +1,84 @@
+//! Exact hypergeometric sampling.
+//!
+//! `Hypergeometric(N, K, z)`: the number of successes when drawing `z`
+//! items without replacement from a population of `N` containing `K`
+//! successes — the distribution of the probe outcome in the sampling
+//! problem (Appendix A: "X is chosen from the hypergeometric distribution
+//! with pdf Pr[X = x] = C(s′,x)·C(k′−s′,z−x)/C(k′,z)").
+
+use rand::Rng;
+
+/// Draw one sample from `Hypergeometric(population, successes, draws)`
+/// by sequential conditional Bernoulli draws — exact, `O(draws)`.
+pub fn sample<R: Rng>(rng: &mut R, population: u64, successes: u64, draws: u64) -> u64 {
+    assert!(successes <= population);
+    assert!(draws <= population);
+    let mut remaining_pop = population;
+    let mut remaining_succ = successes;
+    let mut hit = 0;
+    for _ in 0..draws {
+        let p = remaining_succ as f64 / remaining_pop as f64;
+        if rng.gen::<f64>() < p {
+            hit += 1;
+            remaining_succ -= 1;
+        }
+        remaining_pop -= 1;
+    }
+    hit
+}
+
+/// Mean of the hypergeometric distribution, `z·K/N`.
+pub fn mean(population: u64, successes: u64, draws: u64) -> f64 {
+    draws as f64 * successes as f64 / population as f64
+}
+
+/// Variance of the hypergeometric distribution,
+/// `z·(K/N)·(1−K/N)·(N−z)/(N−1)`.
+pub fn variance(population: u64, successes: u64, draws: u64) -> f64 {
+    let n = population as f64;
+    let p = successes as f64 / n;
+    let z = draws as f64;
+    z * p * (1.0 - p) * (n - z) / (n - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn degenerate_cases() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(sample(&mut rng, 10, 10, 5), 5); // all successes
+        assert_eq!(sample(&mut rng, 10, 0, 5), 0); // no successes
+        assert_eq!(sample(&mut rng, 10, 4, 10), 4); // exhaustive draw
+        assert_eq!(sample(&mut rng, 10, 4, 0), 0); // no draws
+    }
+
+    #[test]
+    fn empirical_mean_and_variance_match_theory() {
+        let (n, k, z) = (1000u64, 300u64, 100u64);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let trials = 20_000;
+        let samples: Vec<f64> =
+            (0..trials).map(|_| sample(&mut rng, n, k, z) as f64).collect();
+        let m = samples.iter().sum::<f64>() / trials as f64;
+        let v = samples.iter().map(|x| (x - m).powi(2)).sum::<f64>()
+            / (trials - 1) as f64;
+        let tm = mean(n, k, z);
+        let tv = variance(n, k, z);
+        assert!((m - tm).abs() < 0.15, "mean {m} vs {tm}");
+        assert!((v - tv).abs() < 1.5, "var {v} vs {tv}");
+    }
+
+    #[test]
+    fn bounded_by_draws_and_successes() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = sample(&mut rng, 50, 20, 30);
+            assert!(x <= 20 && x <= 30);
+            // At least draws − (population − successes) = 0 here.
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! The 1-bit problem (Definition 2.1) — the primitive behind Theorem 2.4.
+//!
+//! `s ∈ {k/2−√k, k/2+√k}` sites hold bit 1; the coordinator must learn
+//! `s` with probability ≥ 0.8. Lemma 2.2: Ω(k) messages are necessary.
+//! The proof normalizes any protocol into two phases — (a) sites
+//! volunteering their bit based on its value, then (b) the coordinator
+//! probing arbitrary remaining sites — and reduces phase (b) to the
+//! sampling problem.
+//!
+//! [`OneBitInstance`] simulates exactly this normalized protocol family:
+//! a *volunteer probability pair* `(q₀, q₁)` (a site with bit `b`
+//! volunteers with probability `q_b`) followed by `z` coordinator probes,
+//! so one can sweep the full trade-off and watch every configuration with
+//! `o(k)` total messages fail.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A 1-bit problem instance family over `k` sites.
+#[derive(Debug, Clone, Copy)]
+pub struct OneBitInstance {
+    /// Number of sites.
+    pub k: u64,
+}
+
+/// Outcome of running one normalized protocol trial.
+#[derive(Debug, Clone, Copy)]
+pub struct OneBitOutcome {
+    /// Whether the protocol's guess was correct.
+    pub correct: bool,
+    /// Messages spent (volunteers + probes, one each).
+    pub messages: u64,
+}
+
+impl OneBitInstance {
+    /// New instance family; requires `k ≥ 4`.
+    pub fn new(k: u64) -> Self {
+        assert!(k >= 4);
+        Self { k }
+    }
+
+    fn sqrt_k(&self) -> u64 {
+        ((self.k as f64).sqrt().round() as u64).max(1)
+    }
+
+    /// The two possible values of `s`.
+    pub fn s_values(&self) -> (u64, u64) {
+        (self.k / 2 - self.sqrt_k(), self.k / 2 + self.sqrt_k())
+    }
+
+    /// Run one trial of the normalized protocol: bit-`b` sites volunteer
+    /// with probability `q[b]`, then the coordinator probes `z` of the
+    /// silent sites and guesses by maximum likelihood (implemented as the
+    /// symmetric midpoint rule on the corrected estimate).
+    pub fn trial<R: Rng>(&self, q0: f64, q1: f64, z: u64, rng: &mut R) -> OneBitOutcome {
+        let (lo, hi) = self.s_values();
+        let s_high = rng.gen::<bool>();
+        let s = if s_high { hi } else { lo };
+
+        // Volunteers: binomials over the two populations.
+        let ones_volunteered = binomial(rng, s, q1);
+        let zeros_volunteered = binomial(rng, self.k - s, q0);
+        let volunteered = ones_volunteered + zeros_volunteered;
+
+        // Remaining (silent) sites and their composition.
+        let silent = self.k - volunteered;
+        let silent_ones = s - ones_volunteered;
+        let z = z.min(silent);
+        let probed_ones = crate::hypergeometric::sample(rng, silent, silent_ones, z);
+
+        // Estimate s: volunteers are known exactly; extrapolate probes.
+        let est_s = ones_volunteered as f64
+            + if z > 0 {
+                probed_ones as f64 / z as f64 * silent as f64
+            } else {
+                // No probes: extrapolate from volunteer rates alone when
+                // possible, otherwise guess the prior mean.
+                if q1 > 0.0 {
+                    ones_volunteered as f64 / q1 - ones_volunteered as f64
+                } else {
+                    (lo + hi) as f64 / 2.0 - ones_volunteered as f64
+                }
+            };
+        let midpoint = (lo + hi) as f64 / 2.0;
+        let guess_high = match est_s.partial_cmp(&midpoint).unwrap() {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => rng.gen::<bool>(),
+        };
+        OneBitOutcome {
+            correct: guess_high == s_high,
+            messages: volunteered + z,
+        }
+    }
+
+    /// Average failure rate and message count of a configuration.
+    pub fn evaluate(
+        &self,
+        q0: f64,
+        q1: f64,
+        z: u64,
+        trials: u32,
+        seed: u64,
+    ) -> (f64, f64) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut failures = 0u32;
+        let mut msgs = 0u64;
+        for _ in 0..trials {
+            let o = self.trial(q0, q1, z, &mut rng);
+            if !o.correct {
+                failures += 1;
+            }
+            msgs += o.messages;
+        }
+        (
+            failures as f64 / trials as f64,
+            msgs as f64 / trials as f64,
+        )
+    }
+}
+
+/// Binomial(n, p) sample by direct simulation (n ≤ a few thousand here).
+fn binomial<R: Rng>(rng: &mut R, n: u64, p: f64) -> u64 {
+    if p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    (0..n).filter(|_| rng.gen::<f64>() < p).count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_volunteer_is_exact_but_costs_k() {
+        let inst = OneBitInstance::new(1000);
+        let (fail, msgs) = inst.evaluate(1.0, 1.0, 0, 300, 1);
+        assert_eq!(fail, 0.0);
+        assert!((msgs - 1000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn ones_only_volunteering_is_exact_at_half_k() {
+        // q1 = 1, q0 = 0: coordinator counts ones exactly with ~k/2 msgs.
+        let inst = OneBitInstance::new(1000);
+        let (fail, msgs) = inst.evaluate(0.0, 1.0, 0, 300, 2);
+        assert_eq!(fail, 0.0);
+        assert!(msgs > 400.0 && msgs < 600.0, "msgs {msgs}");
+    }
+
+    #[test]
+    fn cheap_configurations_fail() {
+        // Any configuration with o(k) messages has failure ≳ 0.3.
+        let inst = OneBitInstance::new(10_000);
+        for &(q0, q1, z) in
+            &[(0.0, 0.0, 100u64), (0.01, 0.01, 0), (0.0, 0.02, 50)]
+        {
+            let (fail, msgs) = inst.evaluate(q0, q1, z, 1500, 3);
+            assert!(
+                msgs < 1_500.0,
+                "config ({q0},{q1},{z}) not cheap: {msgs}"
+            );
+            assert!(
+                fail > 0.25,
+                "cheap config ({q0},{q1},{z}) succeeded: fail {fail}, msgs {msgs}"
+            );
+        }
+    }
+
+    #[test]
+    fn linear_message_budget_succeeds() {
+        // Probing a constant fraction of sites reaches the 0.8 target.
+        let inst = OneBitInstance::new(2_000);
+        let (fail, msgs) = inst.evaluate(0.0, 0.0, 1_800, 1500, 4);
+        assert!(fail < 0.2, "fail {fail}");
+        assert!(msgs <= 1_800.0 + 1.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! One-way protocols and Theorem 2.2.
+//!
+//! With one-way communication, a site's decision to speak can depend only
+//! on its local counter, so any protocol is described by a fixed
+//! per-site *threshold schedule* t¹ < t² < … (§2.2.1). The theorem plays
+//! the two cases of the hard distribution µ against each other:
+//!
+//! * under case (a) (one site gets everything), correctness forces
+//!   consecutive thresholds within a (1+ε) factor — a *dense* schedule;
+//! * under case (b) (round-robin), a dense schedule makes every site talk
+//!   `Ω(1/ε·logN)` times — `Ω(k/ε·logN)` total.
+//!
+//! [`OneWayThresholds`] materializes geometric schedules with an
+//! adjustable density factor so the trade-off can be measured: the
+//! worst-case relative error under case (a) vs. the message count under
+//! case (b). No randomization can help (the theorem is for randomized
+//! protocols); the demonstrator shows the deterministic schedule family's
+//! frontier, which by Yao's principle is what any randomized protocol
+//! mixes over.
+
+/// A geometric threshold schedule with growth `factor`, identical at all
+/// `k` sites: thresholds `1, ⌈factor⌉, ⌈factor²⌉, …`.
+#[derive(Debug, Clone, Copy)]
+pub struct OneWayThresholds {
+    /// Number of sites.
+    pub k: u64,
+    /// Growth factor between consecutive thresholds (> 1).
+    pub factor: f64,
+}
+
+impl OneWayThresholds {
+    /// New schedule family.
+    pub fn new(k: u64, factor: f64) -> Self {
+        assert!(k >= 1 && factor > 1.0);
+        Self { k, factor }
+    }
+
+    /// Iterator over the thresholds up to `limit`.
+    pub fn thresholds(&self, limit: u64) -> impl Iterator<Item = u64> + '_ {
+        let factor = self.factor;
+        let mut next = 1.0f64;
+        std::iter::from_fn(move || {
+            let t = next.ceil() as u64;
+            if t > limit {
+                return None;
+            }
+            // Strictly increasing even when ceil(next·f) == ceil(next).
+            next = (next * factor).max(t as f64 + 1.0);
+            Some(t)
+        })
+    }
+
+    /// Worst-case relative error of the coordinator's estimate under case
+    /// (a) of µ (all `n` elements at one site): the largest value of
+    /// `(true − reported)/true` over the whole prefix.
+    pub fn worst_error_single_site(&self, n: u64) -> f64 {
+        let mut worst: f64 = 0.0;
+        let mut last = 0u64;
+        for t in self.thresholds(n) {
+            if last > 0 {
+                // Just before threshold t fires, the estimate is `last`.
+                let truth = (t - 1).max(last) as f64;
+                worst = worst.max((truth - last as f64) / truth);
+            } else if t > 1 {
+                // Everything before the first threshold is estimated as 0.
+                worst = 1.0;
+            }
+            last = t;
+        }
+        // Tail: after the last threshold up to n.
+        if last > 0 && n > last {
+            worst = worst.max((n - last) as f64 / n as f64);
+        } else if last == 0 && n > 0 {
+            worst = 1.0;
+        }
+        worst
+    }
+
+    /// Total messages under case (b) of µ (round-robin, `n/k` elements
+    /// per site): each site fires every threshold ≤ n/k.
+    pub fn messages_round_robin(&self, n: u64) -> u64 {
+        let per_site = self.thresholds(n / self.k) .count() as u64;
+        per_site * self.k
+    }
+
+    /// The smallest factor that keeps the case-(a) error ≤ ε forever
+    /// (ignoring the pre-first-threshold transient): `1/(1−ε)`.
+    pub fn factor_for_epsilon(epsilon: f64) -> f64 {
+        1.0 / (1.0 - epsilon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_are_strictly_increasing_and_geometric() {
+        let s = OneWayThresholds::new(4, 1.5);
+        let ts: Vec<u64> = s.thresholds(100).collect();
+        assert!(ts.windows(2).all(|w| w[1] > w[0]), "{ts:?}");
+        assert_eq!(ts[0], 1);
+        assert!(*ts.last().unwrap() <= 100);
+        // Roughly log_{1.5}(100) ≈ 11–13 thresholds.
+        assert!((10..=16).contains(&ts.len()), "{}", ts.len());
+    }
+
+    #[test]
+    fn dense_schedule_is_accurate_on_single_site() {
+        let eps = 0.1;
+        let s = OneWayThresholds::new(8, OneWayThresholds::factor_for_epsilon(eps));
+        let err = s.worst_error_single_site(1_000_000);
+        assert!(err <= eps + 0.01, "err {err}");
+    }
+
+    #[test]
+    fn sparse_schedule_fails_on_single_site() {
+        let s = OneWayThresholds::new(8, 2.0); // factor 2 ⇒ ~50% error
+        let err = s.worst_error_single_site(1_000_000);
+        assert!(err > 0.4, "err {err}");
+    }
+
+    #[test]
+    fn dense_schedule_pays_k_over_eps_log_n_on_round_robin() {
+        let (k, eps, n) = (64u64, 0.05, 10_000_000u64);
+        let s = OneWayThresholds::new(k, OneWayThresholds::factor_for_epsilon(eps));
+        let msgs = s.messages_round_robin(n) as f64;
+        let predicted = k as f64 * ((n / k) as f64).ln() / eps;
+        assert!(
+            msgs > 0.5 * predicted && msgs < 2.0 * predicted,
+            "msgs {msgs} predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn accuracy_forces_communication() {
+        // The trade-off frontier: any schedule accurate to ε = 0.05 on
+        // case (a) costs ≥ ~k/ε·log(n/k)/2 on case (b); a schedule that is
+        // 10× cheaper on case (b) is ≥ 5× worse on case (a).
+        let (k, n) = (32u64, 1_000_000u64);
+        let dense = OneWayThresholds::new(k, OneWayThresholds::factor_for_epsilon(0.05));
+        let sparse = OneWayThresholds::new(k, OneWayThresholds::factor_for_epsilon(0.5));
+        let (dm, de) = (
+            dense.messages_round_robin(n),
+            dense.worst_error_single_site(n),
+        );
+        let (sm, se) = (
+            sparse.messages_round_robin(n),
+            sparse.worst_error_single_site(n),
+        );
+        assert!(dm > 5 * sm, "dense {dm} sparse {sm}");
+        assert!(se > 5.0 * de, "dense err {de} sparse err {se}");
+    }
+}

@@ -1,0 +1,149 @@
+//! The sampling problem (Appendix A, Claim A.1 — the content of Figure 1).
+//!
+//! `s` is `k/2 + √k` or `k/2 − √k` with equal probability; a uniformly
+//! random subset of `s` sites holds bit 1. The coordinator probes `z`
+//! sites (without replacement) and must output which value `s` took with
+//! probability ≥ 0.7. Claim A.1: `z = Ω(k)` is necessary — the two
+//! induced probe distributions (Figure 1's two near-identical normals,
+//! means `z(p∓α)` with `α ≈ 1/√k`, standard deviations `Θ(√z)`) cannot be
+//! told apart when `z = o(k)`.
+//!
+//! [`SamplingProblem::failure_rate`] measures the error of the *optimal*
+//! decision rule (threshold at the likelihood crossover, which by
+//! symmetry is `z/2` with a fair coin on ties), reproducing Figure 1
+//! numerically.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::hypergeometric;
+
+/// An instance family of the sampling problem over `k` sites.
+#[derive(Debug, Clone, Copy)]
+pub struct SamplingProblem {
+    /// Number of sites (population).
+    pub k: u64,
+}
+
+impl SamplingProblem {
+    /// New instance family; requires `k ≥ 4`.
+    pub fn new(k: u64) -> Self {
+        assert!(k >= 4);
+        Self { k }
+    }
+
+    /// `√k`, rounded.
+    fn sqrt_k(&self) -> u64 {
+        ((self.k as f64).sqrt().round() as u64).max(1)
+    }
+
+    /// The two possible values of `s`.
+    pub fn s_values(&self) -> (u64, u64) {
+        (self.k / 2 - self.sqrt_k(), self.k / 2 + self.sqrt_k())
+    }
+
+    /// Run one trial with `z` probes: draw `s`, probe, decide with the
+    /// optimal symmetric rule. Returns whether the decision was correct.
+    pub fn trial<R: Rng>(&self, z: u64, rng: &mut R) -> bool {
+        let (lo, hi) = self.s_values();
+        let s_high = rng.gen::<bool>();
+        let s = if s_high { hi } else { lo };
+        let x = hypergeometric::sample(rng, self.k, s, z);
+        // Optimal threshold: the likelihood crossover. By symmetry of the
+        // two hypergeometrics around z/2 it is x₀ = z·(1/2); break the
+        // exact tie with a fair coin.
+        let midpoint = z as f64 / 2.0;
+        let guess_high = match (x as f64).partial_cmp(&midpoint).unwrap() {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => rng.gen::<bool>(),
+        };
+        guess_high == s_high
+    }
+
+    /// Empirical failure probability with `z` probes over `trials` runs.
+    pub fn failure_rate(&self, z: u64, trials: u32, seed: u64) -> f64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let failures = (0..trials).filter(|_| !self.trial(z, &mut rng)).count();
+        failures as f64 / trials as f64
+    }
+
+    /// Smallest `z` (by doubling + bisection) whose failure rate is below
+    /// `target` — empirically locates the Ω(k) knee.
+    pub fn probes_needed(&self, target: f64, trials: u32, seed: u64) -> u64 {
+        let mut lo = 1u64;
+        let mut hi = self.k;
+        // Ensure hi suffices (z = k is exact → failure 0).
+        while self.failure_rate(hi, trials, seed) > target && hi < self.k {
+            hi = (hi * 2).min(self.k);
+        }
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            if self.failure_rate(mid, trials, seed ^ mid) > target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_probing_never_fails() {
+        let sp = SamplingProblem::new(1000);
+        assert_eq!(sp.failure_rate(1000, 500, 1), 0.0);
+    }
+
+    #[test]
+    fn few_probes_fail_half_the_time() {
+        // Claim A.1: with z = o(k), failure probability ≥ ~0.49.
+        let sp = SamplingProblem::new(10_000);
+        let f = sp.failure_rate(100, 4000, 2); // z = k/100
+        assert!(f > 0.40, "failure rate {f} too low for z=o(k)");
+    }
+
+    #[test]
+    fn failure_rate_decreases_with_z() {
+        let sp = SamplingProblem::new(2_000);
+        let f_small = sp.failure_rate(50, 3000, 3);
+        let f_large = sp.failure_rate(1_900, 3000, 3);
+        assert!(
+            f_small > f_large + 0.1,
+            "small {f_small} vs large {f_large}"
+        );
+    }
+
+    #[test]
+    fn probes_needed_is_linear_in_k() {
+        // The z required for failure ≤ 0.3 should grow ~linearly with k.
+        // Gaussian approximation: failure ≈ Φ(−2√(z/k)), so failure ≤ 0.3
+        // needs z ≈ 0.07k — a constant *fraction* of k.
+        let z1 = SamplingProblem::new(500).probes_needed(0.3, 4000, 4);
+        let z2 = SamplingProblem::new(2_000).probes_needed(0.3, 4000, 4);
+        assert!(
+            z2 as f64 > 2.0 * z1 as f64,
+            "z(500)={z1}, z(2000)={z2} — not growing linearly"
+        );
+        assert!(
+            (15..=90).contains(&z1),
+            "z1={z1} outside the ~0.07k knee for k=500"
+        );
+        assert!(
+            (60..=350).contains(&z2),
+            "z2={z2} outside the ~0.07k knee for k=2000"
+        );
+    }
+
+    #[test]
+    fn s_values_straddle_half() {
+        let sp = SamplingProblem::new(400);
+        let (lo, hi) = sp.s_values();
+        assert_eq!(lo, 180);
+        assert_eq!(hi, 220);
+    }
+}

@@ -1,0 +1,115 @@
+//! Shared protocol configuration.
+
+/// Parameters common to every tracking protocol: the number of sites `k`
+/// and the approximation parameter ε.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackingConfig {
+    /// Number of sites.
+    pub k: usize,
+    /// Target relative/additive error parameter.
+    pub epsilon: f64,
+}
+
+impl TrackingConfig {
+    /// Validate and construct. The paper assumes `k ≤ 1/ε²` for the stated
+    /// bounds (§1.2); we don't enforce it (protocols remain correct, only
+    /// the `O(k logN)` additive term dominates beyond it).
+    pub fn new(k: usize, epsilon: f64) -> Self {
+        assert!(k >= 1, "need at least one site");
+        assert!(
+            epsilon > 0.0 && epsilon < 1.0,
+            "epsilon must be in (0,1), got {epsilon}"
+        );
+        Self { k, epsilon }
+    }
+
+    /// `√k` as a float.
+    pub fn sqrt_k(&self) -> f64 {
+        (self.k as f64).sqrt()
+    }
+
+    /// The sampling probability the randomized protocols use when the
+    /// coarse estimate of `n` is `n_bar` (§2.1):
+    /// `p = 1` while `n̄ ≤ √k/ε`, else `p = 1/⌊εn̄/√k⌋₂` where `⌊x⌋₂`
+    /// is the largest power of two ≤ `x`. Powers of two make `p` halve
+    /// cleanly across rounds, which the count-tracking adjustment step
+    /// relies on.
+    pub fn p_for(&self, n_bar: u64) -> f64 {
+        let x = self.epsilon * n_bar as f64 / self.sqrt_k();
+        if x < 2.0 {
+            1.0
+        } else {
+            1.0 / floor_pow2(x) as f64
+        }
+    }
+
+    /// Whether the paper's standing assumption `k ≤ 1/ε²` holds.
+    pub fn k_in_regime(&self) -> bool {
+        (self.k as f64) <= 1.0 / (self.epsilon * self.epsilon)
+    }
+}
+
+/// Largest power of two ≤ `x`, for `x ≥ 1`.
+pub fn floor_pow2(x: f64) -> u64 {
+    debug_assert!(x >= 1.0);
+    let mut p = 1u64;
+    while (p as f64) * 2.0 <= x && p < (1 << 62) {
+        p <<= 1;
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floor_pow2_values() {
+        assert_eq!(floor_pow2(1.0), 1);
+        assert_eq!(floor_pow2(1.9), 1);
+        assert_eq!(floor_pow2(2.0), 2);
+        assert_eq!(floor_pow2(3.99), 2);
+        assert_eq!(floor_pow2(4.0), 4);
+        assert_eq!(floor_pow2(1000.0), 512);
+    }
+
+    #[test]
+    fn p_is_one_early() {
+        let c = TrackingConfig::new(16, 0.1);
+        // √k/ε = 40; below ~2√k/ε=80 the floor is < 2 → p = 1.
+        assert_eq!(c.p_for(0), 1.0);
+        assert_eq!(c.p_for(40), 1.0);
+        assert_eq!(c.p_for(79), 1.0);
+    }
+
+    #[test]
+    fn p_decreases_in_powers_of_two() {
+        let c = TrackingConfig::new(16, 0.1);
+        // εn̄/√k = n̄/40.
+        assert_eq!(c.p_for(80), 0.5);
+        assert_eq!(c.p_for(159), 0.5);
+        assert_eq!(c.p_for(160), 0.25);
+        assert_eq!(c.p_for(12800), 1.0 / 256.0);
+    }
+
+    #[test]
+    fn p_scales_as_sqrt_k_over_eps_n() {
+        let c = TrackingConfig::new(64, 0.01);
+        let n = 1_000_000u64;
+        let ideal = c.sqrt_k() / (c.epsilon * n as f64);
+        let p = c.p_for(n);
+        assert!(p >= ideal / 2.0 && p <= 2.0 * ideal, "p={p} ideal={ideal}");
+    }
+
+    #[test]
+    fn regime_check() {
+        assert!(TrackingConfig::new(100, 0.01).k_in_regime()); // 100 ≤ 10⁴
+        assert!(!TrackingConfig::new(1000, 0.1).k_in_regime()); // 1000 > 100
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn rejects_bad_epsilon() {
+        TrackingConfig::new(4, 1.5);
+    }
+}

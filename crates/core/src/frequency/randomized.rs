@@ -1,0 +1,503 @@
+//! Randomized frequency-tracking (§3.1, Theorem 3.1).
+//!
+//! Per site and round, a Manku–Motwani counter list tracks sampled items:
+//! a counter is created with probability `p`, then counts exactly, and
+//! updated values are forwarded to the coordinator with probability `p`.
+//! Independently, every element is side-sampled with probability `p` and
+//! sent. The coordinator's estimator (eq. 4) is
+//!
+//! ```text
+//! f̂'ᵢⱼ = c̄ᵢⱼ − 2 + 2/p   if a counter update for j was received,
+//!        −dᵢⱼ/p           otherwise,
+//! ```
+//!
+//! which is unbiased with variance `O(1/p²)` (Lemma 3.1) — the
+//! `−dᵢⱼ/p` branch is the correction that removes the `Θ(εn/√k)` bias a
+//! naive "0 when absent" estimator would incur. Rounds restart the
+//! structure from scratch with the halved `p`; a site that receives more
+//! than `n̄/k` elements in a round splits itself into a fresh *virtual
+//! site* to cap its space at `O(1/(ε√k))`.
+
+use rand::rngs::SmallRng;
+
+use dtrack_sim::rng::{flip, rng_from_seed, site_seed};
+use dtrack_sim::{Coordinator, Net, Outbox, Protocol, Site, SiteId, Words};
+use dtrack_sketch::hash::FastMap;
+use dtrack_sketch::sticky::{StickyCounters, StickyEvent};
+
+use crate::coarse::{CoarseCoord, CoarseSite};
+use crate::config::TrackingConfig;
+
+/// Site → coordinator messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FreqUp {
+    /// Coarse-tracker doubling report.
+    Coarse(u64),
+    /// A counter for `item` was created (value 1 implied).
+    CounterNew(u64),
+    /// Probabilistic forward of counter `item → value`.
+    CounterUpdate(u64, u64),
+    /// Side-sampled element.
+    Sample(u64),
+    /// The site exceeded `n̄/k` elements this round and restarts as a new
+    /// virtual site.
+    VirtualSplit,
+    /// The site switched to the round announced with coarse estimate
+    /// `n̄`. Because site→coordinator delivery is FIFO, this message
+    /// separates the site's old-round messages from its new-round ones —
+    /// the coordinator closes the site's live segment exactly here (not
+    /// at broadcast time), which keeps the estimator correct even when
+    /// communication is not instant (the channel runtime).
+    RoundAck(u64),
+}
+
+impl Words for FreqUp {
+    fn words(&self) -> u64 {
+        match self {
+            FreqUp::CounterUpdate(_, _) => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// Coordinator → site messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FreqDown {
+    /// Broadcast of a new coarse estimate (starts a new round).
+    NewRound {
+        /// The new coarse estimate of `n`.
+        n_bar: u64,
+    },
+}
+
+impl Words for FreqDown {
+    fn words(&self) -> u64 {
+        1
+    }
+}
+
+/// Protocol factory for randomized frequency-tracking.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomizedFrequency {
+    cfg: TrackingConfig,
+}
+
+impl RandomizedFrequency {
+    /// Create for `k` sites and error parameter ε.
+    pub fn new(cfg: TrackingConfig) -> Self {
+        Self { cfg }
+    }
+}
+
+/// Site state for [`RandomizedFrequency`].
+#[derive(Debug)]
+pub struct RandFreqSite {
+    cfg: TrackingConfig,
+    coarse: CoarseSite,
+    sticky: StickyCounters,
+    p: f64,
+    /// Elements received in the current virtual segment.
+    segment_count: u64,
+    /// Virtual-split threshold `max(1, n̄/k)`.
+    segment_cap: u64,
+    rng: SmallRng,
+}
+
+impl RandFreqSite {
+    fn new(cfg: TrackingConfig, seed: u64) -> Self {
+        Self {
+            cfg,
+            coarse: CoarseSite::new(),
+            sticky: StickyCounters::new(1.0),
+            p: 1.0,
+            segment_count: 0,
+            segment_cap: 1,
+            rng: rng_from_seed(seed),
+        }
+    }
+}
+
+impl Site for RandFreqSite {
+    type Item = u64;
+    type Up = FreqUp;
+    type Down = FreqDown;
+
+    fn on_item(&mut self, item: &u64, out: &mut Outbox<FreqUp>) {
+        // Virtual-site space cap (§3.1): restart before absorbing the
+        // element that would exceed n̄/k.
+        if self.segment_count >= self.segment_cap {
+            out.send(FreqUp::VirtualSplit);
+            self.sticky.clear();
+            self.segment_count = 0;
+        }
+        self.segment_count += 1;
+        match self.sticky.observe(*item, &mut self.rng) {
+            StickyEvent::Created => out.send(FreqUp::CounterNew(*item)),
+            StickyEvent::Incremented(c) => {
+                if flip(&mut self.rng, self.p) {
+                    out.send(FreqUp::CounterUpdate(*item, c));
+                }
+            }
+            StickyEvent::Ignored => {}
+        }
+        // Independent side sample (for the −d/p estimator branch).
+        if flip(&mut self.rng, self.p) {
+            out.send(FreqUp::Sample(*item));
+        }
+        // Coarse report last, so the messages above still belong to the
+        // old round if this element triggers a round switch.
+        if let Some(r) = self.coarse.on_item() {
+            out.send(FreqUp::Coarse(r));
+        }
+    }
+
+    fn on_message(&mut self, msg: &FreqDown, out: &mut Outbox<FreqUp>) {
+        let FreqDown::NewRound { n_bar } = msg;
+        self.p = self.cfg.p_for(*n_bar);
+        self.segment_cap = (n_bar / self.cfg.k as u64).max(1);
+        self.segment_count = 0;
+        self.sticky = StickyCounters::new(self.p);
+        out.send(FreqUp::RoundAck(*n_bar));
+    }
+
+    fn space_words(&self) -> u64 {
+        self.sticky.space_words() + 8
+    }
+}
+
+/// Live state of one virtual site at the coordinator. Carries the
+/// sampling probability its messages were generated under.
+#[derive(Debug)]
+struct LiveSegment {
+    p: f64,
+    /// `j → c̄ᵢⱼ` (last received counter value).
+    counters: FastMap<u64, u64>,
+    /// `j → dᵢⱼ` (side-sample hits).
+    samples: FastMap<u64, u64>,
+}
+
+impl LiveSegment {
+    fn new(p: f64) -> Self {
+        Self {
+            p,
+            counters: FastMap::default(),
+            samples: FastMap::default(),
+        }
+    }
+
+    /// **Ablation arm**: the biased eq. (2) estimator the paper warns
+    /// against ("this estimator is biased and its bias might be as large
+    /// as Θ(εn/√k)") — items with no counter contribute 0 instead of
+    /// −d/p.
+    fn estimate_naive(&self, item: u64) -> f64 {
+        match self.counters.get(&item) {
+            Some(&c_bar) => c_bar as f64 - 2.0 + 2.0 / self.p,
+            None => 0.0,
+        }
+    }
+
+    /// The estimator f̂'ᵢⱼ of eq. (4) for one item.
+    fn estimate(&self, item: u64) -> f64 {
+        match self.counters.get(&item) {
+            Some(&c_bar) => c_bar as f64 - 2.0 + 2.0 / self.p,
+            None => match self.samples.get(&item) {
+                Some(&d) => -(d as f64) / self.p,
+                None => 0.0,
+            },
+        }
+    }
+
+    /// Fold the whole segment into the archives and reset under `new_p`.
+    /// `archive` receives the unbiased eq. (4) contributions;
+    /// `archive_naive` the biased eq. (2) ones (kept for the ablation
+    /// experiment — the cost is one extra map update per counter).
+    fn fold_into(
+        &mut self,
+        archive: &mut FastMap<u64, f64>,
+        archive_naive: &mut FastMap<u64, f64>,
+        new_p: f64,
+    ) {
+        for (&item, &c_bar) in &self.counters {
+            let contribution = c_bar as f64 - 2.0 + 2.0 / self.p;
+            *archive.entry(item).or_insert(0.0) += contribution;
+            *archive_naive.entry(item).or_insert(0.0) += contribution;
+        }
+        for (&item, &d) in &self.samples {
+            if !self.counters.contains_key(&item) {
+                *archive.entry(item).or_insert(0.0) -= d as f64 / self.p;
+            }
+        }
+        self.counters.clear();
+        self.samples.clear();
+        self.p = new_p;
+    }
+}
+
+/// Coordinator state for [`RandomizedFrequency`].
+#[derive(Debug)]
+pub struct RandFreqCoord {
+    cfg: TrackingConfig,
+    coarse: CoarseCoord,
+    p: f64,
+    /// Per real site: the currently live virtual segment.
+    live: Vec<LiveSegment>,
+    /// Closed rounds and closed virtual segments, pre-aggregated.
+    archive: FastMap<u64, f64>,
+    /// Ablation mirror of `archive` under the biased eq. (2) estimator.
+    archive_naive: FastMap<u64, f64>,
+}
+
+impl RandFreqCoord {
+    fn new(cfg: TrackingConfig) -> Self {
+        Self {
+            cfg,
+            coarse: CoarseCoord::new(cfg.k),
+            p: 1.0,
+            live: (0..cfg.k).map(|_| LiveSegment::new(1.0)).collect(),
+            archive: FastMap::default(),
+            archive_naive: FastMap::default(),
+        }
+    }
+
+    /// The tracked estimate of `f_j` (may be slightly negative for rare
+    /// items — the estimator is unbiased, not truncated).
+    pub fn estimate_frequency(&self, item: u64) -> f64 {
+        let archived = self.archive.get(&item).copied().unwrap_or(0.0);
+        let live: f64 = self.live.iter().map(|seg| seg.estimate(item)).sum();
+        archived + live
+    }
+
+    /// **Ablation arm**: the biased eq. (2) estimate of `f_j` (no −d/p
+    /// correction). Exposed only so `exp_ablation` can measure the bias
+    /// the paper predicts; use [`Self::estimate_frequency`] otherwise.
+    pub fn estimate_frequency_naive(&self, item: u64) -> f64 {
+        let archived = self.archive_naive.get(&item).copied().unwrap_or(0.0);
+        let live: f64 = self.live.iter().map(|seg| seg.estimate_naive(item)).sum();
+        archived + live
+    }
+
+    /// Items whose estimate is ≥ `threshold` (candidate heavy hitters).
+    /// Scans the archive plus live counters — items never sampled anywhere
+    /// cannot be heavy (their estimate would be ≤ 0).
+    pub fn heavy_hitters(&self, threshold: f64) -> Vec<(u64, f64)> {
+        let mut candidates: Vec<u64> = self.archive.keys().copied().collect();
+        for seg in &self.live {
+            candidates.extend(seg.counters.keys().copied());
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        let mut out: Vec<(u64, f64)> = candidates
+            .into_iter()
+            .map(|j| (j, self.estimate_frequency(j)))
+            .filter(|&(_, f)| f >= threshold)
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Current sampling probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Current coarse estimate of `n`.
+    pub fn n_bar(&self) -> u64 {
+        self.coarse.n_bar()
+    }
+}
+
+impl Coordinator for RandFreqCoord {
+    type Up = FreqUp;
+    type Down = FreqDown;
+
+    fn on_message(&mut self, from: SiteId, msg: &FreqUp, net: &mut Net<FreqDown>) {
+        match msg {
+            FreqUp::Coarse(ni) => {
+                if let Some(n_bar) = self.coarse.on_report(from, *ni) {
+                    // Announce the round; each site's live segment is
+                    // closed when its RoundAck arrives (FIFO-safe).
+                    self.p = self.cfg.p_for(n_bar);
+                    net.broadcast(FreqDown::NewRound { n_bar });
+                }
+            }
+            FreqUp::RoundAck(n_bar) => {
+                let new_p = self.cfg.p_for(*n_bar);
+                self.live[from].fold_into(
+                    &mut self.archive,
+                    &mut self.archive_naive,
+                    new_p,
+                );
+            }
+            FreqUp::VirtualSplit => {
+                let p = self.live[from].p;
+                self.live[from].fold_into(
+                    &mut self.archive,
+                    &mut self.archive_naive,
+                    p,
+                );
+            }
+            FreqUp::CounterNew(item) => {
+                self.live[from].counters.insert(*item, 1);
+            }
+            FreqUp::CounterUpdate(item, value) => {
+                self.live[from].counters.insert(*item, *value);
+            }
+            FreqUp::Sample(item) => {
+                *self.live[from].samples.entry(*item).or_insert(0) += 1;
+            }
+        }
+    }
+}
+
+impl Protocol for RandomizedFrequency {
+    type Site = RandFreqSite;
+    type Coord = RandFreqCoord;
+
+    fn k(&self) -> usize {
+        self.cfg.k
+    }
+
+    fn build(&self, master_seed: u64) -> (Vec<RandFreqSite>, RandFreqCoord) {
+        let sites = (0..self.cfg.k)
+            .map(|i| RandFreqSite::new(self.cfg, site_seed(master_seed, i, 1)))
+            .collect();
+        (sites, RandFreqCoord::new(self.cfg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtrack_sim::Runner;
+
+    /// Feed a stream where item 7 has frequency `hot_share·n` and the rest
+    /// is spread over many cold items, round-robin across sites.
+    fn run_hot(
+        k: usize,
+        eps: f64,
+        n: u64,
+        hot_share: f64,
+        seed: u64,
+    ) -> Runner<RandomizedFrequency> {
+        let proto = RandomizedFrequency::new(TrackingConfig::new(k, eps));
+        let mut r = Runner::new(&proto, seed);
+        let hot_every = (1.0 / hot_share) as u64;
+        for t in 0..n {
+            let item = if t % hot_every == 0 { 7 } else { 1000 + t };
+            r.feed((t % k as u64) as usize, &item);
+        }
+        r
+    }
+
+    #[test]
+    fn exact_while_p_is_one() {
+        let proto = RandomizedFrequency::new(TrackingConfig::new(4, 0.1));
+        let mut r = Runner::new(&proto, 1);
+        for t in 0..12u64 {
+            r.feed((t % 4) as usize, &(t % 3));
+        }
+        assert_eq!(r.coord().estimate_frequency(0), 4.0);
+        assert_eq!(r.coord().estimate_frequency(1), 4.0);
+        assert_eq!(r.coord().estimate_frequency(2), 4.0);
+        assert_eq!(r.coord().estimate_frequency(99), 0.0);
+    }
+
+    #[test]
+    fn hot_item_estimate_is_unbiased() {
+        let (k, eps, n) = (9, 0.15, 40_000u64);
+        let truth = (n / 10) as f64;
+        let reps = 50;
+        let mean: f64 = (0..reps)
+            .map(|s| run_hot(k, eps, n, 0.1, s).coord().estimate_frequency(7))
+            .sum::<f64>()
+            / reps as f64;
+        // sd ≤ εn = 6000 → SE ≤ 849.
+        assert!((mean - truth).abs() < 3_000.0, "mean {mean} truth {truth}");
+    }
+
+    #[test]
+    fn error_within_epsilon_with_high_probability() {
+        let (k, eps, n) = (16, 0.12, 60_000u64);
+        let truth = (n / 5) as f64;
+        let reps = 40;
+        let hits = (0..reps)
+            .filter(|&s| {
+                let est = run_hot(k, eps, n, 0.2, 500 + s)
+                    .coord()
+                    .estimate_frequency(7);
+                (est - truth).abs() <= eps * n as f64
+            })
+            .count();
+        assert!(hits >= 32, "only {hits}/{reps} within εn");
+    }
+
+    #[test]
+    fn absent_items_estimate_near_zero() {
+        let (k, eps, n) = (16, 0.1, 50_000u64);
+        let reps = 30;
+        for s in 0..reps {
+            let r = run_hot(k, eps, n, 0.1, 900 + s);
+            let est = r.coord().estimate_frequency(424_242);
+            assert!(est.abs() <= eps * n as f64, "absent item est {est}");
+        }
+    }
+
+    #[test]
+    fn space_respects_virtual_site_cap() {
+        // All elements to one site: without virtual splits its counter
+        // list would hold ~p·n = √k/ε entries; with them it stays at
+        // O(1/(ε√k)).
+        let (k, eps, n) = (16, 0.05, 60_000u64);
+        let proto = RandomizedFrequency::new(TrackingConfig::new(k, eps));
+        let mut r = Runner::new(&proto, 3);
+        for t in 0..n {
+            r.feed(2, &(t % 64)); // heavy duplication at one site
+        }
+        let bound = 1.0 / (eps * (k as f64).sqrt()); // = 80 words of counters
+        let peak = r.space().max_peak() as f64;
+        // Counters cost 2 words each plus constants; allow constant slack.
+        assert!(
+            peak < 20.0 * bound + 60.0,
+            "peak {peak}, 1/(ε√k) = {bound}"
+        );
+    }
+
+    #[test]
+    fn communication_scales_below_deterministic() {
+        let (k, eps, n) = (64, 0.2, 150_000u64);
+        let r = run_hot(k, eps, n, 0.1, 11);
+        let words = r.stats().total_words() as f64;
+        let det_like = k as f64 / eps * (n as f64).log2();
+        assert!(
+            words < det_like,
+            "randomized used {words} words ≥ deterministic-like {det_like}"
+        );
+    }
+
+    #[test]
+    fn heavy_hitters_contains_hot_item() {
+        let (k, eps, n) = (9, 0.1, 40_000u64);
+        let r = run_hot(k, eps, n, 0.2, 21);
+        let hh = r.coord().heavy_hitters(0.1 * n as f64);
+        assert!(hh.iter().any(|&(j, _)| j == 7), "hh = {hh:?}");
+    }
+
+    #[test]
+    fn estimates_sum_roughly_to_n() {
+        // Σ_j f̂_j over a small domain should be close to n (each element
+        // contributes to exactly one item's estimator).
+        let (k, eps, n) = (9, 0.1, 30_000u64);
+        let proto = RandomizedFrequency::new(TrackingConfig::new(k, eps));
+        let mut r = Runner::new(&proto, 5);
+        for t in 0..n {
+            r.feed((t % k as u64) as usize, &(t % 10));
+        }
+        let total: f64 = (0..10u64)
+            .map(|j| r.coord().estimate_frequency(j))
+            .sum();
+        assert!(
+            (total - n as f64).abs() < 3.0 * eps * n as f64,
+            "total {total} vs n {n}"
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! # dtrack-core — randomized distributed tracking protocols
+//!
+//! Implementation of Huang, Yi, Zhang, *Randomized Algorithms for Tracking
+//! Distributed Count, Frequencies, and Ranks* (PODS 2012), plus the
+//! deterministic and sampling baselines the paper compares against
+//! (its Table 1).
+//!
+//! | module | algorithm | communication | space / site |
+//! |---|---|---|---|
+//! | [`count::RandomizedCount`] | §2.1, Thm 2.1 | `O(√k/ε·logN)` | `O(1)` |
+//! | [`count::DeterministicCount`] | trivial (1+ε) baseline | `Θ(k/ε·logN)` | `O(1)` |
+//! | [`frequency::RandomizedFrequency`] | §3.1, Thm 3.1 | `O(√k/ε·logN)` | `O(1/(ε√k))` |
+//! | [`frequency::DeterministicFrequency`] | [29]-style baseline | `Θ(k/ε·logN)` | `O(1/ε)` |
+//! | [`rank::RandomizedRank`] | §4, Thm 4.1 | `O(√k/ε·logN·polylog)` | `O(1/(ε√k)·polylog)` |
+//! | [`rank::DeterministicRank`] | [6]-style baseline | `O(k/ε²·logN)` | `O(1/ε·log n)` |
+//! | [`sampling::ContinuousSampling`] | [9] baseline | `O(1/ε²·logN)` | `O(1)` |
+//!
+//! All protocols implement the [`dtrack_sim::Protocol`] trait and run on
+//! either the lock-step [`dtrack_sim::Runner`] (exact accounting) or the
+//! concurrent [`dtrack_sim::runtime::ChannelRuntime`].
+//!
+//! The common machinery lives in [`coarse`] (the constant-factor tracker
+//! of `n` that defines the round structure and the sampling probability
+//! `p = Θ(√k/(εn))`) and [`config`]. [`boost`] turns the per-time-instant
+//! 0.9 success probability into "correct at all times" via independent
+//! copies and medians (§1.2), and [`reduction`] derives frequency answers
+//! from a rank tracker (§1.2).
+
+pub mod boost;
+pub mod coarse;
+pub mod config;
+pub mod count;
+pub mod frequency;
+pub mod rank;
+pub mod reduction;
+pub mod sampling;
+
+pub use config::TrackingConfig;

@@ -1,0 +1,600 @@
+//! Randomized rank-tracking (§4, Theorem 4.1) — "Algorithm C".
+//!
+//! Within a round (coarse estimate `n̄`), each site splits its arrivals
+//! into *chunks* of at most `n̄/k` elements. A chunk's elements form
+//! blocks of size `b = εn̄/√k`; a balanced binary tree is (implicitly)
+//! built over the blocks in arrival order. For every tree node `v` at
+//! level `ℓ`, an instance of Algorithm A (our KLL sketch) with error
+//! parameter `Θ(2^{−ℓ}/√h)` absorbs the node's elements as they arrive;
+//! when the node fills, its summary is shipped to the coordinator and the
+//! instance is freed — so at most one instance per level is ever active.
+//! Independently every element is sampled with probability
+//! `p = Θ(√k/(εn̄))` and shipped.
+//!
+//! The coordinator answers `rank(x)` by decomposing each chunk's received
+//! prefix of `q` blocks canonically (binary representation of `q`, one
+//! full node per set bit), summing the nodes' unbiased estimates, and
+//! covering the partial tail block with the Horvitz–Thompson `c/p`
+//! sample estimate. Per-chunk variance is `O(b²)`, over ≤ 2k chunks per
+//! round `O((εn̄)²)`, geometrically decaying across rounds — total
+//! variance `O((εn)²)` (the constants below are tuned so the *measured*
+//! standard deviation is ≲ εn; the paper itself rescales ε by a constant
+//! to reach its stated 0.9 success probability).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use dtrack_sim::rng::{flip, rng_from_seed, site_seed};
+use dtrack_sim::{Coordinator, Net, Outbox, Protocol, Site, SiteId, Words};
+use dtrack_sketch::hash::FastMap;
+use dtrack_sketch::kll::{KllSketch, KllSummary};
+
+use crate::coarse::{CoarseCoord, CoarseSite};
+use crate::config::TrackingConfig;
+
+/// Sampling-rate safety factor: `p = min(1, C_P·√k/(εn̄))`.
+const C_P: f64 = 8.0;
+/// Sketch-error safety divisor: `e_ℓ = 2^{−ℓ}/(C_E·√h)`.
+const C_E: f64 = 4.0;
+
+/// Site → coordinator messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RankUp {
+    /// Coarse-tracker doubling report.
+    Coarse(u64),
+    /// First element of a new chunk: announces the coarse estimate `n̄`
+    /// the chunk runs under, so the coordinator assigns the right
+    /// sampling probability to the chunk's tail samples even when
+    /// delivery is asynchronous (FIFO per site suffices).
+    ChunkStart {
+        /// Site-local chunk sequence number.
+        chunk: u32,
+        /// Coarse estimate the chunk's round runs under.
+        n_bar: u64,
+    },
+    /// Sampled element of the current chunk.
+    Sample {
+        /// Site-local chunk sequence number.
+        chunk: u32,
+        /// The element.
+        value: u64,
+    },
+    /// Summary of a filled tree node.
+    Summary {
+        /// Site-local chunk sequence number.
+        chunk: u32,
+        /// Tree level (0 = leaf blocks).
+        level: u32,
+        /// The node's Algorithm-A summary.
+        summary: KllSummary,
+    },
+}
+
+impl Words for RankUp {
+    fn words(&self) -> u64 {
+        match self {
+            RankUp::Coarse(_) => 1,
+            RankUp::ChunkStart { .. } => 2,
+            RankUp::Sample { .. } => 2,
+            RankUp::Summary { summary, .. } => 2 + summary.words(),
+        }
+    }
+}
+
+/// Coordinator → site messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankDown {
+    /// Broadcast of a new coarse estimate (starts a new round).
+    NewRound {
+        /// The new coarse estimate of `n`.
+        n_bar: u64,
+    },
+}
+
+impl Words for RankDown {
+    fn words(&self) -> u64 {
+        1
+    }
+}
+
+/// Protocol factory for randomized rank-tracking.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomizedRank {
+    cfg: TrackingConfig,
+}
+
+impl RandomizedRank {
+    /// Create for `k` sites and error parameter ε.
+    pub fn new(cfg: TrackingConfig) -> Self {
+        Self { cfg }
+    }
+}
+
+/// Geometry of a chunk for a given round.
+#[derive(Debug, Clone, Copy)]
+struct ChunkGeometry {
+    /// Elements per chunk, `max(1, n̄/k)`.
+    cap: u64,
+    /// Block size `b = max(1, ⌊εn̄/√k⌋)`.
+    block: u64,
+    /// Highest tree level, `⌊log₂(#blocks)⌋`.
+    max_level: u32,
+}
+
+impl ChunkGeometry {
+    fn for_round(cfg: &TrackingConfig, n_bar: u64) -> Self {
+        let cap = (n_bar / cfg.k as u64).max(1);
+        let block = ((cfg.epsilon * n_bar as f64 / cfg.sqrt_k()) as u64).max(1);
+        let num_blocks = cap.div_ceil(block).max(1);
+        let max_level = 63 - num_blocks.leading_zeros();
+        Self {
+            cap,
+            block,
+            max_level: max_level.min(30),
+        }
+    }
+
+    /// Tree height `h` used in the error parameters (≥ 1).
+    fn h(&self) -> f64 {
+        (self.max_level as f64).max(1.0)
+    }
+
+    /// Error parameter of a level-ℓ node's sketch.
+    fn level_error(&self, level: u32) -> f64 {
+        1.0 / ((1u64 << level) as f64 * C_E * self.h().sqrt())
+    }
+}
+
+/// Site state for [`RandomizedRank`].
+#[derive(Debug)]
+pub struct RandRankSite {
+    cfg: TrackingConfig,
+    coarse: CoarseSite,
+    p: f64,
+    n_bar: u64,
+    geom: ChunkGeometry,
+    chunk_id: u32,
+    chunk_count: u64,
+    /// One active Algorithm-A instance per level, index = level.
+    sketches: Vec<KllSketch>,
+    rng: SmallRng,
+}
+
+impl RandRankSite {
+    fn new(cfg: TrackingConfig, seed: u64) -> Self {
+        let mut s = Self {
+            cfg,
+            coarse: CoarseSite::new(),
+            p: 1.0,
+            n_bar: 0,
+            geom: ChunkGeometry::for_round(&cfg, 0),
+            chunk_id: 0,
+            chunk_count: 0,
+            sketches: Vec::new(),
+            rng: rng_from_seed(seed),
+        };
+        s.rebuild_sketches();
+        s
+    }
+
+    fn rebuild_sketches(&mut self) {
+        self.sketches = (0..=self.geom.max_level)
+            .map(|l| KllSketch::with_error(self.geom.level_error(l), self.rng.gen()))
+            .collect();
+    }
+
+    fn fresh_sketch(&mut self, level: u32) -> KllSketch {
+        KllSketch::with_error(self.geom.level_error(level), self.rng.gen())
+    }
+}
+
+impl Site for RandRankSite {
+    type Item = u64;
+    type Up = RankUp;
+    type Down = RankDown;
+
+    fn on_item(&mut self, item: &u64, out: &mut Outbox<RankUp>) {
+        // Chunk rollover: the previous chunk absorbed its n̄/k elements.
+        if self.chunk_count >= self.geom.cap {
+            self.chunk_id += 1;
+            self.chunk_count = 0;
+            self.rebuild_sketches();
+        }
+        if self.chunk_count == 0 {
+            out.send(RankUp::ChunkStart {
+                chunk: self.chunk_id,
+                n_bar: self.n_bar,
+            });
+        }
+        self.chunk_count += 1;
+        // Every active node on the leaf-to-root path absorbs the element.
+        for sk in &mut self.sketches {
+            sk.insert(*item);
+        }
+        // Side sample (tail estimator). Sent before any node-completion
+        // summary so the coordinator can prune samples covered by blocks.
+        if flip(&mut self.rng, self.p) {
+            out.send(RankUp::Sample {
+                chunk: self.chunk_id,
+                value: *item,
+            });
+        }
+        // Node completions: level ℓ fills every block·2^ℓ elements.
+        for level in 0..=self.geom.max_level {
+            let span = self.geom.block << level;
+            if self.chunk_count.is_multiple_of(span) {
+                let fresh = self.fresh_sketch(level);
+                let full = std::mem::replace(&mut self.sketches[level as usize], fresh);
+                out.send(RankUp::Summary {
+                    chunk: self.chunk_id,
+                    level,
+                    summary: full.summary(),
+                });
+            } else {
+                break; // higher levels fill only when lower ones do
+            }
+        }
+        // Coarse report last: earlier messages belong to the old round if
+        // this element triggers a round switch.
+        if let Some(r) = self.coarse.on_item() {
+            out.send(RankUp::Coarse(r));
+        }
+    }
+
+    fn on_message(&mut self, msg: &RankDown, _out: &mut Outbox<RankUp>) {
+        let RankDown::NewRound { n_bar } = msg;
+        self.n_bar = *n_bar;
+        let x = C_P * self.cfg.sqrt_k() / (self.cfg.epsilon * (*n_bar).max(1) as f64);
+        self.p = x.min(1.0);
+        self.geom = ChunkGeometry::for_round(&self.cfg, *n_bar);
+        self.chunk_id += 1;
+        self.chunk_count = 0;
+        self.rebuild_sketches();
+    }
+
+    fn space_words(&self) -> u64 {
+        self.sketches.iter().map(KllSketch::space_words).sum::<u64>() + 12
+    }
+}
+
+/// Coordinator-side view of one chunk.
+#[derive(Debug, Default)]
+struct ChunkView {
+    /// Sampling probability of the chunk's round.
+    p: f64,
+    /// Received node summaries per level, in completion order.
+    levels: Vec<Vec<KllSummary>>,
+    /// Samples not yet covered by a completed leaf block.
+    tail: Vec<u64>,
+}
+
+impl ChunkView {
+    /// Number of completed leaf blocks `q`.
+    fn leaf_count(&self) -> u64 {
+        self.levels.first().map_or(0, |v| v.len() as u64)
+    }
+
+    /// Unbiased rank estimate for this chunk: canonical decomposition of
+    /// the `q` completed blocks plus the sampled tail.
+    fn estimate_rank(&self, x: u64) -> f64 {
+        let q = self.leaf_count();
+        let mut est = 0.0;
+        let mut consumed = 0u64;
+        if q > 0 {
+            for level in (0..64 - q.leading_zeros() as u64).rev() {
+                if (q >> level) & 1 == 1 {
+                    let idx = (consumed >> level) as usize;
+                    if let Some(summaries) = self.levels.get(level as usize) {
+                        if let Some(s) = summaries.get(idx) {
+                            est += s.estimate_rank(x);
+                        }
+                    }
+                    consumed += 1 << level;
+                }
+            }
+        }
+        if self.p > 0.0 {
+            est += self.tail.iter().filter(|&&v| v < x).count() as f64 / self.p;
+        }
+        est
+    }
+
+    /// Unbiased estimate of the chunk's element count.
+    fn estimate_total(&self) -> f64 {
+        self.estimate_rank(u64::MAX)
+    }
+}
+
+/// Coordinator state for [`RandomizedRank`].
+#[derive(Debug)]
+pub struct RandRankCoord {
+    cfg: TrackingConfig,
+    coarse: CoarseCoord,
+    p: f64,
+    /// `(site, chunk) → view`; chunks are never discarded (they stay
+    /// queryable for the lifetime of the tracking period).
+    chunks: FastMap<(usize, u32), ChunkView>,
+}
+
+impl RandRankCoord {
+    fn new(cfg: TrackingConfig) -> Self {
+        Self {
+            cfg,
+            coarse: CoarseCoord::new(cfg.k),
+            p: 1.0,
+            chunks: FastMap::default(),
+        }
+    }
+
+    fn view(&mut self, site: usize, chunk: u32) -> &mut ChunkView {
+        let p = self.p;
+        self.chunks.entry((site, chunk)).or_insert_with(|| ChunkView {
+            p,
+            levels: Vec::new(),
+            tail: Vec::new(),
+        })
+    }
+
+    /// The tracked estimate of `rank(x)` (unbiased; error `O(εn)`).
+    pub fn estimate_rank(&self, x: u64) -> f64 {
+        self.chunks.values().map(|c| c.estimate_rank(x)).sum()
+    }
+
+    /// Unbiased estimate of the total element count `n`.
+    pub fn estimate_total(&self) -> f64 {
+        self.chunks.values().map(ChunkView::estimate_total).sum()
+    }
+
+    /// ε-approximate φ-quantile over the value domain `[lo, hi)`, by
+    /// binary search on the monotone rank estimator.
+    pub fn quantile(&self, phi: f64, mut lo: u64, mut hi: u64) -> u64 {
+        let target = phi.clamp(0.0, 1.0) * self.estimate_total();
+        while lo + 1 < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.estimate_rank(mid) < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Current coarse estimate of `n`.
+    pub fn n_bar(&self) -> u64 {
+        self.coarse.n_bar()
+    }
+
+    /// Number of chunk views held.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+}
+
+impl Coordinator for RandRankCoord {
+    type Up = RankUp;
+    type Down = RankDown;
+
+    fn on_message(&mut self, from: SiteId, msg: &RankUp, net: &mut Net<RankDown>) {
+        match msg {
+            RankUp::Coarse(ni) => {
+                if let Some(n_bar) = self.coarse.on_report(from, *ni) {
+                    let x =
+                        C_P * self.cfg.sqrt_k() / (self.cfg.epsilon * n_bar.max(1) as f64);
+                    self.p = x.min(1.0);
+                    net.broadcast(RankDown::NewRound { n_bar });
+                }
+            }
+            RankUp::ChunkStart { chunk, n_bar } => {
+                let x = C_P * self.cfg.sqrt_k()
+                    / (self.cfg.epsilon * (*n_bar).max(1) as f64);
+                let p = x.min(1.0);
+                self.chunks
+                    .entry((from, *chunk))
+                    .or_insert_with(|| ChunkView {
+                        p,
+                        levels: Vec::new(),
+                        tail: Vec::new(),
+                    })
+                    .p = p;
+            }
+            RankUp::Sample { chunk, value } => {
+                self.view(from, *chunk).tail.push(*value);
+            }
+            RankUp::Summary {
+                chunk,
+                level,
+                summary,
+            } => {
+                let view = self.view(from, *chunk);
+                while view.levels.len() <= *level as usize {
+                    view.levels.push(Vec::new());
+                }
+                view.levels[*level as usize].push(summary.clone());
+                if *level == 0 {
+                    // Samples received so far are covered by completed
+                    // blocks; only the (empty) tail remains.
+                    view.tail.clear();
+                }
+            }
+        }
+    }
+}
+
+impl Protocol for RandomizedRank {
+    type Site = RandRankSite;
+    type Coord = RandRankCoord;
+
+    fn k(&self) -> usize {
+        self.cfg.k
+    }
+
+    fn build(&self, master_seed: u64) -> (Vec<RandRankSite>, RandRankCoord) {
+        let sites = (0..self.cfg.k)
+            .map(|i| RandRankSite::new(self.cfg, site_seed(master_seed, i, 2)))
+            .collect();
+        (sites, RandRankCoord::new(self.cfg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtrack_sim::Runner;
+    use dtrack_workload::items::DistinctSeq;
+
+    /// Feed `n` distinct elements round-robin; returns runner plus the
+    /// sorted elements for ground truth.
+    fn run(k: usize, eps: f64, n: u64, seed: u64) -> (Runner<RandomizedRank>, Vec<u64>) {
+        let proto = RandomizedRank::new(TrackingConfig::new(k, eps));
+        let mut r = Runner::new(&proto, seed);
+        let seq = DistinctSeq::new(42);
+        let mut all = Vec::with_capacity(n as usize);
+        for t in 0..n {
+            let v = seq.value_at(t);
+            r.feed((t % k as u64) as usize, &v);
+            all.push(v);
+        }
+        all.sort_unstable();
+        (r, all)
+    }
+
+    fn true_rank(sorted: &[u64], x: u64) -> f64 {
+        sorted.partition_point(|&v| v < x) as f64
+    }
+
+    #[test]
+    fn geometry_matches_paper_formulas() {
+        let cfg = TrackingConfig::new(16, 0.01);
+        let g = ChunkGeometry::for_round(&cfg, 1_600_000);
+        assert_eq!(g.cap, 100_000);
+        assert_eq!(g.block, 4_000); // εn̄/√k = 0.01·1.6e6/4
+        // #blocks = 25 → max_level 4.
+        assert_eq!(g.max_level, 4);
+        assert!((g.h() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_for_tiny_streams() {
+        // Early rounds: p=1, block=1 → leaf summaries of single elements,
+        // everything exact.
+        let (r, sorted) = run(4, 0.1, 30, 1);
+        for &x in &[sorted[0], sorted[10], sorted[29], u64::MAX] {
+            let est = r.coord().estimate_rank(x);
+            assert!(
+                (est - true_rank(&sorted, x)).abs() < 1e-6,
+                "x={x} est={est}"
+            );
+        }
+    }
+
+    #[test]
+    fn rank_estimates_are_unbiased() {
+        let (k, eps, n) = (9, 0.2, 30_000u64);
+        let reps = 40;
+        // Query the (sorted) median element across seeds.
+        let mut total = 0.0;
+        let mut truth = 0.0;
+        for s in 0..reps {
+            let (r, sorted) = run(k, eps, n, s);
+            let x = sorted[(n / 2) as usize];
+            truth = true_rank(&sorted, x);
+            total += r.coord().estimate_rank(x);
+        }
+        let mean = total / reps as f64;
+        // sd ≲ εn = 6000 → SE ≲ 950.
+        assert!((mean - truth).abs() < 3_000.0, "mean {mean} truth {truth}");
+    }
+
+    #[test]
+    fn error_within_epsilon_with_good_probability() {
+        let (k, eps, n) = (16, 0.15, 40_000u64);
+        let reps = 30;
+        let mut within_eps = 0;
+        let mut within_2eps = 0;
+        for s in 0..reps {
+            let (r, sorted) = run(k, eps, n, 100 + s);
+            let x = sorted[(n / 3) as usize];
+            let err = (r.coord().estimate_rank(x) - true_rank(&sorted, x)).abs();
+            if err <= eps * n as f64 {
+                within_eps += 1;
+            }
+            if err <= 2.0 * eps * n as f64 {
+                within_2eps += 1;
+            }
+        }
+        assert!(within_2eps >= 27, "within 2εn: {within_2eps}/{reps}");
+        assert!(within_eps >= 18, "within εn: {within_eps}/{reps}");
+    }
+
+    #[test]
+    fn estimate_total_tracks_n() {
+        let (r, _) = run(9, 0.2, 25_000, 7);
+        let est = r.coord().estimate_total();
+        assert!(
+            (est - 25_000.0).abs() < 0.2 * 25_000.0,
+            "total est {est}"
+        );
+    }
+
+    #[test]
+    fn quantile_binary_search() {
+        let (k, eps, n) = (9, 0.1, 30_000u64);
+        let (r, sorted) = run(k, eps, n, 9);
+        let q = r.coord().quantile(0.5, 0, u64::MAX);
+        let rank_of_q = true_rank(&sorted, q);
+        assert!(
+            (rank_of_q - n as f64 / 2.0).abs() <= 3.0 * eps * n as f64,
+            "median candidate has rank {rank_of_q}"
+        );
+    }
+
+    #[test]
+    fn space_is_sublinear_in_chunk() {
+        let (k, eps, n) = (16, 0.05, 100_000u64);
+        let (r, _) = run(k, eps, n, 11);
+        // Space bound: O(√h/(ε√k)·log^1.5) words; chunk cap is n̄/k ≈
+        // thousands of elements — assert we stay far below buffering a
+        // whole chunk.
+        let cap = (r.coord().n_bar() / k as u64).max(1);
+        let peak = r.space().max_peak();
+        assert!(
+            peak < cap,
+            "site space {peak} should be well below chunk size {cap}"
+        );
+    }
+
+    #[test]
+    fn monotone_rank_estimates() {
+        let (r, sorted) = run(4, 0.1, 20_000, 13);
+        let mut prev = -1.0;
+        for i in (0..sorted.len()).step_by(997) {
+            let est = r.coord().estimate_rank(sorted[i]);
+            assert!(est >= prev, "dip at {i}: {est} < {prev}");
+            prev = est;
+        }
+    }
+
+    #[test]
+    fn single_site_stream_still_accurate() {
+        let (k, eps, n) = (9, 0.2, 30_000u64);
+        let proto = RandomizedRank::new(TrackingConfig::new(k, eps));
+        let reps = 20;
+        let mut ok = 0;
+        for seed in 0..reps {
+            let mut r = Runner::new(&proto, seed);
+            let seq = DistinctSeq::new(5);
+            let mut all: Vec<u64> = (0..n).map(|t| seq.value_at(t)).collect();
+            for v in &all {
+                r.feed(0, v);
+            }
+            all.sort_unstable();
+            let x = all[(n / 2) as usize];
+            let err = (r.coord().estimate_rank(x) - true_rank(&all, x)).abs();
+            if err <= 2.0 * eps * n as f64 {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 17, "ok {ok}/{reps}");
+    }
+}

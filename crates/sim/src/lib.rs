@@ -1,0 +1,42 @@
+//! # dtrack-sim — the continuous distributed tracking model
+//!
+//! This crate implements the model of computation from Huang, Yi, Zhang,
+//! *Randomized Algorithms for Tracking Distributed Count, Frequencies, and
+//! Ranks* (PODS 2012), §1.1:
+//!
+//! * `k` **sites** each receive a stream of elements over time, possibly at
+//!   varying rates;
+//! * a **coordinator** maintains an approximation of a function of the union
+//!   of the streams *continuously at all times*;
+//! * the coordinator has a direct two-way channel to each site; sites do not
+//!   talk to each other; a **broadcast costs `k` messages**;
+//! * communication is **instant**: no element arrives until all parties have
+//!   decided not to send more messages;
+//! * complexity is measured in **messages** and **words**, where a word holds
+//!   any integer `< N` or one stream element.
+//!
+//! The crate provides:
+//!
+//! * [`Site`] / [`Coordinator`] / [`Protocol`] traits describing a tracking
+//!   protocol,
+//! * [`Runner`], a deterministic lock-step executor that enforces the
+//!   instant-communication semantics and does exact accounting
+//!   ([`CommStats`]),
+//! * [`runtime::ChannelRuntime`], a genuinely concurrent executor built on
+//!   crossbeam channels (one OS thread per site) used for robustness tests,
+//! * seeded PRNG utilities ([`rng`]) including the geometric skip sampler
+//!   used to make "report with probability `p`" protocols O(1) amortized.
+
+pub mod message;
+pub mod net;
+pub mod protocol;
+pub mod rng;
+pub mod runner;
+pub mod runtime;
+pub mod stats;
+
+pub use message::Words;
+pub use net::{Dest, Net, Outbox};
+pub use protocol::{Coordinator, Protocol, Site, SiteId};
+pub use runner::Runner;
+pub use stats::CommStats;

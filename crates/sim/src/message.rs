@@ -1,0 +1,110 @@
+//! Word-size accounting for protocol messages.
+//!
+//! The paper (§1.1) measures communication in *words*: "we assume that any
+//! integer less than N, as well as an element from the stream, can fit in
+//! one word". Every message type a protocol exchanges implements [`Words`]
+//! so the runtimes can charge the exact cost.
+
+/// Size of a message payload in machine words, per the paper's cost model.
+///
+/// Implementations should count one word per integer / element carried.
+/// A message with no payload (a pure signal) still costs one word — the
+/// lower bounds in the paper count *messages*, so nothing is free.
+pub trait Words {
+    /// Number of words this value occupies on the wire. Must be ≥ 1 for a
+    /// message (signals cost one word).
+    fn words(&self) -> u64;
+}
+
+impl Words for u64 {
+    fn words(&self) -> u64 {
+        1
+    }
+}
+
+impl Words for u32 {
+    fn words(&self) -> u64 {
+        1
+    }
+}
+
+impl Words for usize {
+    fn words(&self) -> u64 {
+        1
+    }
+}
+
+impl Words for i64 {
+    fn words(&self) -> u64 {
+        1
+    }
+}
+
+impl Words for f64 {
+    fn words(&self) -> u64 {
+        1
+    }
+}
+
+impl Words for () {
+    fn words(&self) -> u64 {
+        1
+    }
+}
+
+impl<A: Words, B: Words> Words for (A, B) {
+    fn words(&self) -> u64 {
+        self.0.words() + self.1.words()
+    }
+}
+
+impl<T: Words> Words for Vec<T> {
+    fn words(&self) -> u64 {
+        // A length word plus the payload; an empty vector is still a signal.
+        1 + self.iter().map(Words::words).sum::<u64>()
+    }
+}
+
+impl<T: Words> Words for Option<T> {
+    fn words(&self) -> u64 {
+        match self {
+            Some(v) => v.words(),
+            None => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_words_are_one() {
+        assert_eq!(7u64.words(), 1);
+        assert_eq!(7u32.words(), 1);
+        assert_eq!(7usize.words(), 1);
+        assert_eq!((-7i64).words(), 1);
+        assert_eq!(1.5f64.words(), 1);
+        assert_eq!(().words(), 1);
+    }
+
+    #[test]
+    fn pair_words_add() {
+        assert_eq!((1u64, 2u64).words(), 2);
+        assert_eq!(((1u64, 2u64), 3u64).words(), 3);
+    }
+
+    #[test]
+    fn vec_words_include_length() {
+        let v: Vec<u64> = vec![];
+        assert_eq!(v.words(), 1);
+        let v = vec![1u64, 2, 3];
+        assert_eq!(v.words(), 4);
+    }
+
+    #[test]
+    fn option_words() {
+        assert_eq!(Some(3u64).words(), 1);
+        assert_eq!(None::<u64>.words(), 1);
+    }
+}

@@ -1,0 +1,73 @@
+//! Traits describing a continuous distributed tracking protocol.
+
+use crate::message::Words;
+use crate::net::{Net, Outbox};
+
+/// Identifier of a site, `0..k`.
+pub type SiteId = usize;
+
+/// Site-side state machine of a tracking protocol.
+///
+/// A site reacts to two kinds of events: a stream element arriving
+/// ([`Site::on_item`]) and a message from the coordinator
+/// ([`Site::on_message`]). Per the model, a site may only send messages in
+/// direct reaction to one of these events — there is no spontaneous
+/// communication and no clock (paper §2.2).
+pub trait Site {
+    /// Stream element type.
+    type Item;
+    /// Site → coordinator message type.
+    type Up: Words;
+    /// Coordinator → site message type.
+    type Down: Words + Clone;
+
+    /// Process one arriving stream element, possibly emitting messages.
+    fn on_item(&mut self, item: &Self::Item, out: &mut Outbox<Self::Up>);
+
+    /// Process one message from the coordinator, possibly replying.
+    fn on_message(&mut self, msg: &Self::Down, out: &mut Outbox<Self::Up>);
+
+    /// Current resident state in words — the quantity the paper's space
+    /// bounds refer to. Implementations report the dominant data structure
+    /// sizes; O(1) bookkeeping fields may be summarized as a small constant.
+    fn space_words(&self) -> u64;
+}
+
+/// Coordinator-side state machine of a tracking protocol.
+///
+/// The coordinator reacts to upstream messages and may unicast or broadcast
+/// replies. Queries against the tracked function are protocol-specific
+/// methods on the concrete coordinator type (e.g. `estimate()`), not part
+/// of this trait, since answering a query is local and free in the model.
+pub trait Coordinator {
+    /// Site → coordinator message type.
+    type Up: Words;
+    /// Coordinator → site message type.
+    type Down: Words + Clone;
+
+    /// Process one upstream message, possibly sending replies.
+    fn on_message(&mut self, from: SiteId, msg: &Self::Up, net: &mut Net<Self::Down>);
+}
+
+/// Factory describing a complete protocol instance over `k` sites.
+///
+/// Building is separated from running so that experiment harnesses can
+/// construct many independent copies (for variance measurement and median
+/// boosting) with controlled seeds.
+pub trait Protocol {
+    /// Site state machine type.
+    type Site: Site;
+    /// Coordinator state machine type, message-compatible with the sites.
+    type Coord: Coordinator<
+        Up = <Self::Site as Site>::Up,
+        Down = <Self::Site as Site>::Down,
+    >;
+
+    /// Number of sites `k`.
+    fn k(&self) -> usize;
+
+    /// Construct the `k` sites and the coordinator. `master_seed` fully
+    /// determines all protocol randomness (each site derives an
+    /// independent stream from it — see [`crate::rng::site_seed`]).
+    fn build(&self, master_seed: u64) -> (Vec<Self::Site>, Self::Coord);
+}

@@ -1,0 +1,283 @@
+//! Deterministic lock-step executor with exact accounting.
+//!
+//! [`Runner`] enforces the paper's instant-communication semantics: after an
+//! element arrives at a site, all induced messages — up to the coordinator,
+//! down to sites, and any replies those trigger — are delivered to
+//! quiescence before the next element is admitted.
+
+use crate::message::Words;
+use crate::net::{Dest, Net, Outbox};
+use crate::protocol::{Coordinator, Protocol, Site, SiteId};
+use crate::stats::{CommStats, SpaceStats};
+
+/// Lock-step executor for a tracking protocol.
+pub struct Runner<P: Protocol> {
+    sites: Vec<P::Site>,
+    coord: P::Coord,
+    stats: CommStats,
+    space: SpaceStats,
+    /// Scratch buffers reused across events to avoid per-element allocation.
+    outbox: Outbox<<P::Site as Site>::Up>,
+    net: Net<<P::Site as Site>::Down>,
+    /// Safety valve against protocols that ping-pong forever.
+    max_rounds_per_event: u32,
+}
+
+impl<P: Protocol> Runner<P> {
+    /// Build a protocol instance and wrap it in a runner. All randomness
+    /// derives from `master_seed`.
+    pub fn new(protocol: &P, master_seed: u64) -> Self {
+        let (sites, coord) = protocol.build(master_seed);
+        let k = sites.len();
+        assert_eq!(k, protocol.k(), "protocol built wrong number of sites");
+        Self {
+            sites,
+            coord,
+            stats: CommStats::default(),
+            space: SpaceStats::new(k),
+            outbox: Outbox::new(),
+            net: Net::new(),
+            max_rounds_per_event: 64,
+        }
+    }
+
+    /// Number of sites.
+    pub fn k(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Communication statistics so far.
+    pub fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+
+    /// Peak per-site space so far.
+    pub fn space(&self) -> &SpaceStats {
+        &self.space
+    }
+
+    /// The coordinator, for protocol-specific queries.
+    pub fn coord(&self) -> &P::Coord {
+        &self.coord
+    }
+
+    /// A site, for white-box tests.
+    pub fn site(&self, id: SiteId) -> &P::Site {
+        &self.sites[id]
+    }
+
+    /// Deliver one element to `site` and drain all induced communication.
+    pub fn feed(&mut self, site: SiteId, item: &<P::Site as Site>::Item) {
+        debug_assert!(site < self.sites.len());
+        self.stats.elements += 1;
+        self.sites[site].on_item(item, &mut self.outbox);
+        self.space.observe(site, self.sites[site].space_words());
+        self.drain_from(site);
+    }
+
+    /// Deliver a stream of `(site, item)` pairs.
+    pub fn feed_stream<'a, I>(&mut self, stream: I)
+    where
+        I: IntoIterator<Item = (SiteId, &'a <P::Site as Site>::Item)>,
+        <P::Site as Site>::Item: 'a,
+    {
+        for (site, item) in stream {
+            self.feed(site, item);
+        }
+    }
+
+    /// Deliver owned `(site, item)` pairs.
+    pub fn feed_stream_owned<I>(&mut self, stream: I)
+    where
+        I: IntoIterator<Item = (SiteId, <P::Site as Site>::Item)>,
+    {
+        for (site, item) in stream {
+            self.feed(site, &item);
+        }
+    }
+
+    /// Drain messages starting from `origin`'s outbox until the system is
+    /// quiescent. Rounds alternate: ups → coordinator → downs → sites → ups…
+    fn drain_from(&mut self, origin: SiteId) {
+        // (site, up-message) queue for the current round.
+        let mut ups: Vec<(SiteId, <P::Site as Site>::Up)> =
+            self.outbox.drain().map(|m| (origin, m)).collect();
+        let mut rounds = 0;
+        while !ups.is_empty() {
+            rounds += 1;
+            assert!(
+                rounds <= self.max_rounds_per_event,
+                "protocol failed to quiesce within {} rounds",
+                self.max_rounds_per_event
+            );
+            // Deliver ups to the coordinator.
+            for (from, up) in ups.drain(..) {
+                self.stats.up_msgs += 1;
+                self.stats.up_words += up.words();
+                self.coord.on_message(from, &up, &mut self.net);
+            }
+            // Deliver downs (unicast/broadcast) to the sites, gathering
+            // any replies for the next round.
+            let downs: Vec<(Dest, <P::Site as Site>::Down)> =
+                self.net.drain().collect();
+            for (dest, down) in downs {
+                match dest {
+                    Dest::Site(to) => {
+                        self.stats.down_msgs += 1;
+                        self.stats.down_words += down.words();
+                        self.sites[to].on_message(&down, &mut self.outbox);
+                        self.space.observe(to, self.sites[to].space_words());
+                        ups.extend(self.outbox.drain().map(|m| (to, m)));
+                    }
+                    Dest::Broadcast => {
+                        self.stats.broadcast_events += 1;
+                        let k = self.sites.len() as u64;
+                        self.stats.down_msgs += k;
+                        self.stats.down_words += k * down.words();
+                        for to in 0..self.sites.len() {
+                            self.sites[to].on_message(&down, &mut self.outbox);
+                            self.space
+                                .observe(to, self.sites[to].space_words());
+                            ups.extend(self.outbox.drain().map(|m| (to, m)));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{Coordinator, Protocol, Site};
+
+    /// Toy protocol: every c-th element triggers an up; every u-th up
+    /// triggers a broadcast; sites ack the first broadcast they see.
+    struct ToySite {
+        count: u64,
+        every: u64,
+        acked: bool,
+    }
+    impl Site for ToySite {
+        type Item = u64;
+        type Up = u64;
+        type Down = u64;
+        fn on_item(&mut self, _item: &u64, out: &mut Outbox<u64>) {
+            self.count += 1;
+            if self.count % self.every == 0 {
+                out.send(self.count);
+            }
+        }
+        fn on_message(&mut self, _msg: &u64, out: &mut Outbox<u64>) {
+            if !self.acked {
+                self.acked = true;
+                out.send(u64::MAX);
+            }
+        }
+        fn space_words(&self) -> u64 {
+            3
+        }
+    }
+    struct ToyCoord {
+        ups: u64,
+        per_broadcast: u64,
+    }
+    impl Coordinator for ToyCoord {
+        type Up = u64;
+        type Down = u64;
+        fn on_message(&mut self, _from: SiteId, msg: &u64, net: &mut Net<u64>) {
+            if *msg == u64::MAX {
+                return; // ack; do not re-broadcast
+            }
+            self.ups += 1;
+            if self.ups % self.per_broadcast == 0 {
+                net.broadcast(self.ups);
+            }
+        }
+    }
+    struct Toy {
+        k: usize,
+    }
+    impl Protocol for Toy {
+        type Site = ToySite;
+        type Coord = ToyCoord;
+        fn k(&self) -> usize {
+            self.k
+        }
+        fn build(&self, _seed: u64) -> (Vec<ToySite>, ToyCoord) {
+            (
+                (0..self.k)
+                    .map(|_| ToySite {
+                        count: 0,
+                        every: 2,
+                        acked: false,
+                    })
+                    .collect(),
+                ToyCoord {
+                    ups: 0,
+                    per_broadcast: 3,
+                },
+            )
+        }
+    }
+
+    #[test]
+    fn accounting_counts_ups_downs_and_broadcasts() {
+        let p = Toy { k: 4 };
+        let mut r = Runner::new(&p, 0);
+        // 12 elements round-robin: each site gets 3, so sites 0..3 send at
+        // their 2nd element → 4 ups total; the 3rd up triggers a broadcast.
+        for i in 0..12u64 {
+            r.feed((i % 4) as usize, &i);
+        }
+        assert_eq!(r.stats().elements, 12);
+        // ups: 4 threshold ups + 4 acks from the broadcast round.
+        assert_eq!(r.stats().up_msgs, 8);
+        assert_eq!(r.stats().broadcast_events, 1);
+        assert_eq!(r.stats().down_msgs, 4); // one broadcast × k
+        assert_eq!(r.stats().down_words, 4);
+        assert_eq!(r.space().max_peak(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "quiesce")]
+    fn runaway_protocols_are_detected() {
+        struct LoopSite;
+        impl Site for LoopSite {
+            type Item = u64;
+            type Up = u64;
+            type Down = u64;
+            fn on_item(&mut self, _: &u64, out: &mut Outbox<u64>) {
+                out.send(0);
+            }
+            fn on_message(&mut self, _: &u64, out: &mut Outbox<u64>) {
+                out.send(0); // always replies → infinite ping-pong
+            }
+            fn space_words(&self) -> u64 {
+                1
+            }
+        }
+        struct LoopCoord;
+        impl Coordinator for LoopCoord {
+            type Up = u64;
+            type Down = u64;
+            fn on_message(&mut self, from: SiteId, _: &u64, net: &mut Net<u64>) {
+                net.send(from, 0);
+            }
+        }
+        struct Looping;
+        impl Protocol for Looping {
+            type Site = LoopSite;
+            type Coord = LoopCoord;
+            fn k(&self) -> usize {
+                1
+            }
+            fn build(&self, _: u64) -> (Vec<LoopSite>, LoopCoord) {
+                (vec![LoopSite], LoopCoord)
+            }
+        }
+        let mut r = Runner::new(&Looping, 0);
+        r.feed(0, &1);
+    }
+}

@@ -1,0 +1,434 @@
+//! Concurrent channel-based runtime.
+//!
+//! One OS thread per site plus one coordinator thread, wired with
+//! crossbeam channels. Unlike [`crate::Runner`], communication here is
+//! *not* instant — messages are genuinely in flight while new elements
+//! arrive — so this runtime is used to test that the protocols degrade
+//! gracefully off the paper's idealized model. [`ChannelRuntime::quiesce`]
+//! restores a consistent cut for querying.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam_channel::{bounded, unbounded, Sender};
+
+use crate::message::Words;
+use crate::net::{Dest, Net, Outbox};
+use crate::protocol::{Coordinator, Protocol, Site, SiteId};
+use crate::stats::CommStats;
+
+/// Lock-free mirror of [`CommStats`] shared by all threads.
+#[derive(Default)]
+struct AtomicStats {
+    up_msgs: AtomicU64,
+    up_words: AtomicU64,
+    down_msgs: AtomicU64,
+    down_words: AtomicU64,
+    broadcast_events: AtomicU64,
+    elements: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> CommStats {
+        CommStats {
+            up_msgs: self.up_msgs.load(Ordering::SeqCst),
+            up_words: self.up_words.load(Ordering::SeqCst),
+            down_msgs: self.down_msgs.load(Ordering::SeqCst),
+            down_words: self.down_words.load(Ordering::SeqCst),
+            broadcast_events: self.broadcast_events.load(Ordering::SeqCst),
+            elements: self.elements.load(Ordering::SeqCst),
+        }
+    }
+}
+
+enum SiteMsg<I, D> {
+    Item(I),
+    Down(D),
+    Flush(Sender<()>),
+    Stop,
+}
+
+type SiteSender<P> = Sender<
+    SiteMsg<<<P as Protocol>::Site as Site>::Item, <<P as Protocol>::Site as Site>::Down>,
+>;
+
+enum CoordMsg<U, C> {
+    Up(SiteId, U),
+    Flush(Sender<()>),
+    Query(Box<dyn FnOnce(&C) + Send>),
+    Stop,
+}
+
+type CoordSender<P> =
+    Sender<CoordMsg<<<P as Protocol>::Site as Site>::Up, <P as Protocol>::Coord>>;
+
+/// Concurrent executor: `k` site threads and one coordinator thread.
+pub struct ChannelRuntime<P: Protocol>
+where
+    P::Site: Send + 'static,
+    P::Coord: Send + 'static,
+    <P::Site as Site>::Item: Send + 'static,
+    <P::Site as Site>::Up: Send + 'static,
+    <P::Site as Site>::Down: Send + 'static,
+{
+    site_txs: Vec<SiteSender<P>>,
+    coord_tx: CoordSender<P>,
+    handles: Vec<JoinHandle<()>>,
+    stats: Arc<AtomicStats>,
+    /// Messages sent but not yet processed (both directions).
+    in_flight: Arc<AtomicI64>,
+}
+
+impl<P: Protocol> ChannelRuntime<P>
+where
+    P::Site: Send + 'static,
+    P::Coord: Send + 'static,
+    <P::Site as Site>::Item: Send + 'static,
+    <P::Site as Site>::Up: Send + 'static,
+    <P::Site as Site>::Down: Send + 'static,
+{
+    /// Build the protocol and spawn its threads.
+    pub fn new(protocol: &P, master_seed: u64) -> Self {
+        let (sites, coord) = protocol.build(master_seed);
+        let k = sites.len();
+        let stats = Arc::new(AtomicStats::default());
+        let in_flight = Arc::new(AtomicI64::new(0));
+
+        let (coord_tx, coord_rx) =
+            unbounded::<CoordMsg<<P::Site as Site>::Up, P::Coord>>();
+        let mut site_txs = Vec::with_capacity(k);
+        let mut site_rxs = Vec::with_capacity(k);
+        for _ in 0..k {
+            let (tx, rx) = unbounded();
+            site_txs.push(tx);
+            site_rxs.push(rx);
+        }
+
+        let mut handles = Vec::with_capacity(k + 1);
+
+        // Site threads.
+        for (id, (mut site, rx)) in
+            sites.into_iter().zip(site_rxs).enumerate()
+        {
+            let coord_tx = coord_tx.clone();
+            let stats = Arc::clone(&stats);
+            let in_flight = Arc::clone(&in_flight);
+            handles.push(std::thread::spawn(move || {
+                let mut out = Outbox::new();
+                for msg in rx.iter() {
+                    match msg {
+                        SiteMsg::Item(item) => {
+                            site.on_item(&item, &mut out);
+                        }
+                        SiteMsg::Down(d) => {
+                            in_flight.fetch_sub(1, Ordering::SeqCst);
+                            site.on_message(&d, &mut out);
+                        }
+                        SiteMsg::Flush(ack) => {
+                            let _ = ack.send(());
+                            continue;
+                        }
+                        SiteMsg::Stop => break,
+                    }
+                    for up in out.drain() {
+                        stats.up_msgs.fetch_add(1, Ordering::SeqCst);
+                        stats.up_words.fetch_add(up.words(), Ordering::SeqCst);
+                        in_flight.fetch_add(1, Ordering::SeqCst);
+                        let _ = coord_tx.send(CoordMsg::Up(id, up));
+                    }
+                }
+            }));
+        }
+
+        // Coordinator thread.
+        {
+            let site_txs = site_txs.clone();
+            let stats = Arc::clone(&stats);
+            let in_flight = Arc::clone(&in_flight);
+            let mut coord = coord;
+            handles.push(std::thread::spawn(move || {
+                let mut net = Net::new();
+                for msg in coord_rx.iter() {
+                    match msg {
+                        CoordMsg::Up(from, up) => {
+                            in_flight.fetch_sub(1, Ordering::SeqCst);
+                            coord.on_message(from, &up, &mut net);
+                        }
+                        CoordMsg::Flush(ack) => {
+                            let _ = ack.send(());
+                            continue;
+                        }
+                        CoordMsg::Query(f) => {
+                            f(&coord);
+                            continue;
+                        }
+                        CoordMsg::Stop => break,
+                    }
+                    let downs: Vec<(Dest, <P::Site as Site>::Down)> =
+                        net.drain().collect();
+                    for (dest, d) in downs {
+                        match dest {
+                            Dest::Site(to) => {
+                                stats.down_msgs.fetch_add(1, Ordering::SeqCst);
+                                stats
+                                    .down_words
+                                    .fetch_add(d.words(), Ordering::SeqCst);
+                                in_flight.fetch_add(1, Ordering::SeqCst);
+                                let _ = site_txs[to].send(SiteMsg::Down(d));
+                            }
+                            Dest::Broadcast => {
+                                stats
+                                    .broadcast_events
+                                    .fetch_add(1, Ordering::SeqCst);
+                                let kk = site_txs.len() as u64;
+                                stats.down_msgs.fetch_add(kk, Ordering::SeqCst);
+                                stats
+                                    .down_words
+                                    .fetch_add(kk * d.words(), Ordering::SeqCst);
+                                in_flight
+                                    .fetch_add(site_txs.len() as i64, Ordering::SeqCst);
+                                for tx in &site_txs {
+                                    let _ = tx.send(SiteMsg::Down(d.clone()));
+                                }
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+
+        Self {
+            site_txs,
+            coord_tx,
+            handles,
+            stats,
+            in_flight,
+        }
+    }
+
+    /// Number of sites.
+    pub fn k(&self) -> usize {
+        self.site_txs.len()
+    }
+
+    /// Asynchronously deliver an element to a site.
+    pub fn feed(&self, site: SiteId, item: <P::Site as Site>::Item) {
+        self.stats.elements.fetch_add(1, Ordering::SeqCst);
+        let _ = self.site_txs[site].send(SiteMsg::Item(item));
+    }
+
+    /// Snapshot of communication statistics.
+    pub fn stats(&self) -> CommStats {
+        self.stats.snapshot()
+    }
+
+    /// Block until all queued elements and all in-flight messages have been
+    /// fully processed — i.e. until the system reaches the state the
+    /// lock-step model would be in. Returns the number of flush sweeps.
+    pub fn quiesce(&self) -> u32 {
+        let mut sweeps = 0;
+        loop {
+            sweeps += 1;
+            // Flush sites so queued items/downs are processed and their ups
+            // are on the wire (counted in `in_flight`).
+            let (ack_tx, ack_rx) = bounded(self.site_txs.len());
+            for tx in &self.site_txs {
+                let _ = tx.send(SiteMsg::Flush(ack_tx.clone()));
+            }
+            for _ in &self.site_txs {
+                let _ = ack_rx.recv();
+            }
+            // Flush the coordinator so those ups are processed and downs sent.
+            let (cack_tx, cack_rx) = bounded(1);
+            let _ = self.coord_tx.send(CoordMsg::Flush(cack_tx));
+            let _ = cack_rx.recv();
+            if self.in_flight.load(Ordering::SeqCst) == 0 {
+                // One confirming site flush: nothing new may appear because
+                // no items are being fed during quiesce (caller contract).
+                return sweeps;
+            }
+            assert!(sweeps < 10_000, "channel runtime failed to quiesce");
+        }
+    }
+
+    /// Run a query closure against the coordinator state and return its
+    /// result. Call [`ChannelRuntime::quiesce`] first for a consistent cut.
+    pub fn with_coord<R, F>(&self, f: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce(&P::Coord) -> R + Send + 'static,
+    {
+        let (tx, rx) = bounded(1);
+        let _ = self.coord_tx.send(CoordMsg::Query(Box::new(move |c| {
+            let _ = tx.send(f(c));
+        })));
+        rx.recv().expect("coordinator thread terminated")
+    }
+
+    /// Stop all threads and join them, returning final statistics.
+    pub fn shutdown(mut self) -> CommStats {
+        self.do_shutdown();
+        self.stats.snapshot()
+    }
+
+    fn do_shutdown(&mut self) {
+        for tx in &self.site_txs {
+            let _ = tx.send(SiteMsg::Stop);
+        }
+        let _ = self.coord_tx.send(CoordMsg::Stop);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<P: Protocol> Drop for ChannelRuntime<P>
+where
+    P::Site: Send + 'static,
+    P::Coord: Send + 'static,
+    <P::Site as Site>::Item: Send + 'static,
+    <P::Site as Site>::Up: Send + 'static,
+    <P::Site as Site>::Down: Send + 'static,
+{
+    fn drop(&mut self) {
+        if !self.handles.is_empty() {
+            self.do_shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echo protocol: site forwards every item's value; coordinator sums.
+    struct EchoSite;
+    impl Site for EchoSite {
+        type Item = u64;
+        type Up = u64;
+        type Down = u64;
+        fn on_item(&mut self, item: &u64, out: &mut Outbox<u64>) {
+            out.send(*item);
+        }
+        fn on_message(&mut self, _: &u64, _: &mut Outbox<u64>) {}
+        fn space_words(&self) -> u64 {
+            1
+        }
+    }
+    struct SumCoord {
+        sum: u64,
+    }
+    impl Coordinator for SumCoord {
+        type Up = u64;
+        type Down = u64;
+        fn on_message(&mut self, _from: SiteId, msg: &u64, _net: &mut Net<u64>) {
+            self.sum += msg;
+        }
+    }
+    struct Echo {
+        k: usize,
+    }
+    impl Protocol for Echo {
+        type Site = EchoSite;
+        type Coord = SumCoord;
+        fn k(&self) -> usize {
+            self.k
+        }
+        fn build(&self, _: u64) -> (Vec<EchoSite>, SumCoord) {
+            ((0..self.k).map(|_| EchoSite).collect(), SumCoord { sum: 0 })
+        }
+    }
+
+    #[test]
+    fn concurrent_sum_is_exact_after_quiesce() {
+        let rt = ChannelRuntime::new(&Echo { k: 8 }, 0);
+        let mut expect = 0u64;
+        for i in 0..10_000u64 {
+            rt.feed((i % 8) as usize, i);
+            expect += i;
+        }
+        rt.quiesce();
+        let sum = rt.with_coord(|c| c.sum);
+        assert_eq!(sum, expect);
+        let stats = rt.shutdown();
+        assert_eq!(stats.elements, 10_000);
+        assert_eq!(stats.up_msgs, 10_000);
+    }
+
+    #[test]
+    fn quiesce_handles_ping_pong() {
+        // Coordinator replies to the first up with a broadcast; sites ack
+        // exactly once. Quiesce must wait for the acks too.
+        struct PSite {
+            acked: bool,
+        }
+        impl Site for PSite {
+            type Item = u64;
+            type Up = u64;
+            type Down = u64;
+            fn on_item(&mut self, item: &u64, out: &mut Outbox<u64>) {
+                out.send(*item);
+            }
+            fn on_message(&mut self, _: &u64, out: &mut Outbox<u64>) {
+                if !self.acked {
+                    self.acked = true;
+                    out.send(u64::MAX);
+                }
+            }
+            fn space_words(&self) -> u64 {
+                1
+            }
+        }
+        struct PCoord {
+            ups: u64,
+            acks: u64,
+            broadcasted: bool,
+        }
+        impl Coordinator for PCoord {
+            type Up = u64;
+            type Down = u64;
+            fn on_message(&mut self, _f: SiteId, m: &u64, net: &mut Net<u64>) {
+                if *m == u64::MAX {
+                    self.acks += 1;
+                } else {
+                    self.ups += 1;
+                    if !self.broadcasted {
+                        self.broadcasted = true;
+                        net.broadcast(0);
+                    }
+                }
+            }
+        }
+        struct P {
+            k: usize,
+        }
+        impl Protocol for P {
+            type Site = PSite;
+            type Coord = PCoord;
+            fn k(&self) -> usize {
+                self.k
+            }
+            fn build(&self, _: u64) -> (Vec<PSite>, PCoord) {
+                (
+                    (0..self.k).map(|_| PSite { acked: false }).collect(),
+                    PCoord {
+                        ups: 0,
+                        acks: 0,
+                        broadcasted: false,
+                    },
+                )
+            }
+        }
+        let rt = ChannelRuntime::new(&P { k: 4 }, 0);
+        rt.feed(0, 7);
+        rt.quiesce();
+        let (ups, acks) = rt.with_coord(|c| (c.ups, c.acks));
+        assert_eq!(ups, 1);
+        assert_eq!(acks, 4);
+        let stats = rt.shutdown();
+        assert_eq!(stats.broadcast_events, 1);
+        assert_eq!(stats.down_msgs, 4);
+        assert_eq!(stats.up_msgs, 5);
+    }
+}

@@ -1,0 +1,153 @@
+//! Communication and space accounting.
+
+/// Exact communication statistics for one protocol execution.
+///
+/// Upper bounds in the paper are stated in words, the lower bounds in
+/// messages; we track both, split by direction. A broadcast from the
+/// coordinator to all `k` sites is charged as `k` downstream messages
+/// (paper §1.1: "broadcasting a message costs k times the communication
+/// for a single message"), and additionally counted once in
+/// [`CommStats::broadcast_events`].
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct CommStats {
+    /// Site → coordinator messages.
+    pub up_msgs: u64,
+    /// Site → coordinator words.
+    pub up_words: u64,
+    /// Coordinator → site messages (a broadcast counts `k`).
+    pub down_msgs: u64,
+    /// Coordinator → site words (a broadcast counts `k × words`).
+    pub down_words: u64,
+    /// Number of broadcast *events* (each already charged `k` messages).
+    pub broadcast_events: u64,
+    /// Total elements fed to the sites.
+    pub elements: u64,
+}
+
+impl CommStats {
+    /// Total messages in both directions.
+    pub fn total_msgs(&self) -> u64 {
+        self.up_msgs + self.down_msgs
+    }
+
+    /// Total words in both directions.
+    pub fn total_words(&self) -> u64 {
+        self.up_words + self.down_words
+    }
+
+    /// Words per element processed — a useful normalized cost.
+    pub fn words_per_element(&self) -> f64 {
+        if self.elements == 0 {
+            0.0
+        } else {
+            self.total_words() as f64 / self.elements as f64
+        }
+    }
+
+    /// Accumulate another run's statistics (e.g. independent copies used
+    /// for median boosting).
+    pub fn merge(&mut self, other: &CommStats) {
+        self.up_msgs += other.up_msgs;
+        self.up_words += other.up_words;
+        self.down_msgs += other.down_msgs;
+        self.down_words += other.down_words;
+        self.broadcast_events += other.broadcast_events;
+        self.elements += other.elements;
+    }
+}
+
+/// Per-site peak space tracking, in words.
+///
+/// Space is self-reported by sites via [`crate::Site::space_words`]; the
+/// runner samples it after every event that touches a site and keeps the
+/// maximum, which is what the paper's space bounds refer to.
+#[derive(Debug, Default, Clone)]
+pub struct SpaceStats {
+    peaks: Vec<u64>,
+}
+
+impl SpaceStats {
+    /// Create tracking for `k` sites.
+    pub fn new(k: usize) -> Self {
+        Self { peaks: vec![0; k] }
+    }
+
+    /// Record an observation of site `i`'s current resident words.
+    pub fn observe(&mut self, site: usize, words: u64) {
+        if words > self.peaks[site] {
+            self.peaks[site] = words;
+        }
+    }
+
+    /// Peak words of a single site.
+    pub fn peak(&self, site: usize) -> u64 {
+        self.peaks[site]
+    }
+
+    /// Maximum peak over all sites — the "space per site" of the paper.
+    pub fn max_peak(&self) -> u64 {
+        self.peaks.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean peak over all sites.
+    pub fn mean_peak(&self) -> f64 {
+        if self.peaks.is_empty() {
+            0.0
+        } else {
+            self.peaks.iter().sum::<u64>() as f64 / self.peaks.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_both_directions() {
+        let s = CommStats {
+            up_msgs: 3,
+            up_words: 7,
+            down_msgs: 2,
+            down_words: 5,
+            broadcast_events: 1,
+            elements: 10,
+        };
+        assert_eq!(s.total_msgs(), 5);
+        assert_eq!(s.total_words(), 12);
+        assert!((s.words_per_element() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn words_per_element_zero_elements() {
+        assert_eq!(CommStats::default().words_per_element(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CommStats {
+            up_msgs: 1,
+            up_words: 1,
+            down_msgs: 1,
+            down_words: 1,
+            broadcast_events: 0,
+            elements: 1,
+        };
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.total_msgs(), 4);
+        assert_eq!(a.elements, 2);
+    }
+
+    #[test]
+    fn space_tracks_peak_per_site() {
+        let mut sp = SpaceStats::new(3);
+        sp.observe(0, 4);
+        sp.observe(0, 2);
+        sp.observe(2, 9);
+        assert_eq!(sp.peak(0), 4);
+        assert_eq!(sp.peak(1), 0);
+        assert_eq!(sp.max_peak(), 9);
+        assert!((sp.mean_peak() - 13.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,169 @@
+//! Count-Min sketch (Cormode–Muthukrishnan) — the hashing-based
+//! alternative frequency summary surveyed alongside MG/SpaceSaving in the
+//! paper's reference [7] ("Finding frequent items in data streams").
+//!
+//! `d` rows of `w` counters; estimates overcount: `f ≤ est ≤ f + 2n/w`
+//! with probability `1 − 2^{−d}` per query. Included for completeness of
+//! the heavy-hitters substrate and used by tests as an independent
+//! cross-check of the exact oracles.
+
+use crate::hash::FxHasher;
+use std::hash::Hasher;
+
+/// Count-Min sketch with `d × w` counters.
+#[derive(Debug, Clone)]
+pub struct CountMin {
+    width: usize,
+    rows: Vec<Vec<u64>>,
+    seeds: Vec<u64>,
+    n: u64,
+}
+
+impl CountMin {
+    /// New sketch with `depth` rows of `width` counters.
+    pub fn new(depth: usize, width: usize) -> Self {
+        assert!(depth >= 1 && width >= 2);
+        Self {
+            width,
+            rows: vec![vec![0; width]; depth],
+            seeds: (0..depth as u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xC0FF_EE00_D15E_A5E5)
+                .collect(),
+            n: 0,
+        }
+    }
+
+    /// Sized for additive error `ε·n` with failure probability `δ`:
+    /// `w = ⌈e/ε⌉`, `d = ⌈ln(1/δ)⌉`.
+    pub fn with_guarantee(epsilon: f64, delta: f64) -> Self {
+        assert!(epsilon > 0.0 && delta > 0.0 && delta < 1.0);
+        let w = (std::f64::consts::E / epsilon).ceil() as usize;
+        let d = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        Self::new(d, w.max(2))
+    }
+
+    fn bucket(&self, row: usize, item: u64) -> usize {
+        let mut h = FxHasher::default();
+        h.write_u64(self.seeds[row]);
+        h.write_u64(item);
+        (h.finish() % self.width as u64) as usize
+    }
+
+    /// Process one occurrence of `item`.
+    pub fn observe(&mut self, item: u64) {
+        self.n += 1;
+        for row in 0..self.rows.len() {
+            let b = self.bucket(row, item);
+            self.rows[row][b] += 1;
+        }
+    }
+
+    /// Estimated frequency (an overestimate).
+    pub fn estimate(&self, item: u64) -> u64 {
+        (0..self.rows.len())
+            .map(|row| self.rows[row][self.bucket(row, item)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Stream length so far.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Merge another sketch with identical dimensions.
+    pub fn merge(&mut self, other: &CountMin) {
+        assert_eq!(self.width, other.width, "width mismatch");
+        assert_eq!(self.rows.len(), other.rows.len(), "depth mismatch");
+        for (a, b) in self.rows.iter_mut().zip(&other.rows) {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        }
+        self.n += other.n;
+    }
+
+    /// Resident size in words.
+    pub fn space_words(&self) -> u64 {
+        (self.rows.len() * self.width) as u64 + 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactCounts;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn never_underestimates() {
+        let mut cm = CountMin::new(4, 64);
+        let mut exact = ExactCounts::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..20_000 {
+            let item = rng.gen_range(0..500u64);
+            cm.observe(item);
+            exact.observe(item);
+        }
+        for item in 0..500 {
+            assert!(cm.estimate(item) >= exact.frequency(item));
+        }
+    }
+
+    #[test]
+    fn guarantee_holds_with_sized_sketch() {
+        let eps = 0.01;
+        let mut cm = CountMin::with_guarantee(eps, 0.01);
+        let mut exact = ExactCounts::new();
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..50_000u64 {
+            let r: f64 = rng.gen();
+            let item = ((1.0 / (1.0 - r * 0.999)).floor() as u64).min(10_000);
+            cm.observe(item);
+            exact.observe(item);
+        }
+        let bound = (eps * cm.n() as f64) as u64 + 1;
+        let mut violations = 0;
+        for item in 0..1000 {
+            if cm.estimate(item) > exact.frequency(item) + bound {
+                violations += 1;
+            }
+        }
+        assert!(violations <= 10, "{violations} of 1000 probes violated");
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = CountMin::new(3, 32);
+        let mut b = CountMin::new(3, 32);
+        let mut u = CountMin::new(3, 32);
+        for i in 0..1000u64 {
+            a.observe(i % 7);
+            u.observe(i % 7);
+        }
+        for i in 0..1000u64 {
+            b.observe(i % 11);
+            u.observe(i % 11);
+        }
+        a.merge(&b);
+        for item in 0..12 {
+            assert_eq!(a.estimate(item), u.estimate(item));
+        }
+        assert_eq!(a.n(), u.n());
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn merge_rejects_mismatched() {
+        let mut a = CountMin::new(3, 32);
+        let b = CountMin::new(3, 64);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn space_matches_dimensions() {
+        let cm = CountMin::new(5, 100);
+        assert_eq!(cm.space_words(), 504);
+    }
+}

@@ -1,0 +1,190 @@
+//! Exact reference structures: ground truth for tests and experiments.
+
+use crate::hash::FastMap;
+
+/// Exact multiset counts of a stream; `O(distinct)` space.
+#[derive(Debug, Default, Clone)]
+pub struct ExactCounts {
+    counts: FastMap<u64, u64>,
+    n: u64,
+}
+
+impl ExactCounts {
+    /// Empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one occurrence of `item`.
+    pub fn observe(&mut self, item: u64) {
+        *self.counts.entry(item).or_insert(0) += 1;
+        self.n += 1;
+    }
+
+    /// Exact frequency of `item`.
+    pub fn frequency(&self, item: u64) -> u64 {
+        self.counts.get(&item).copied().unwrap_or(0)
+    }
+
+    /// Total number of elements observed.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of distinct items.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Items with frequency ≥ `threshold`, sorted descending by frequency.
+    pub fn heavy_hitters(&self, threshold: u64) -> Vec<(u64, u64)> {
+        let mut hh: Vec<(u64, u64)> = self
+            .counts
+            .iter()
+            .filter(|(_, &c)| c >= threshold)
+            .map(|(&i, &c)| (i, c))
+            .collect();
+        hh.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        hh
+    }
+
+    /// Iterate over `(item, count)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().map(|(&i, &c)| (i, c))
+    }
+}
+
+/// Exact rank queries over a growing set of *distinct* elements.
+///
+/// Insertions are buffered and merged lazily, so a mixed
+/// insert/query workload costs `O(log n)` amortized per operation instead
+/// of `O(n)` per insert.
+#[derive(Debug, Default, Clone)]
+pub struct ExactRanks {
+    sorted: Vec<u64>,
+    pending: Vec<u64>,
+}
+
+impl ExactRanks {
+    /// Empty structure.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert an element (duplicates are allowed but the rank-tracking
+    /// protocols assume distinct elements; duplicates count multiply).
+    pub fn insert(&mut self, x: u64) {
+        self.pending.push(x);
+        // Amortization: merge when the buffer reaches the sorted part's size.
+        if self.pending.len() * 4 > self.sorted.len() + 64 {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        self.pending.sort_unstable();
+        let mut merged = Vec::with_capacity(self.sorted.len() + self.pending.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.sorted.len() && j < self.pending.len() {
+            if self.sorted[i] <= self.pending[j] {
+                merged.push(self.sorted[i]);
+                i += 1;
+            } else {
+                merged.push(self.pending[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&self.sorted[i..]);
+        merged.extend_from_slice(&self.pending[j..]);
+        self.sorted = merged;
+        self.pending.clear();
+    }
+
+    /// Number of elements strictly smaller than `x` — the paper's rank.
+    pub fn rank(&mut self, x: u64) -> u64 {
+        self.flush();
+        self.sorted.partition_point(|&v| v < x) as u64
+    }
+
+    /// Total elements inserted.
+    pub fn n(&self) -> u64 {
+        (self.sorted.len() + self.pending.len()) as u64
+    }
+
+    /// The element of rank ⌊φ·n⌋ (the φ-quantile of the paper).
+    pub fn quantile(&mut self, phi: f64) -> Option<u64> {
+        self.flush();
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let idx = ((phi.clamp(0.0, 1.0) * self.sorted.len() as f64) as usize)
+            .min(self.sorted.len() - 1);
+        Some(self.sorted[idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_track_frequencies() {
+        let mut c = ExactCounts::new();
+        for _ in 0..5 {
+            c.observe(1);
+        }
+        for _ in 0..3 {
+            c.observe(2);
+        }
+        c.observe(9);
+        assert_eq!(c.frequency(1), 5);
+        assert_eq!(c.frequency(2), 3);
+        assert_eq!(c.frequency(42), 0);
+        assert_eq!(c.n(), 9);
+        assert_eq!(c.distinct(), 3);
+        assert_eq!(c.heavy_hitters(3), vec![(1, 5), (2, 3)]);
+    }
+
+    #[test]
+    fn ranks_match_naive_sort() {
+        let mut r = ExactRanks::new();
+        let xs = [5u64, 1, 9, 3, 7, 2, 8, 0, 6, 4];
+        for &x in &xs {
+            r.insert(x);
+        }
+        for q in 0..11u64 {
+            let naive = xs.iter().filter(|&&v| v < q).count() as u64;
+            assert_eq!(r.rank(q), naive, "rank of {q}");
+        }
+        assert_eq!(r.n(), 10);
+    }
+
+    #[test]
+    fn interleaved_insert_query() {
+        let mut r = ExactRanks::new();
+        let mut all = Vec::new();
+        for x in (0..1000u64).rev() {
+            r.insert(x * 2);
+            all.push(x * 2);
+            if x % 97 == 0 {
+                let naive = all.iter().filter(|&&v| v < 777).count() as u64;
+                assert_eq!(r.rank(777), naive);
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles() {
+        let mut r = ExactRanks::new();
+        for x in 0..100u64 {
+            r.insert(x);
+        }
+        assert_eq!(r.quantile(0.0), Some(0));
+        assert_eq!(r.quantile(0.5), Some(50));
+        assert_eq!(r.quantile(1.0), Some(99));
+        assert_eq!(ExactRanks::new().quantile(0.5), None);
+    }
+}

@@ -1,0 +1,42 @@
+//! # dtrack-sketch — space-bounded streaming summaries
+//!
+//! Per-site stream processing substrate for the distributed tracking
+//! protocols of Huang, Yi, Zhang (PODS 2012):
+//!
+//! * [`misra_gries::MisraGries`] — deterministic heavy hitters, the
+//!   `O(1/ε)`-space structure behind the deterministic frequency baseline
+//!   (MG is reference [20] of the paper).
+//! * [`space_saving::SpaceSaving`] — the Metwally et al. alternative
+//!   ([19]); same guarantee, overestimating counters.
+//! * [`sticky::StickyCounters`] — the Manku–Motwani sampled counter list
+//!   ([18]) used verbatim inside the randomized frequency-tracking
+//!   protocol (§3.1): a counter is *created* with probability `p` and
+//!   exact afterwards.
+//! * [`gk::GkSummary`] — Greenwald–Khanna deterministic quantile summary
+//!   ([12]), used by the deterministic rank baseline.
+//! * [`kll::KllSketch`] — randomized mergeable quantile sketch with
+//!   **unbiased** rank estimates and variance `O((ε·m)²)`; our
+//!   implementation of the paper's black-box "Algorithm A" ([24]/[1],
+//!   see DESIGN.md §4 for the substitution argument).
+//! * [`sampling`] — Bernoulli and reservoir samplers.
+//! * [`exact`] — exact counters/ranks used as ground truth by tests and
+//!   the experiment harness.
+
+pub mod count_min;
+pub mod exact;
+pub mod gk;
+pub mod hash;
+pub mod kll;
+pub mod lossy;
+pub mod misra_gries;
+pub mod sampling;
+pub mod space_saving;
+pub mod sticky;
+
+pub use count_min::CountMin;
+pub use gk::GkSummary;
+pub use kll::{KllSketch, KllSummary};
+pub use lossy::LossyCounting;
+pub use misra_gries::MisraGries;
+pub use space_saving::SpaceSaving;
+pub use sticky::StickyCounters;

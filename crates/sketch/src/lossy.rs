@@ -1,0 +1,163 @@
+//! Lossy Counting (Manku–Motwani, paper reference [18], Algorithm 2).
+//!
+//! The deterministic sibling of sticky sampling: the stream is cut into
+//! buckets of width `⌈1/ε⌉`; each tracked item keeps `(count, Δ)` where Δ
+//! bounds the occurrences missed before tracking began; at every bucket
+//! boundary, entries with `count + Δ ≤ current bucket` are evicted.
+//! Guarantees `f − εn ≤ estimate ≤ f` with `O(1/ε·log(εn))` entries.
+
+use crate::hash::FastMap;
+
+/// Lossy Counting summary with error parameter ε.
+#[derive(Debug, Clone)]
+pub struct LossyCounting {
+    /// item → (count since tracked, max undercount Δ).
+    entries: FastMap<u64, (u64, u64)>,
+    bucket_width: u64,
+    current_bucket: u64,
+    n: u64,
+}
+
+impl LossyCounting {
+    /// New summary with additive error `ε·n`.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0);
+        Self {
+            entries: FastMap::default(),
+            bucket_width: (1.0 / epsilon).ceil() as u64,
+            current_bucket: 1,
+            n: 0,
+        }
+    }
+
+    /// Process one element.
+    pub fn observe(&mut self, item: u64) {
+        self.n += 1;
+        match self.entries.get_mut(&item) {
+            Some((c, _)) => *c += 1,
+            None => {
+                self.entries.insert(item, (1, self.current_bucket - 1));
+            }
+        }
+        if self.n.is_multiple_of(self.bucket_width) {
+            let b = self.current_bucket;
+            self.entries.retain(|_, &mut (c, delta)| c + delta > b);
+            self.current_bucket += 1;
+        }
+    }
+
+    /// Estimated frequency (an underestimate: `f − εn ≤ est ≤ f`).
+    pub fn estimate(&self, item: u64) -> u64 {
+        self.entries.get(&item).map(|&(c, _)| c).unwrap_or(0)
+    }
+
+    /// Items with `estimate + Δ ≥ threshold` — a superset of the true
+    /// heavy hitters at `threshold` (no false negatives).
+    pub fn heavy_hitters(&self, threshold: u64) -> Vec<(u64, u64)> {
+        let mut hh: Vec<(u64, u64)> = self
+            .entries
+            .iter()
+            .filter(|(_, &(c, delta))| c + delta >= threshold)
+            .map(|(&i, &(c, _))| (i, c))
+            .collect();
+        hh.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        hh
+    }
+
+    /// Stream length so far.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Resident size in words (three words per entry).
+    pub fn space_words(&self) -> u64 {
+        3 * self.entries.len() as u64 + 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactCounts;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn exact_within_first_bucket() {
+        let mut lc = LossyCounting::new(0.1); // bucket width 10
+        for x in [1u64, 1, 2, 3, 1] {
+            lc.observe(x);
+        }
+        assert_eq!(lc.estimate(1), 3);
+        assert_eq!(lc.estimate(2), 1);
+    }
+
+    #[test]
+    fn guarantee_holds_on_skewed_stream() {
+        let eps = 0.02;
+        let mut lc = LossyCounting::new(eps);
+        let mut exact = ExactCounts::new();
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..100_000u64 {
+            let r: f64 = rng.gen();
+            let item = ((1.0 / (1.0 - r * 0.999)).floor() as u64).min(20_000);
+            lc.observe(item);
+            exact.observe(item);
+        }
+        let bound = (eps * lc.n() as f64) as u64 + 1;
+        for item in 0..200 {
+            let f = exact.frequency(item);
+            let e = lc.estimate(item);
+            assert!(e <= f, "overestimate for {item}");
+            assert!(f.saturating_sub(e) <= bound, "item {item}: {f} - {e} > {bound}");
+        }
+    }
+
+    #[test]
+    fn space_is_sublinear() {
+        let mut lc = LossyCounting::new(0.01);
+        for x in 0..200_000u64 {
+            lc.observe(x); // all distinct — worst case for space
+        }
+        // O(1/ε·log(εn)) = O(100·log(2000)) ≈ 1100 entries.
+        assert!(lc.len() <= 2_000, "{} entries", lc.len());
+    }
+
+    #[test]
+    fn heavy_hitters_no_false_negatives() {
+        let mut lc = LossyCounting::new(0.05);
+        let mut exact = ExactCounts::new();
+        for t in 0..10_000u64 {
+            let item = if t % 4 == 0 { 9 } else { 100 + (t % 3000) };
+            lc.observe(item);
+            exact.observe(item);
+        }
+        let thresh = 2_000;
+        let truth = exact.heavy_hitters(thresh);
+        let found = lc.heavy_hitters(thresh);
+        for (item, _) in truth {
+            assert!(found.iter().any(|&(j, _)| j == item), "missed {item}");
+        }
+    }
+
+    #[test]
+    fn evictions_happen_but_hot_items_survive() {
+        let mut lc = LossyCounting::new(0.1);
+        for x in 0..1000u64 {
+            lc.observe(x); // singletons: evicted at every bucket boundary
+            lc.observe(42); // hot item: must survive
+        }
+        assert!(lc.len() < 500, "no evictions occurred: {}", lc.len());
+        assert!(lc.estimate(42) >= 900);
+    }
+}

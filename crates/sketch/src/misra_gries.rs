@@ -1,0 +1,168 @@
+//! Misra–Gries heavy-hitters summary (paper reference [20]).
+//!
+//! With `c` counters over a stream of length `n`, every estimate satisfies
+//! `f − n/(c+1) ≤ estimate ≤ f`. Setting `c = ⌈1/ε⌉` gives the optimal
+//! `O(1/ε)`-space ε-heavy-hitters structure; the deterministic
+//! frequency-tracking baseline runs one of these per site.
+
+use crate::hash::FastMap;
+
+/// Misra–Gries summary with a fixed number of counters.
+#[derive(Debug, Clone)]
+pub struct MisraGries {
+    counters: FastMap<u64, u64>,
+    capacity: usize,
+    n: u64,
+    /// Total decremented mass — used for the error bound accessor.
+    decremented: u64,
+}
+
+impl MisraGries {
+    /// Create a summary with `capacity` counters (`capacity ≥ 1`).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "MisraGries needs at least one counter");
+        Self {
+            counters: FastMap::default(),
+            capacity,
+            n: 0,
+            decremented: 0,
+        }
+    }
+
+    /// Create a summary sized for additive error `ε·n`: `⌈1/ε⌉` counters.
+    pub fn with_epsilon(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0);
+        Self::new((1.0 / epsilon).ceil() as usize)
+    }
+
+    /// Process one element.
+    pub fn observe(&mut self, item: u64) {
+        self.n += 1;
+        if let Some(c) = self.counters.get_mut(&item) {
+            *c += 1;
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(item, 1);
+            return;
+        }
+        // Decrement-all step: the arriving element and `capacity` tracked
+        // elements each lose one unit.
+        self.decremented += 1;
+        self.counters.retain(|_, c| {
+            *c -= 1;
+            *c > 0
+        });
+    }
+
+    /// Estimated frequency (an underestimate: `f − n/(c+1) ≤ est ≤ f`).
+    pub fn estimate(&self, item: u64) -> u64 {
+        self.counters.get(&item).copied().unwrap_or(0)
+    }
+
+    /// Worst-case underestimation: every counter is short by at most this.
+    pub fn error_bound(&self) -> u64 {
+        // Each decrement-all removes capacity+1 units of mass, so the
+        // number of decrement steps is ≤ n/(capacity+1).
+        self.decremented
+    }
+
+    /// Stream length so far.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of live counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether no counters are live.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Resident size in words (two words per counter).
+    pub fn space_words(&self) -> u64 {
+        2 * self.counters.len() as u64 + 4
+    }
+
+    /// Iterate over `(item, counter)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counters.iter().map(|(&i, &c)| (i, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactCounts;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn exact_when_under_capacity() {
+        let mut mg = MisraGries::new(10);
+        for x in [1u64, 2, 2, 3, 3, 3] {
+            mg.observe(x);
+        }
+        assert_eq!(mg.estimate(1), 1);
+        assert_eq!(mg.estimate(2), 2);
+        assert_eq!(mg.estimate(3), 3);
+        assert_eq!(mg.error_bound(), 0);
+    }
+
+    #[test]
+    fn guarantee_holds_on_skewed_stream() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut mg = MisraGries::new(9); // ε = 0.1
+        let mut exact = ExactCounts::new();
+        for _ in 0..50_000 {
+            // Zipf-ish: item i with probability ∝ 1/(i+1).
+            let r: f64 = rng.gen();
+            let item = ((1.0 / (1.0 - r * 0.999)).floor() as u64).min(5_000);
+            mg.observe(item);
+            exact.observe(item);
+        }
+        let n = exact.n();
+        let bound = n / 10; // n/(c+1)
+        for item in 0..100u64 {
+            let f = exact.frequency(item);
+            let e = mg.estimate(item);
+            assert!(e <= f, "overestimate for {item}: {e} > {f}");
+            assert!(f - e <= bound, "error for {item}: {f}-{e} > {bound}");
+        }
+        assert!(mg.error_bound() <= bound);
+        assert!(mg.len() <= 9);
+    }
+
+    #[test]
+    fn decrement_evicts_singletons() {
+        let mut mg = MisraGries::new(2);
+        mg.observe(1);
+        mg.observe(2);
+        mg.observe(3); // decrements 1 and 2 to 0, drops both
+        assert_eq!(mg.estimate(1), 0);
+        assert_eq!(mg.estimate(2), 0);
+        assert_eq!(mg.estimate(3), 0); // 3 itself was the decrement trigger
+        assert!(mg.is_empty());
+        mg.observe(4);
+        assert_eq!(mg.estimate(4), 1);
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut mg = MisraGries::new(5);
+        for x in 0..10_000u64 {
+            mg.observe(x % 100);
+            assert!(mg.len() <= 5);
+        }
+        assert!(mg.space_words() <= 2 * 5 + 4);
+    }
+
+    #[test]
+    fn with_epsilon_sizes_counters() {
+        let mg = MisraGries::with_epsilon(0.01);
+        assert_eq!(mg.capacity, 100);
+    }
+}

@@ -1,0 +1,218 @@
+//! SpaceSaving heavy-hitters summary (Metwally et al., paper reference [19]).
+//!
+//! With `m` counters: `f ≤ estimate ≤ f + n/m`. Unlike Misra–Gries the
+//! estimates *over*-count; both achieve the optimal `O(1/ε)` space. A
+//! lazily-rebuilt min-heap locates the eviction victim in `O(log m)`
+//! amortized.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::hash::FastMap;
+
+/// SpaceSaving summary with a fixed number of counters.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    /// item → (count, overestimation-at-insert)
+    counters: FastMap<u64, (u64, u64)>,
+    /// Lazy min-heap of (count, item); stale entries are skipped on pop.
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+    capacity: usize,
+    n: u64,
+}
+
+impl SpaceSaving {
+    /// Create a summary with `capacity` counters (`capacity ≥ 1`).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "SpaceSaving needs at least one counter");
+        Self {
+            counters: FastMap::default(),
+            heap: BinaryHeap::new(),
+            capacity,
+            n: 0,
+        }
+    }
+
+    /// Create a summary sized for additive error `ε·n`: `⌈1/ε⌉` counters.
+    pub fn with_epsilon(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0);
+        Self::new((1.0 / epsilon).ceil() as usize)
+    }
+
+    /// Process one element.
+    pub fn observe(&mut self, item: u64) {
+        self.n += 1;
+        if let Some((c, _)) = self.counters.get_mut(&item) {
+            *c += 1;
+            let c = *c;
+            self.heap.push(Reverse((c, item)));
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(item, (1, 0));
+            self.heap.push(Reverse((1, item)));
+            return;
+        }
+        // Evict the current minimum counter; the newcomer inherits its
+        // count (+1) and records the inherited amount as potential error.
+        let (min_item, min_count) = self.pop_min();
+        self.counters.remove(&min_item);
+        self.counters.insert(item, (min_count + 1, min_count));
+        self.heap.push(Reverse((min_count + 1, item)));
+    }
+
+    /// Pop the true minimum, skipping stale heap entries.
+    fn pop_min(&mut self) -> (u64, u64) {
+        loop {
+            let Reverse((count, item)) =
+                self.heap.pop().expect("heap empty with full counter table");
+            if let Some(&(cur, _)) = self.counters.get(&item) {
+                if cur == count {
+                    return (item, count);
+                }
+            }
+            // stale entry (item updated or already evicted) — skip
+        }
+    }
+
+    /// Estimated frequency (an overestimate: `f ≤ est ≤ f + n/m`).
+    pub fn estimate(&self, item: u64) -> u64 {
+        self.counters.get(&item).map(|&(c, _)| c).unwrap_or(0)
+    }
+
+    /// Guaranteed overestimation bound for a tracked `item`
+    /// (the count it inherited at insertion), or 0 if untracked.
+    pub fn overestimate_of(&self, item: u64) -> u64 {
+        self.counters.get(&item).map(|&(_, e)| e).unwrap_or(0)
+    }
+
+    /// Stream length so far.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of live counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether no counters are live.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Items with estimate ≥ `threshold` — a superset of the true heavy
+    /// hitters at that threshold.
+    pub fn heavy_hitters(&self, threshold: u64) -> Vec<(u64, u64)> {
+        let mut hh: Vec<(u64, u64)> = self
+            .counters
+            .iter()
+            .filter(|(_, &(c, _))| c >= threshold)
+            .map(|(&i, &(c, _))| (i, c))
+            .collect();
+        hh.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        hh
+    }
+
+    /// Resident size in words (three words per counter; the heap is an
+    /// implementation accelerator of the same asymptotic size).
+    pub fn space_words(&self) -> u64 {
+        3 * self.counters.len() as u64 + 4
+    }
+
+    /// Compact the lazy heap if it has accumulated too many stale entries.
+    /// Called automatically; exposed for tests.
+    pub fn maybe_compact(&mut self) {
+        if self.heap.len() > 8 * self.capacity.max(16) {
+            self.heap = self
+                .counters
+                .iter()
+                .map(|(&i, &(c, _))| Reverse((c, i)))
+                .collect();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactCounts;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn exact_when_under_capacity() {
+        let mut ss = SpaceSaving::new(4);
+        for x in [1u64, 1, 2, 3, 1] {
+            ss.observe(x);
+        }
+        assert_eq!(ss.estimate(1), 3);
+        assert_eq!(ss.estimate(2), 1);
+        assert_eq!(ss.overestimate_of(1), 0);
+    }
+
+    #[test]
+    fn eviction_inherits_min_count() {
+        let mut ss = SpaceSaving::new(2);
+        ss.observe(1);
+        ss.observe(1);
+        ss.observe(2);
+        ss.observe(3); // evicts 2 (count 1) → 3 gets count 2, err 1
+        assert_eq!(ss.estimate(3), 2);
+        assert_eq!(ss.overestimate_of(3), 1);
+        assert_eq!(ss.estimate(2), 0);
+        assert_eq!(ss.len(), 2);
+    }
+
+    #[test]
+    fn guarantee_holds_on_skewed_stream() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let mut ss = SpaceSaving::new(10);
+        let mut exact = ExactCounts::new();
+        for _ in 0..50_000 {
+            let r: f64 = rng.gen();
+            let item = ((1.0 / (1.0 - r * 0.999)).floor() as u64).min(5_000);
+            ss.observe(item);
+            exact.observe(item);
+            ss.maybe_compact();
+        }
+        let bound = exact.n() / 10;
+        for item in 0..100u64 {
+            let f = exact.frequency(item);
+            let e = ss.estimate(item);
+            if e > 0 {
+                assert!(e >= f, "underestimate for {item}");
+            }
+            assert!(e <= f + bound, "error for {item}: {e} > {f}+{bound}");
+        }
+        assert!(ss.len() <= 10);
+    }
+
+    #[test]
+    fn heavy_hitters_superset() {
+        let mut ss = SpaceSaving::new(5);
+        let mut exact = ExactCounts::new();
+        for i in 0..1000u64 {
+            let item = if i % 2 == 0 { 7 } else { i };
+            ss.observe(item);
+            exact.observe(item);
+        }
+        let true_hh: Vec<u64> =
+            exact.heavy_hitters(200).into_iter().map(|(i, _)| i).collect();
+        let est_hh: Vec<u64> =
+            ss.heavy_hitters(200).into_iter().map(|(i, _)| i).collect();
+        for t in &true_hh {
+            assert!(est_hh.contains(t), "missing true heavy hitter {t}");
+        }
+    }
+
+    #[test]
+    fn compaction_bounds_heap() {
+        let mut ss = SpaceSaving::new(4);
+        for x in 0..10_000u64 {
+            ss.observe(x % 3);
+            ss.maybe_compact();
+        }
+        assert!(ss.heap.len() <= 8 * 16 + 4);
+    }
+}

@@ -1,0 +1,226 @@
+//! The paper's lower-bound input constructions.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::stream::Arrival;
+
+/// Which case of the hard distribution µ (proof of Theorem 2.2) occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MuCase {
+    /// Case (a): all `N` elements arrive at one uniformly random site.
+    OneSite(usize),
+    /// Case (b): elements arrive round-robin, `N/k` per site.
+    RoundRobinAll,
+}
+
+/// The hard input distribution µ of Theorem 2.2:
+/// with probability 1/2 all elements go to one random site, otherwise
+/// they arrive round-robin.
+#[derive(Debug, Clone)]
+pub struct MuDistribution {
+    /// Number of sites.
+    pub k: usize,
+    /// Total elements.
+    pub n: u64,
+}
+
+impl MuDistribution {
+    /// Construct for `k` sites and `n` total elements.
+    pub fn new(k: usize, n: u64) -> Self {
+        assert!(k >= 1);
+        Self { k, n }
+    }
+
+    /// Sample which case occurs.
+    pub fn sample_case(&self, seed: u64) -> MuCase {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        if rng.gen::<bool>() {
+            MuCase::OneSite(rng.gen_range(0..self.k))
+        } else {
+            MuCase::RoundRobinAll
+        }
+    }
+
+    /// Materialize the arrivals for a sampled case. Item values are a
+    /// running counter (count-tracking ignores them).
+    pub fn arrivals(&self, case: MuCase) -> Vec<Arrival> {
+        match case {
+            MuCase::OneSite(j) => (0..self.n)
+                .map(|t| Arrival { site: j, item: t })
+                .collect(),
+            MuCase::RoundRobinAll => (0..self.n)
+                .map(|t| Arrival {
+                    site: (t % self.k as u64) as usize,
+                    item: t,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One subround of the Theorem 2.4 construction: `s ∈ {k/2−√k, k/2+√k}`
+/// sites (chosen uniformly) each receive `2^i` elements.
+#[derive(Debug, Clone)]
+pub struct Subround {
+    /// Whether `s = k/2 + √k` (true) or `k/2 − √k` (false).
+    pub s_high: bool,
+    /// The chosen sites.
+    pub sites: Vec<usize>,
+    /// Elements delivered to each chosen site.
+    pub per_site: u64,
+}
+
+/// The full hard instance of Theorem 2.4: `ℓ` rounds of
+/// `r = 1/(2ε√k)` subrounds; in round `i` each chosen site receives `2^i`
+/// elements.
+#[derive(Debug, Clone)]
+pub struct SubroundInstance {
+    /// Number of sites.
+    pub k: usize,
+    /// Error parameter ε (determines subrounds per round).
+    pub epsilon: f64,
+    /// Number of rounds ℓ.
+    pub rounds: u32,
+}
+
+impl SubroundInstance {
+    /// Construct; requires `k ≥ 4` so that `k/2 ± √k` is meaningful.
+    pub fn new(k: usize, epsilon: f64, rounds: u32) -> Self {
+        assert!(k >= 4 && epsilon > 0.0);
+        Self { k, epsilon, rounds }
+    }
+
+    /// Subrounds per round, `max(1, ⌊1/(2ε√k)⌋)`.
+    pub fn subrounds_per_round(&self) -> u64 {
+        ((1.0 / (2.0 * self.epsilon * (self.k as f64).sqrt())) as u64).max(1)
+    }
+
+    /// Generate the subround schedule.
+    pub fn generate(&self, seed: u64) -> Vec<Subround> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let sqrt_k = (self.k as f64).sqrt().round() as usize;
+        let mut out = Vec::new();
+        for i in 0..self.rounds {
+            for _ in 0..self.subrounds_per_round() {
+                let s_high = rng.gen::<bool>();
+                let s = if s_high {
+                    self.k / 2 + sqrt_k
+                } else {
+                    self.k / 2 - sqrt_k
+                };
+                let mut sites: Vec<usize> = (0..self.k).collect();
+                sites.shuffle(&mut rng);
+                sites.truncate(s);
+                out.push(Subround {
+                    s_high,
+                    sites,
+                    per_site: 1u64 << i,
+                });
+            }
+        }
+        out
+    }
+
+    /// Flatten a schedule into arrivals, interleaving the chosen sites of
+    /// each subround round-robin (the paper: "the order does not matter").
+    pub fn arrivals(schedule: &[Subround]) -> Vec<Arrival> {
+        let mut out = Vec::new();
+        let mut t = 0u64;
+        for sub in schedule {
+            for _ in 0..sub.per_site {
+                for &site in &sub.sites {
+                    out.push(Arrival { site, item: t });
+                    t += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Total elements the schedule delivers.
+    pub fn total_elements(schedule: &[Subround]) -> u64 {
+        schedule
+            .iter()
+            .map(|s| s.per_site * s.sites.len() as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mu_case_a_hits_single_site() {
+        let mu = MuDistribution::new(8, 100);
+        let arr = mu.arrivals(MuCase::OneSite(3));
+        assert_eq!(arr.len(), 100);
+        assert!(arr.iter().all(|a| a.site == 3));
+    }
+
+    #[test]
+    fn mu_case_b_is_balanced() {
+        let mu = MuDistribution::new(4, 100);
+        let arr = mu.arrivals(MuCase::RoundRobinAll);
+        let mut counts = [0u32; 4];
+        for a in &arr {
+            counts[a.site] += 1;
+        }
+        assert_eq!(counts, [25; 4]);
+    }
+
+    #[test]
+    fn mu_case_frequencies_are_balanced() {
+        let mu = MuDistribution::new(8, 10);
+        let mut a_count = 0;
+        let trials = 2000;
+        for seed in 0..trials {
+            if matches!(mu.sample_case(seed), MuCase::OneSite(_)) {
+                a_count += 1;
+            }
+        }
+        let frac = a_count as f64 / trials as f64;
+        assert!((frac - 0.5).abs() < 0.05, "frac {frac}");
+    }
+
+    #[test]
+    fn subrounds_choose_correct_site_counts() {
+        let inst = SubroundInstance::new(100, 0.01, 3);
+        let sched = inst.generate(1);
+        assert_eq!(
+            sched.len() as u64,
+            3 * inst.subrounds_per_round()
+        );
+        for sub in &sched {
+            let expect = if sub.s_high { 60 } else { 40 };
+            assert_eq!(sub.sites.len(), expect);
+            // Sites are distinct.
+            let mut s = sub.sites.clone();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), expect);
+        }
+    }
+
+    #[test]
+    fn subround_elements_double_per_round() {
+        let inst = SubroundInstance::new(16, 0.05, 4);
+        let sched = inst.generate(2);
+        let per_round = inst.subrounds_per_round() as usize;
+        for (idx, sub) in sched.iter().enumerate() {
+            let round = idx / per_round;
+            assert_eq!(sub.per_site, 1u64 << round);
+        }
+    }
+
+    #[test]
+    fn arrivals_match_total() {
+        let inst = SubroundInstance::new(16, 0.05, 3);
+        let sched = inst.generate(3);
+        let arr = SubroundInstance::arrivals(&sched);
+        assert_eq!(arr.len() as u64, SubroundInstance::total_elements(&sched));
+        assert!(arr.iter().all(|a| a.site < 16));
+    }
+}

@@ -1,0 +1,210 @@
+//! Site-assignment policies: which of the `k` sites receives each element.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Policy choosing the receiving site for each successive element.
+pub trait SiteAssign {
+    /// Site for the next element.
+    fn next_site(&mut self, rng: &mut SmallRng) -> usize;
+    /// Number of sites `k`.
+    fn k(&self) -> usize;
+}
+
+/// Strict round-robin: element `t` goes to site `t mod k` — case (b) of
+/// the paper's hard distribution, and the "balanced" baseline workload.
+#[derive(Debug, Clone)]
+pub struct RoundRobin {
+    k: usize,
+    next: usize,
+}
+
+impl RoundRobin {
+    /// Round-robin over `k` sites.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1);
+        Self { k, next: 0 }
+    }
+}
+
+impl SiteAssign for RoundRobin {
+    fn next_site(&mut self, _rng: &mut SmallRng) -> usize {
+        let s = self.next;
+        self.next = (self.next + 1) % self.k;
+        s
+    }
+    fn k(&self) -> usize {
+        self.k
+    }
+}
+
+/// Independent uniform site per element.
+#[derive(Debug, Clone)]
+pub struct UniformSites {
+    k: usize,
+}
+
+impl UniformSites {
+    /// Uniform over `k` sites.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1);
+        Self { k }
+    }
+}
+
+impl SiteAssign for UniformSites {
+    fn next_site(&mut self, rng: &mut SmallRng) -> usize {
+        rng.gen_range(0..self.k)
+    }
+    fn k(&self) -> usize {
+        self.k
+    }
+}
+
+/// Every element to one fixed site — case (a) of the hard distribution µ,
+/// and the stress case for the frequency protocol's virtual-site space cap.
+#[derive(Debug, Clone)]
+pub struct SingleSite {
+    k: usize,
+    site: usize,
+}
+
+impl SingleSite {
+    /// All elements to `site` (of `k`).
+    pub fn new(k: usize, site: usize) -> Self {
+        assert!(site < k);
+        Self { k, site }
+    }
+}
+
+impl SiteAssign for SingleSite {
+    fn next_site(&mut self, _rng: &mut SmallRng) -> usize {
+        self.site
+    }
+    fn k(&self) -> usize {
+        self.k
+    }
+}
+
+/// Zipf-skewed sites: site `i` receives a `∝ 1/(i+1)^s` share — models
+/// hot sensors / hot links.
+#[derive(Debug, Clone)]
+pub struct ZipfSites {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSites {
+    /// Zipf over `k` sites with skew `s`.
+    pub fn new(k: usize, s: f64) -> Self {
+        assert!(k >= 1 && s > 0.0);
+        let mut cdf = Vec::with_capacity(k);
+        let mut acc = 0.0;
+        for i in 0..k {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        for v in &mut cdf {
+            *v /= acc;
+        }
+        Self { cdf }
+    }
+}
+
+impl SiteAssign for ZipfSites {
+    fn next_site(&mut self, rng: &mut SmallRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u)
+    }
+    fn k(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+/// Bursty assignment: stay on the current site for a geometric number of
+/// elements (mean `1/q`), then jump to a uniform site — "varying rates"
+/// from the model description (§1.1).
+#[derive(Debug, Clone)]
+pub struct Bursty {
+    k: usize,
+    q: f64,
+    current: usize,
+}
+
+impl Bursty {
+    /// Bursts with switch probability `q` per element over `k` sites.
+    pub fn new(k: usize, q: f64) -> Self {
+        assert!(k >= 1 && (0.0..=1.0).contains(&q));
+        Self { k, q, current: 0 }
+    }
+}
+
+impl SiteAssign for Bursty {
+    fn next_site(&mut self, rng: &mut SmallRng) -> usize {
+        if rng.gen::<f64>() < self.q {
+            self.current = rng.gen_range(0..self.k);
+        }
+        self.current
+    }
+    fn k(&self) -> usize {
+        self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut a = RoundRobin::new(3);
+        let seq: Vec<usize> = (0..7).map(|_| a.next_site(&mut rng)).collect();
+        assert_eq!(seq, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn uniform_hits_all_sites_evenly() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut a = UniformSites::new(4);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[a.next_site(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as i64 - 10_000).abs() < 500, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn single_site_is_constant() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut a = SingleSite::new(5, 2);
+        for _ in 0..100 {
+            assert_eq!(a.next_site(&mut rng), 2);
+        }
+    }
+
+    #[test]
+    fn zipf_sites_skew_toward_zero() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut a = ZipfSites::new(8, 1.0);
+        let mut counts = [0u32; 8];
+        for _ in 0..20_000 {
+            counts[a.next_site(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[3]);
+        assert!(counts[3] > counts[7]);
+    }
+
+    #[test]
+    fn bursty_produces_runs() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut a = Bursty::new(8, 0.01);
+        let seq: Vec<usize> = (0..10_000).map(|_| a.next_site(&mut rng)).collect();
+        let switches = seq.windows(2).filter(|w| w[0] != w[1]).count();
+        // Expected switches ≈ 10_000 · q · (k−1)/k ≈ 87.
+        assert!(switches < 300, "switches {switches}");
+        assert!(switches > 10, "switches {switches}");
+    }
+}

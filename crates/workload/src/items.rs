@@ -1,0 +1,189 @@
+//! Element (item) generators.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Source of stream elements.
+pub trait ItemGen {
+    /// Produce the next element.
+    fn next_item(&mut self, rng: &mut SmallRng) -> u64;
+}
+
+/// Uniform items over `[0, domain)`.
+#[derive(Debug, Clone)]
+pub struct UniformItems {
+    domain: u64,
+}
+
+impl UniformItems {
+    /// Uniform over `[0, domain)`, `domain ≥ 1`.
+    pub fn new(domain: u64) -> Self {
+        assert!(domain >= 1);
+        Self { domain }
+    }
+}
+
+impl ItemGen for UniformItems {
+    fn next_item(&mut self, rng: &mut SmallRng) -> u64 {
+        rng.gen_range(0..self.domain)
+    }
+}
+
+/// Zipf-distributed items: `P(i) ∝ 1/(i+1)^s` over `[0, domain)`.
+///
+/// Uses a precomputed CDF with binary-search sampling — exact, `O(log m)`
+/// per draw, suitable for domains up to a few million.
+#[derive(Debug, Clone)]
+pub struct ZipfItems {
+    cdf: Vec<f64>,
+}
+
+impl ZipfItems {
+    /// Zipf over `[0, domain)` with skew `s > 0` (s ≈ 1 is classic zipf).
+    pub fn new(domain: u64, s: f64) -> Self {
+        assert!(domain >= 1 && s > 0.0);
+        let mut cdf = Vec::with_capacity(domain as usize);
+        let mut acc = 0.0;
+        for i in 0..domain {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Probability of item `i`.
+    pub fn probability(&self, i: u64) -> f64 {
+        let i = i as usize;
+        if i >= self.cdf.len() {
+            return 0.0;
+        }
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+}
+
+impl ItemGen for ZipfItems {
+    fn next_item(&mut self, rng: &mut SmallRng) -> u64 {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+}
+
+/// Duplicate-free pseudorandom sequence: the `i`-th item is
+/// `(i+1)·M mod 2^64` for a fixed odd multiplier `M` — a bijection of the
+/// 64-bit integers, so all items are distinct, in scrambled order.
+/// This is the canonical input for rank tracking (§4 assumes no
+/// duplicates).
+#[derive(Debug, Clone)]
+pub struct DistinctSeq {
+    counter: u64,
+    multiplier: u64,
+}
+
+impl DistinctSeq {
+    /// New sequence; `salt` varies the multiplier across experiments.
+    pub fn new(salt: u64) -> Self {
+        // Any odd multiplier is a bijection mod 2^64; derive one from salt.
+        let multiplier = (salt
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0xA24B_AED4_963E_E407))
+            | 1;
+        Self {
+            counter: 0,
+            multiplier,
+        }
+    }
+
+    /// Value of the `i`-th item (0-based) without advancing.
+    pub fn value_at(&self, i: u64) -> u64 {
+        (i + 1).wrapping_mul(self.multiplier)
+    }
+}
+
+impl ItemGen for DistinctSeq {
+    fn next_item(&mut self, _rng: &mut SmallRng) -> u64 {
+        self.counter += 1;
+        self.counter.wrapping_mul(self.multiplier)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_stays_in_domain() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut g = UniformItems::new(10);
+        for _ in 0..1000 {
+            assert!(g.next_item(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    fn uniform_covers_domain() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut g = UniformItems::new(8);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[g.next_item(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn zipf_probabilities_sum_to_one() {
+        let z = ZipfItems::new(100, 1.0);
+        let total: f64 = (0..100).map(|i| z.probability(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(z.probability(0) > z.probability(1));
+        assert!(z.probability(1) > z.probability(50));
+        assert_eq!(z.probability(100), 0.0);
+    }
+
+    #[test]
+    fn zipf_empirical_head_frequency() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut z = ZipfItems::new(1000, 1.0);
+        let p0 = z.probability(0);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| z.next_item(&mut rng) == 0).count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - p0).abs() < 0.01, "freq {freq} vs p0 {p0}");
+    }
+
+    #[test]
+    fn distinct_seq_produces_distinct_items() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut g = DistinctSeq::new(7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100_000 {
+            assert!(seen.insert(g.next_item(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn distinct_seq_value_at_matches_iteration() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut g = DistinctSeq::new(7);
+        let probe = g.clone();
+        for i in 0..100u64 {
+            assert_eq!(g.next_item(&mut rng), probe.value_at(i));
+        }
+    }
+
+    #[test]
+    fn distinct_seq_salts_differ() {
+        let a = DistinctSeq::new(1).value_at(0);
+        let b = DistinctSeq::new(2).value_at(0);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,28 @@
+//! # dtrack-workload — synthetic stream generators
+//!
+//! The paper evaluates adversarially (it is a theory paper), so all inputs
+//! are synthetic. This crate generates every input regime the theorems
+//! reference:
+//!
+//! * [`items`] — what the elements are: uniform or zipfian multisets for
+//!   frequency tracking, duplicate-free pseudorandom sequences for rank
+//!   tracking (§4 assumes "A(t) contains no duplicates").
+//! * [`assign`] — which site receives each element: round-robin, uniform,
+//!   single-site, zipf-skewed, and bursty policies.
+//! * [`adversarial`] — the lower-bound constructions: the hard input
+//!   distribution µ of Theorem 2.2 and the round/subround instance of
+//!   Theorem 2.4.
+//! * [`stream`] — glue: an [`stream::Arrival`] iterator combining an item
+//!   generator with an assignment policy.
+
+pub mod adversarial;
+pub mod assign;
+pub mod items;
+pub mod phased;
+pub mod stream;
+
+pub use adversarial::{MuCase, MuDistribution, SubroundInstance};
+pub use assign::{Bursty, RoundRobin, SingleSite, SiteAssign, UniformSites, ZipfSites};
+pub use items::{DistinctSeq, ItemGen, UniformItems, ZipfItems};
+pub use phased::{DriftingItems, Sequential};
+pub use stream::{Arrival, Workload};

@@ -1,0 +1,115 @@
+//! Arrival streams: item generator × site assignment.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::assign::SiteAssign;
+use crate::items::ItemGen;
+
+/// One stream event: element `item` arrives at site `site`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Receiving site, `0..k`.
+    pub site: usize,
+    /// The element.
+    pub item: u64,
+}
+
+/// Iterator producing `n` arrivals from an item generator and a site
+/// assignment policy, driven by a seeded PRNG (workload randomness is
+/// deliberately separate from protocol randomness).
+#[derive(Debug, Clone)]
+pub struct Workload<I, A> {
+    items: I,
+    assign: A,
+    remaining: u64,
+    rng: SmallRng,
+}
+
+impl<I: ItemGen, A: SiteAssign> Workload<I, A> {
+    /// A workload of `n` arrivals.
+    pub fn new(items: I, assign: A, n: u64, seed: u64) -> Self {
+        Self {
+            items,
+            assign,
+            remaining: n,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of sites.
+    pub fn k(&self) -> usize {
+        self.assign.k()
+    }
+
+    /// Materialize all arrivals.
+    pub fn collect_vec(self) -> Vec<Arrival> {
+        self.collect()
+    }
+}
+
+impl<I: ItemGen, A: SiteAssign> Iterator for Workload<I, A> {
+    type Item = Arrival;
+
+    fn next(&mut self) -> Option<Arrival> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let site = self.assign.next_site(&mut self.rng);
+        let item = self.items.next_item(&mut self.rng);
+        Some(Arrival { site, item })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let r = self.remaining as usize;
+        (r, Some(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assign::RoundRobin;
+    use crate::items::{DistinctSeq, UniformItems};
+
+    #[test]
+    fn produces_exactly_n_arrivals() {
+        let w = Workload::new(UniformItems::new(100), RoundRobin::new(4), 1000, 1);
+        assert_eq!(w.k(), 4);
+        let v = w.collect_vec();
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().all(|a| a.site < 4 && a.item < 100));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = Workload::new(UniformItems::new(50), RoundRobin::new(3), 200, 9)
+            .collect_vec();
+        let b = Workload::new(UniformItems::new(50), RoundRobin::new(3), 200, 9)
+            .collect_vec();
+        assert_eq!(a, b);
+        let c = Workload::new(UniformItems::new(50), RoundRobin::new(3), 200, 10)
+            .collect_vec();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn distinct_workload_has_no_duplicates() {
+        let v = Workload::new(DistinctSeq::new(3), RoundRobin::new(2), 10_000, 1)
+            .collect_vec();
+        let mut items: Vec<u64> = v.iter().map(|a| a.item).collect();
+        items.sort_unstable();
+        items.dedup();
+        assert_eq!(items.len(), 10_000);
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let mut w =
+            Workload::new(UniformItems::new(10), RoundRobin::new(2), 5, 1);
+        assert_eq!(w.size_hint(), (5, Some(5)));
+        w.next();
+        assert_eq!(w.size_hint(), (4, Some(4)));
+    }
+}

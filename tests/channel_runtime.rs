@@ -1,0 +1,117 @@
+//! The protocols on the *concurrent* channel runtime: one OS thread per
+//! site, real message passing, quiesce-then-query. Verifies the protocols
+//! don't secretly depend on the lock-step scheduler.
+
+use dtrack::core::count::RandomizedCount;
+use dtrack::core::frequency::RandomizedFrequency;
+use dtrack::core::rank::RandomizedRank;
+use dtrack::core::TrackingConfig;
+use dtrack::sim::runtime::ChannelRuntime;
+use dtrack::workload::items::DistinctSeq;
+
+#[test]
+fn count_tracking_concurrent() {
+    let (k, eps, n) = (8, 0.1, 100_000u64);
+    let proto = RandomizedCount::new(TrackingConfig::new(k, eps));
+    let mut ok = 0;
+    let reps = 10;
+    for seed in 0..reps {
+        let rt: ChannelRuntime<RandomizedCount> = ChannelRuntime::new(&proto, seed);
+        for t in 0..n {
+            rt.feed((t % k as u64) as usize, t);
+        }
+        rt.quiesce();
+        let est = rt.with_coord(|c| c.estimate());
+        // Concurrency weakens the instant-communication assumption the
+        // analysis uses; allow 2εn.
+        if (est - n as f64).abs() <= 2.0 * eps * n as f64 {
+            ok += 1;
+        }
+        let stats = rt.shutdown();
+        assert_eq!(stats.elements, n);
+        assert!(stats.total_msgs() > 0);
+    }
+    assert!(ok >= 8, "only {ok}/{reps} accurate under concurrency");
+}
+
+#[test]
+fn frequency_tracking_concurrent() {
+    let (k, eps, n) = (8, 0.1, 80_000u64);
+    let proto = RandomizedFrequency::new(TrackingConfig::new(k, eps));
+    let mut ok = 0;
+    let reps = 10;
+    for seed in 0..reps {
+        let rt: ChannelRuntime<RandomizedFrequency> = ChannelRuntime::new(&proto, seed);
+        for t in 0..n {
+            let item = if t % 5 == 0 { 7 } else { 1000 + t };
+            rt.feed((t % k as u64) as usize, item);
+        }
+        rt.quiesce();
+        let est = rt.with_coord(|c| c.estimate_frequency(7));
+        let truth = (n / 5) as f64;
+        if (est - truth).abs() <= 2.0 * eps * n as f64 {
+            ok += 1;
+        }
+        rt.shutdown();
+    }
+    assert!(ok >= 8, "only {ok}/{reps} accurate under concurrency");
+}
+
+#[test]
+fn rank_tracking_concurrent() {
+    let (k, eps, n) = (8, 0.2, 60_000u64);
+    let proto = RandomizedRank::new(TrackingConfig::new(k, eps));
+    let mut ok = 0;
+    let reps = 8;
+    for seed in 0..reps {
+        let rt: ChannelRuntime<RandomizedRank> = ChannelRuntime::new(&proto, seed);
+        let seq = DistinctSeq::new(3);
+        let mut all: Vec<u64> = Vec::with_capacity(n as usize);
+        for t in 0..n {
+            let v = seq.value_at(t);
+            rt.feed((t % k as u64) as usize, v);
+            all.push(v);
+        }
+        rt.quiesce();
+        all.sort_unstable();
+        let x = all[all.len() / 2];
+        let truth = all.partition_point(|&v| v < x) as f64;
+        let est = rt.with_coord(move |c| c.estimate_rank(x));
+        if (est - truth).abs() <= 3.0 * eps * n as f64 {
+            ok += 1;
+        }
+        rt.shutdown();
+    }
+    assert!(ok >= 6, "only {ok}/{reps} accurate under concurrency");
+}
+
+#[test]
+fn concurrent_feeding_from_multiple_producers() {
+    // Feed from 4 producer threads concurrently — the runtime must
+    // remain consistent (count conservation after quiesce).
+    use std::sync::Arc;
+    let (k, n_per) = (8usize, 25_000u64);
+    let proto = RandomizedCount::new(TrackingConfig::new(k, 0.1));
+    let rt: Arc<ChannelRuntime<RandomizedCount>> =
+        Arc::new(ChannelRuntime::new(&proto, 77));
+    let mut handles = Vec::new();
+    for p in 0..4u64 {
+        let rt = Arc::clone(&rt);
+        handles.push(std::thread::spawn(move || {
+            for t in 0..n_per {
+                rt.feed(((p * n_per + t) % k as u64) as usize, t);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    rt.quiesce();
+    let total = 4 * n_per;
+    let est = rt.with_coord(|c| c.estimate());
+    assert!(
+        (est - total as f64).abs() <= 0.3 * total as f64,
+        "estimate {est} vs {total}"
+    );
+    assert_eq!(rt.stats().elements, total);
+}

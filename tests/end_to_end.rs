@@ -1,0 +1,166 @@
+//! End-to-end integration: every protocol on realistic multi-crate
+//! workloads, checking both accuracy and the communication shape.
+
+use dtrack::core::count::{DeterministicCount, RandomizedCount};
+use dtrack::core::frequency::{DeterministicFrequency, RandomizedFrequency};
+use dtrack::core::rank::{DeterministicRank, RandomizedRank};
+use dtrack::core::sampling::ContinuousSampling;
+use dtrack::core::TrackingConfig;
+use dtrack::sim::Runner;
+use dtrack::sketch::exact::{ExactCounts, ExactRanks};
+use dtrack::workload::items::DistinctSeq;
+use dtrack::workload::{Bursty, RoundRobin, UniformSites, Workload, ZipfItems, ZipfSites};
+
+#[test]
+fn count_all_algorithms_agree_on_zipf_sites() {
+    // Skewed site loads (zipf over sites) with 200k elements.
+    let (k, eps, n) = (16, 0.1, 200_000u64);
+    let cfg = TrackingConfig::new(k, eps);
+    let arrivals =
+        Workload::new(ZipfItems::new(1000, 1.0), ZipfSites::new(k, 1.0), n, 1).collect_vec();
+
+    let mut rand = Runner::new(&RandomizedCount::new(cfg), 2);
+    let mut det = Runner::new(&DeterministicCount::new(cfg), 2);
+    let mut smp = Runner::new(&ContinuousSampling::new(cfg), 2);
+    for a in &arrivals {
+        rand.feed(a.site, &a.item);
+        det.feed(a.site, &a.item);
+        smp.feed(a.site, &a.item);
+    }
+    for (name, est) in [
+        ("randomized", rand.coord().estimate()),
+        ("deterministic", det.coord().estimate()),
+        ("sampling", smp.coord().estimate_count()),
+    ] {
+        assert!(
+            (est - n as f64).abs() <= 2.0 * eps * n as f64,
+            "{name}: {est}"
+        );
+    }
+}
+
+#[test]
+fn frequency_heavy_hitters_on_zipf_traffic() {
+    let (k, eps, n) = (16, 0.01, 300_000u64);
+    let cfg = TrackingConfig::new(k, eps);
+    let arrivals =
+        Workload::new(ZipfItems::new(50_000, 1.2), UniformSites::new(k), n, 3).collect_vec();
+    let mut exact = ExactCounts::new();
+    let mut r = Runner::new(&RandomizedFrequency::new(cfg), 4);
+    for a in &arrivals {
+        r.feed(a.site, &a.item);
+        exact.observe(a.item);
+    }
+    // Every true 3%-heavy-hitter must be reported above (3% − 2ε).
+    let truth = exact.heavy_hitters((0.03 * n as f64) as u64);
+    assert!(!truth.is_empty());
+    let reported = r.coord().heavy_hitters((0.03 - 2.0 * eps) * n as f64);
+    for &(item, f) in &truth {
+        assert!(
+            reported.iter().any(|&(j, _)| j == item),
+            "missed heavy hitter {item} (f={f})"
+        );
+    }
+    // Estimates of the head items are within 2εn.
+    for &(item, f) in truth.iter().take(10) {
+        let est = r.coord().estimate_frequency(item);
+        assert!(
+            (est - f as f64).abs() <= 2.0 * eps * n as f64,
+            "item {item}: est {est} vs {f}"
+        );
+    }
+}
+
+#[test]
+fn frequency_randomized_beats_deterministic_communication() {
+    let (k, eps, n) = (64, 0.02, 300_000u64);
+    let cfg = TrackingConfig::new(k, eps);
+    let arrivals =
+        Workload::new(ZipfItems::new(10_000, 1.1), UniformSites::new(k), n, 5).collect_vec();
+    let mut rand = Runner::new(&RandomizedFrequency::new(cfg), 6);
+    let mut det = Runner::new(&DeterministicFrequency::new(cfg), 6);
+    for a in &arrivals {
+        rand.feed(a.site, &a.item);
+        det.feed(a.site, &a.item);
+    }
+    assert!(
+        rand.stats().total_words() < det.stats().total_words(),
+        "randomized {} ≥ deterministic {}",
+        rand.stats().total_words(),
+        det.stats().total_words()
+    );
+}
+
+#[test]
+fn rank_tracking_on_bursty_arrivals() {
+    let (k, eps, n) = (9, 0.15, 120_000u64);
+    let cfg = TrackingConfig::new(k, eps);
+    let arrivals =
+        Workload::new(DistinctSeq::new(7), Bursty::new(k, 0.001), n, 8).collect_vec();
+    let mut exact = ExactRanks::new();
+    let mut rand = Runner::new(&RandomizedRank::new(cfg), 9);
+    let mut det = Runner::new(&DeterministicRank::new(cfg), 9);
+    for a in &arrivals {
+        rand.feed(a.site, &a.item);
+        det.feed(a.site, &a.item);
+        exact.insert(a.item);
+    }
+    for phi in [0.25, 0.5, 0.75] {
+        let x = exact.quantile(phi).unwrap();
+        let truth = exact.rank(x) as f64;
+        let est_r = rand.coord().estimate_rank(x);
+        let est_d = det.coord().estimate_rank(x);
+        assert!(
+            (est_r - truth).abs() <= 3.0 * eps * n as f64,
+            "randomized phi={phi}: {est_r} vs {truth}"
+        );
+        assert!(
+            (est_d - truth).abs() <= eps * n as f64 + 2.0,
+            "deterministic phi={phi}: {est_d} vs {truth}"
+        );
+    }
+}
+
+#[test]
+fn rank_randomized_beats_deterministic_communication() {
+    let (k, eps, n) = (64, 0.05, 150_000u64);
+    let cfg = TrackingConfig::new(k, eps);
+    let mut rand = Runner::new(&RandomizedRank::new(cfg), 1);
+    let mut det = Runner::new(&DeterministicRank::new(cfg), 1);
+    let seq = DistinctSeq::new(11);
+    for t in 0..n {
+        let v = seq.value_at(t);
+        let site = (t % k as u64) as usize;
+        rand.feed(site, &v);
+        det.feed(site, &v);
+    }
+    assert!(
+        rand.stats().total_words() < det.stats().total_words(),
+        "randomized {} ≥ deterministic {}",
+        rand.stats().total_words(),
+        det.stats().total_words()
+    );
+}
+
+#[test]
+fn estimates_available_and_sane_at_every_scale() {
+    // From the first element to 100k, queries never panic and stay sane.
+    let cfg = TrackingConfig::new(8, 0.1);
+    let mut count = Runner::new(&RandomizedCount::new(cfg), 13);
+    let mut freq = Runner::new(&RandomizedFrequency::new(cfg), 13);
+    let mut rank = Runner::new(&RandomizedRank::new(cfg), 13);
+    let seq = DistinctSeq::new(17);
+    for t in 0..100_000u64 {
+        let site = (t % 8) as usize;
+        count.feed(site, &t);
+        freq.feed(site, &(t % 100));
+        rank.feed(site, &seq.value_at(t));
+        if t.is_power_of_two() {
+            let n = (t + 1) as f64;
+            assert!(count.coord().estimate() >= 0.0);
+            assert!((count.coord().estimate() - n).abs() <= 0.5 * n + 2.0);
+            assert!(freq.coord().estimate_frequency(0) <= 2.0 * n);
+            assert!(rank.coord().estimate_total() >= 0.0);
+        }
+    }
+}

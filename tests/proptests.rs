@@ -1,0 +1,126 @@
+//! Property-based integration tests: protocol invariants under arbitrary
+//! arrival interleavings, item distributions, and parameters.
+
+use dtrack::core::count::{DeterministicCount, RandomizedCount};
+use dtrack::core::frequency::RandomizedFrequency;
+use dtrack::core::rank::RandomizedRank;
+use dtrack::core::TrackingConfig;
+use dtrack::sim::Runner;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The deterministic count baseline's guarantee is unconditional:
+    /// n̂ ≤ n ≤ (1+ε)n̂ at every instant for ANY interleaving.
+    #[test]
+    fn deterministic_count_invariant(
+        sites in proptest::collection::vec(0usize..6, 1..2000),
+        eps in 0.02f64..0.5,
+    ) {
+        let cfg = TrackingConfig::new(6, eps);
+        let mut r = Runner::new(&DeterministicCount::new(cfg), 0);
+        for (t, &s) in sites.iter().enumerate() {
+            r.feed(s, &(t as u64));
+            let n = (t + 1) as f64;
+            let est = r.coord().estimate();
+            prop_assert!(est <= n + 1e-9);
+            prop_assert!(n <= est * (1.0 + eps) + 1e-9);
+        }
+    }
+
+    /// Randomized count: the estimate is always non-negative, never more
+    /// than a constant multiple of n, and exact while p = 1.
+    #[test]
+    fn randomized_count_sanity(
+        sites in proptest::collection::vec(0usize..4, 1..1500),
+        seed in 0u64..1000,
+    ) {
+        let cfg = TrackingConfig::new(4, 0.2);
+        let mut r = Runner::new(&RandomizedCount::new(cfg), seed);
+        for (t, &s) in sites.iter().enumerate() {
+            r.feed(s, &(t as u64));
+            let est = r.coord().estimate();
+            prop_assert!(est >= 0.0);
+            if r.coord().p() == 1.0 {
+                prop_assert!((est - (t + 1) as f64).abs() < 1e-9,
+                    "p=1 must be exact: est {est} at t {t}");
+            }
+        }
+        // Message conservation: words ≥ messages ≥ broadcast charge.
+        let st = r.stats();
+        prop_assert!(st.total_words() >= st.total_msgs());
+        prop_assert!(st.down_msgs >= st.broadcast_events * 4);
+    }
+
+    /// Frequency: Σ over the whole (small) domain of estimates is an
+    /// unbiased estimate of n — check the average over seeds (a single
+    /// run's sum has std Θ(εn·√domain), too noisy to pin down).
+    #[test]
+    fn frequency_mass_conservation(
+        items in proptest::collection::vec(0u64..8, 200..800),
+        seed0 in 0u64..500,
+    ) {
+        let k = 4;
+        let cfg = TrackingConfig::new(k, 0.25);
+        let n = items.len() as f64;
+        let seeds = 16;
+        let mut avg = 0.0;
+        for s in 0..seeds {
+            let mut r = Runner::new(&RandomizedFrequency::new(cfg), seed0 + s);
+            for (t, &item) in items.iter().enumerate() {
+                r.feed(t % k, &item);
+            }
+            avg += (0..8u64).map(|j| r.coord().estimate_frequency(j)).sum::<f64>();
+        }
+        avg /= seeds as f64;
+        prop_assert!((avg - n).abs() <= 0.6 * n + 16.0, "avg {avg} vs n {n}");
+    }
+
+    /// Rank estimates are monotone in the query point and bounded by the
+    /// unbiased total, for any distinct-item stream.
+    #[test]
+    fn rank_monotonicity(
+        salt in 1u64..5000,
+        seed in 0u64..500,
+        n in 100u64..1500,
+    ) {
+        let cfg = TrackingConfig::new(4, 0.3);
+        let mut r = Runner::new(&RandomizedRank::new(cfg), seed);
+        let seq = dtrack::workload::items::DistinctSeq::new(salt);
+        for t in 0..n {
+            r.feed((t % 4) as usize, &seq.value_at(t));
+        }
+        let mut prev = 0.0f64;
+        prop_assert!(r.coord().estimate_rank(0) >= 0.0);
+        for x in (0..=u64::MAX - 1).step_by(usize::MAX / 16) {
+            let est = r.coord().estimate_rank(x);
+            prop_assert!(est + 1e-9 >= prev, "dip at {x}: {est} < {prev}");
+            prev = est;
+        }
+        let total = r.coord().estimate_rank(u64::MAX);
+        prop_assert!((total - n as f64).abs() <= 0.9 * n as f64 + 8.0);
+    }
+
+    /// Space accounting: the frequency site never exceeds its cap by more
+    /// than a constant factor, on any workload shape.
+    #[test]
+    fn frequency_space_capped(
+        hot_site in 0usize..4,
+        n in 500u64..4000,
+        seed in 0u64..200,
+    ) {
+        let k = 4;
+        let eps = 0.1;
+        let cfg = TrackingConfig::new(k, eps);
+        let mut r = Runner::new(&RandomizedFrequency::new(cfg), seed);
+        for t in 0..n {
+            r.feed(hot_site, &t); // all-distinct, single-site: worst case
+        }
+        // Expected cap: 2 words per counter, ≤ p·(n̄/k) counters + consts;
+        // generous multiple to absorb binomial tails.
+        let bound = 40.0 / (eps * (k as f64).sqrt()) + 80.0;
+        prop_assert!((r.space().max_peak() as f64) < bound,
+            "peak {} ≥ {bound}", r.space().max_peak());
+    }
+}
