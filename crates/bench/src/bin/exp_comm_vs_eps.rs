@@ -1,7 +1,7 @@
 //! Experiment **T1-eps**: communication as a function of `1/ε`.
 //!
 //! Every protocol in Table 1 scales linearly in `1/ε` except the sampling
-//! baseline [9], which scales as `1/ε²` — so their log-log slopes against
+//! baseline \[9\], which scales as `1/ε²` — so their log-log slopes against
 //! `1/ε` should come out ≈ 1 and ≈ 2 respectively.
 //!
 //! Usage: `exp_comm_vs_eps [N] [K] [SEEDS]`

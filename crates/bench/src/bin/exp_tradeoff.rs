@@ -4,7 +4,7 @@
 //!
 //! The theorem pins a frontier with two known endpoints:
 //! * the §3.1 randomized protocol: `C ≈ √k/ε·logN`, `M ≈ 1/(ε√k)`;
-//! * the sampling baseline [9]: `C ≈ 1/ε²·logN`, `M = O(1)`.
+//! * the sampling baseline \[9\]: `C ≈ 1/ε²·logN`, `M = O(1)`.
 //!
 //! We measure both (in words; the word/bit gap is the lower-order
 //! slack the paper acknowledges) and print the product against the bound.

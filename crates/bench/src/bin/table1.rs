@@ -7,11 +7,11 @@
 //! |---|---|---|---|
 //! | count | trivial | O(1) | Θ(k/ε·logN) |
 //! | count | new | O(1) | O(√k/ε·logN) |
-//! | frequency | [29] | O(1/ε) | Θ(k/ε·logN) |
+//! | frequency | \[29\] | O(1/ε) | Θ(k/ε·logN) |
 //! | frequency | new | O(1/(ε√k)) | O(√k/ε·logN) |
-//! | rank | [29]/[6] | O(1/ε·log n) | O(k/ε·logN·log²(1/ε)) |
+//! | rank | \[29\]/\[6\] | O(1/ε·log n) | O(k/ε·logN·log²(1/ε)) |
 //! | rank | new | O(1/(ε√k)·polylog) | O(√k/ε·logN·polylog) |
-//! | all | sampling [9] | O(1) | O(1/ε²·logN) |
+//! | all | sampling \[9\] | O(1) | O(1/ε²·logN) |
 //!
 //! Usage: `table1 [N] [K] [EPS] [SEEDS]`
 

@@ -1,7 +1,8 @@
 //! Tiny positional-argument parsing for the experiment binaries.
 //!
 //! Every binary accepts optional positional overrides, e.g.
-//! `table1 [N] [SEEDS]`; anything omitted falls back to the default.
+//! `table1 [N] [K] [EPS] [SEEDS]`; anything omitted — or anything that
+//! fails to parse — falls back to the default.
 
 /// Parse positional argument `idx` (0-based, after the program name) as
 /// `T`, falling back to `default`.

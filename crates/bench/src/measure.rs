@@ -42,7 +42,7 @@ pub enum CountAlgo {
     Randomized,
     /// Trivial (1+ε)-threshold baseline.
     Deterministic,
-    /// Continuous sampling baseline [9].
+    /// Continuous sampling baseline \[9\].
     Sampling,
 }
 
@@ -51,9 +51,9 @@ pub enum CountAlgo {
 pub enum FreqAlgo {
     /// §3.1 randomized protocol (Theorem 3.1).
     Randomized,
-    /// [29]-style deterministic baseline.
+    /// \[29\]-style deterministic baseline.
     Deterministic,
-    /// Continuous sampling baseline [9].
+    /// Continuous sampling baseline \[9\].
     Sampling,
 }
 
@@ -62,9 +62,9 @@ pub enum FreqAlgo {
 pub enum RankAlgo {
     /// §4 randomized protocol (Theorem 4.1).
     Randomized,
-    /// [6]-style deterministic GK baseline.
+    /// \[6\]-style deterministic GK baseline.
     Deterministic,
-    /// Continuous sampling baseline [9].
+    /// Continuous sampling baseline \[9\].
     Sampling,
 }
 

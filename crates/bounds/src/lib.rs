@@ -13,6 +13,21 @@
 //! * [`one_way`] — Theorem 2.2: the threshold structure of one-way
 //!   protocols and the accuracy/communication trade-off they are locked
 //!   into under the hard distribution µ.
+//!
+//! ## Example
+//!
+//! Figure 1 in miniature — probing few sites barely beats guessing, and
+//! more probes monotonically help:
+//!
+//! ```
+//! use dtrack_bounds::SamplingProblem;
+//!
+//! let p = SamplingProblem::new(1_024);
+//! let few = p.failure_rate(32, 200, 1);
+//! let many = p.failure_rate(768, 200, 1);
+//! assert!(few > 0.25);
+//! assert!(many < few);
+//! ```
 
 pub mod hypergeometric;
 pub mod one_bit;

@@ -4,7 +4,7 @@
 //!   `O(√k/ε·logN)` communication, `O(1)` space per site, two-way.
 //! * [`DeterministicCount`] — the trivial `(1+ε)`-threshold algorithm,
 //!   `Θ(k/ε·logN)` communication, one-way; optimal among deterministic
-//!   algorithms [29] and among all one-way algorithms (Theorem 2.2).
+//!   algorithms \[29\] and among all one-way algorithms (Theorem 2.2).
 
 mod deterministic;
 mod randomized;

@@ -5,12 +5,12 @@
 //!   `O(√k/ε·logN)` communication and `O(1/(ε√k))` space per site — less
 //!   than the `Ω(1/ε)` streaming lower bound, which is achievable only
 //!   because sites may talk to the coordinator mid-stream.
-//! * [`DeterministicFrequency`] — the [29]-style deterministic baseline:
+//! * [`DeterministicFrequency`] — the \[29\]-style deterministic baseline:
 //!   per-site Misra–Gries plus εn̄/(2k)-granularity counter refresh,
 //!   `Θ(k/ε·logN)` communication, `O(1/ε)` space.
 //!
 //! [`topk::TopK`] layers Babcock–Olston-style continuous top-k
-//! monitoring ([3]) on the frequency oracle.
+//! monitoring (\[3\]) on the frequency oracle.
 
 mod deterministic;
 mod randomized;

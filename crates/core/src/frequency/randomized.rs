@@ -485,19 +485,26 @@ mod tests {
     #[test]
     fn estimates_sum_roughly_to_n() {
         // Σ_j f̂_j over a small domain should be close to n (each element
-        // contributes to exactly one item's estimator).
+        // contributes to exactly one item's estimator). A single run's sum
+        // deviates with std ≈ 2εn, so any fixed seed is a lottery against
+        // a ~3εn bound; average a few seeds to test the mean instead.
         let (k, eps, n) = (9, 0.1, 30_000u64);
-        let proto = RandomizedFrequency::new(TrackingConfig::new(k, eps));
-        let mut r = Runner::new(&proto, 5);
-        for t in 0..n {
-            r.feed((t % k as u64) as usize, &(t % 10));
+        let seeds = 8u64;
+        let mut avg = 0.0;
+        for seed in 0..seeds {
+            let proto = RandomizedFrequency::new(TrackingConfig::new(k, eps));
+            let mut r = Runner::new(&proto, seed);
+            for t in 0..n {
+                r.feed((t % k as u64) as usize, &(t % 10));
+            }
+            avg += (0..10u64)
+                .map(|j| r.coord().estimate_frequency(j))
+                .sum::<f64>();
         }
-        let total: f64 = (0..10u64)
-            .map(|j| r.coord().estimate_frequency(j))
-            .sum();
+        avg /= seeds as f64;
         assert!(
-            (total - n as f64).abs() < 3.0 * eps * n as f64,
-            "total {total} vs n {n}"
+            (avg - n as f64).abs() < 1.5 * eps * n as f64,
+            "avg {avg} vs n {n}"
         );
     }
 }

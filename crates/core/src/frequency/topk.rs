@@ -1,7 +1,7 @@
 //! Continuous top-k monitoring on top of frequency tracking.
 //!
 //! Babcock and Olston's *distributed top-k monitoring* (the paper's
-//! reference [3], cited as a heuristic predecessor with "no theoretical
+//! reference \[3\], cited as a heuristic predecessor with "no theoretical
 //! analysis") asks for the k most frequent items across the sites. With
 //! an ε-approximate frequency oracle this reduces cleanly: report every
 //! item whose estimate is within `2εn` of the m-th largest estimate —

@@ -10,10 +10,10 @@
 //! | [`count::RandomizedCount`] | §2.1, Thm 2.1 | `O(√k/ε·logN)` | `O(1)` |
 //! | [`count::DeterministicCount`] | trivial (1+ε) baseline | `Θ(k/ε·logN)` | `O(1)` |
 //! | [`frequency::RandomizedFrequency`] | §3.1, Thm 3.1 | `O(√k/ε·logN)` | `O(1/(ε√k))` |
-//! | [`frequency::DeterministicFrequency`] | [29]-style baseline | `Θ(k/ε·logN)` | `O(1/ε)` |
+//! | [`frequency::DeterministicFrequency`] | \[29\]-style baseline | `Θ(k/ε·logN)` | `O(1/ε)` |
 //! | [`rank::RandomizedRank`] | §4, Thm 4.1 | `O(√k/ε·logN·polylog)` | `O(1/(ε√k)·polylog)` |
-//! | [`rank::DeterministicRank`] | [6]-style baseline | `O(k/ε²·logN)` | `O(1/ε·log n)` |
-//! | [`sampling::ContinuousSampling`] | [9] baseline | `O(1/ε²·logN)` | `O(1)` |
+//! | [`rank::DeterministicRank`] | \[6\]-style baseline | `O(k/ε²·logN)` | `O(1/ε·log n)` |
+//! | [`sampling::ContinuousSampling`] | \[9\] baseline | `O(1/ε²·logN)` | `O(1)` |
 //!
 //! All protocols implement the [`dtrack_sim::Protocol`] trait and run on
 //! either the lock-step [`dtrack_sim::Runner`] (exact accounting) or the
@@ -25,6 +25,25 @@
 //! 0.9 success probability into "correct at all times" via independent
 //! copies and medians (§1.2), and [`reduction`] derives frequency answers
 //! from a rank tracker (§1.2).
+//!
+//! ## Example
+//!
+//! The deterministic count baseline, whose `(1+ε)` guarantee holds
+//! unconditionally at every time instant:
+//!
+//! ```
+//! use dtrack_core::count::DeterministicCount;
+//! use dtrack_core::TrackingConfig;
+//! use dtrack_sim::Runner;
+//!
+//! let proto = DeterministicCount::new(TrackingConfig::new(8, 0.1));
+//! let mut r = Runner::new(&proto, /* seed */ 1);
+//! for t in 0..10_000u64 {
+//!     r.feed((t % 8) as usize, &t);
+//! }
+//! let est = r.coord().estimate();
+//! assert!(est <= 10_000.0 && 10_000.0 <= est * 1.1 + 1e-9);
+//! ```
 
 pub mod boost;
 pub mod coarse;

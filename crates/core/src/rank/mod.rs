@@ -5,9 +5,9 @@
 //!   `O(√k/ε·logN·log^1.5(1/(ε√k)))` communication,
 //!   `O(1/(ε√k)·polylog)` space per site.
 //! * [`DeterministicRank`] — the Cormode-et-al.-style deterministic
-//!   baseline ([6]): each site pushes a Greenwald–Khanna summary on
+//!   baseline (\[6\]): each site pushes a Greenwald–Khanna summary on
 //!   `(1+Θ(ε))` local growth, `O(k/ε²·logN)` communication. (The paper's
-//!   own deterministic predecessor [29] achieves `O(k/ε·logN·log²(1/ε))`
+//!   own deterministic predecessor \[29\] achieves `O(k/ε·logN·log²(1/ε))`
 //!   with a substantially more intricate protocol; see DESIGN.md §4 for
 //!   why this baseline preserves the k-vs-√k comparison.)
 

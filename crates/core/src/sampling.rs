@@ -1,5 +1,5 @@
 //! Continuous distributed sampling baseline (Cormode–Muthukrishnan–Yi–
-//! Zhang, paper reference [9]; Table 1 row "sampling").
+//! Zhang, paper reference \[9\]; Table 1 row "sampling").
 //!
 //! Maintains a uniform random sample of size `Θ(1/ε²)` over the union of
 //! the streams, with `O(1/ε²·logN)` total communication and `O(1)` space

@@ -26,6 +26,20 @@
 //!   crossbeam channels (one OS thread per site) used for robustness tests,
 //! * seeded PRNG utilities ([`rng`]) including the geometric skip sampler
 //!   used to make "report with probability `p`" protocols O(1) amortized.
+//!
+//! ## Example
+//!
+//! The geometric skip sampler reproduces Bernoulli(`p`) trials exactly,
+//! in O(1) amortized time per trial:
+//!
+//! ```
+//! use dtrack_sim::rng::{rng_from_seed, GeometricSkips};
+//!
+//! let mut rng = rng_from_seed(7);
+//! let mut skips = GeometricSkips::new(0.01, &mut rng);
+//! let hits = (0..10_000).filter(|_| skips.trial(&mut rng)).count();
+//! assert!((20..400).contains(&hits)); // ≈ 100 expected successes
+//! ```
 
 pub mod message;
 pub mod net;

@@ -1,6 +1,6 @@
 //! Count-Min sketch (Cormode–Muthukrishnan) — the hashing-based
 //! alternative frequency summary surveyed alongside MG/SpaceSaving in the
-//! paper's reference [7] ("Finding frequent items in data streams").
+//! paper's reference \[7\] ("Finding frequent items in data streams").
 //!
 //! `d` rows of `w` counters; estimates overcount: `f ≤ est ≤ f + 2n/w`
 //! with probability `1 − 2^{−d}` per query. Included for completeness of

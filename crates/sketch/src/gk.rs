@@ -1,4 +1,4 @@
-//! Greenwald–Khanna deterministic quantile summary (paper reference [12]).
+//! Greenwald–Khanna deterministic quantile summary (paper reference \[12\]).
 //!
 //! Maintains tuples `(v, g, Δ)` with the invariant `g_i + Δ_i ≤ ⌊2εn⌋`
 //! (after compression), guaranteeing every rank query is answered within
@@ -147,16 +147,27 @@ impl GkSummary {
             return None;
         }
         let target = (phi.clamp(0.0, 1.0) * self.n as f64).floor();
-        let budget = self.epsilon * self.n as f64;
+        // Pick the tuple minimizing the worst-case certified rank
+        // deviation max(|rmin−target|, |rmax−target|). The compression
+        // invariant (g+Δ ≤ 2εn) guarantees the minimum is ≤ εn, so the
+        // returned element always meets the ε guarantee — unlike
+        // "first tuple inside a ±εn window", which can hand back an
+        // element at the far edge of the window.
+        let mut best = self.tuples[0].v;
+        let mut best_err = f64::INFINITY;
         let mut rmin = 0u64;
         for t in &self.tuples {
             rmin += t.g;
             let rmax = rmin + t.delta;
-            if rmax as f64 >= target - budget && rmin as f64 <= target + budget + 1.0 {
-                return Some(t.v);
+            let err = (target - rmin as f64)
+                .abs()
+                .max((target - rmax as f64).abs());
+            if err < best_err {
+                best_err = err;
+                best = t.v;
             }
         }
-        Some(self.tuples.last().unwrap().v)
+        Some(best)
     }
 
     /// The stored tuples, for serialization (3 words each on the wire).

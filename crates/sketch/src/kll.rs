@@ -3,11 +3,11 @@
 //! This is our implementation of the paper's black-box **Algorithm A**
 //! (§4): "an algorithm that produces an unbiased estimator for any rank
 //! with variance O((εn)²) … using O(1/ε·log^1.5(1/ε)) working space to
-//! maintain a rank estimation summary of size O(1/ε)" (citing [24],
-//! improved by [1] — *Mergeable summaries*). We implement the modern
-//! descendant of [1]: a compactor hierarchy with geometrically decaying
+//! maintain a rank estimation summary of size O(1/ε)" (citing \[24\],
+//! improved by \[1\] — *Mergeable summaries*). We implement the modern
+//! descendant of \[1\]: a compactor hierarchy with geometrically decaying
 //! capacities (Karnin–Lang–Liberty). Unbiasedness comes from the same
-//! mechanism as in [1]: every compaction keeps the odd- or even-indexed
+//! mechanism as in \[1\]: every compaction keeps the odd- or even-indexed
 //! survivors with a fair coin, so each discarded element's rank mass is
 //! redistributed without bias. DESIGN.md §4 records this substitution.
 //!
@@ -56,7 +56,7 @@ impl KllSketch {
     /// is at most `e·n` ("error parameter e" in the paper's §4 sense).
     /// `e` may exceed 1 (coarse summaries are meaningful for subsampled
     /// levels of the rank-tracking tree); capacity bottoms out at
-    /// [`MIN_CAP`].
+    /// a small constant (`MIN_CAP`, private).
     pub fn with_error(e: f64, seed: u64) -> Self {
         assert!(e > 0.0);
         Self::new((CAP_CONST / e).ceil() as usize, seed)
@@ -128,7 +128,7 @@ impl KllSketch {
             .sum()
     }
 
-    /// Merge another sketch into this one (mergeability per [1]).
+    /// Merge another sketch into this one (mergeability per \[1\]).
     pub fn merge(&mut self, other: &KllSketch) {
         while self.compactors.len() < other.compactors.len() {
             self.compactors.push(Vec::new());

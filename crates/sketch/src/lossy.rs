@@ -1,4 +1,4 @@
-//! Lossy Counting (Manku–Motwani, paper reference [18], Algorithm 2).
+//! Lossy Counting (Manku–Motwani, paper reference \[18\], Algorithm 2).
 //!
 //! The deterministic sibling of sticky sampling: the stream is cut into
 //! buckets of width `⌈1/ε⌉`; each tracked item keeps `(count, Δ)` where Δ

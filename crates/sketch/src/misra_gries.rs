@@ -1,4 +1,4 @@
-//! Misra–Gries heavy-hitters summary (paper reference [20]).
+//! Misra–Gries heavy-hitters summary (paper reference \[20\]).
 //!
 //! With `c` counters over a stream of length `n`, every estimate satisfies
 //! `f − n/(c+1) ≤ estimate ≤ f`. Setting `c = ⌈1/ε⌉` gives the optimal

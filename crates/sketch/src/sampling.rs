@@ -2,7 +2,7 @@
 
 use rand::Rng;
 
-/// One Bernoulli(`p`) coin flip (clamped to [0,1]).
+/// One Bernoulli(`p`) coin flip (clamped to \[0,1\]).
 #[inline]
 pub fn coin<R: Rng>(rng: &mut R, p: f64) -> bool {
     if p >= 1.0 {

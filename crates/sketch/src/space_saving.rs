@@ -1,4 +1,4 @@
-//! SpaceSaving heavy-hitters summary (Metwally et al., paper reference [19]).
+//! SpaceSaving heavy-hitters summary (Metwally et al., paper reference \[19\]).
 //!
 //! With `m` counters: `f ≤ estimate ≤ f + n/m`. Unlike Misra–Gries the
 //! estimates *over*-count; both achieve the optimal `O(1/ε)` space. A

@@ -1,4 +1,4 @@
-//! Sticky sampling counter list (Manku–Motwani, paper reference [18]).
+//! Sticky sampling counter list (Manku–Motwani, paper reference \[18\]).
 //!
 //! The structure at the heart of the randomized frequency-tracking
 //! protocol (§3.1 of the paper): when element `j` arrives,

@@ -14,6 +14,18 @@
 //!   Theorem 2.4.
 //! * [`stream`] — glue: an [`stream::Arrival`] iterator combining an item
 //!   generator with an assignment policy.
+//!
+//! ## Example
+//!
+//! ```
+//! use dtrack_workload::{UniformItems, UniformSites, Workload};
+//!
+//! let arrivals =
+//!     Workload::new(UniformItems::new(100), UniformSites::new(8), 1_000, 3)
+//!         .collect_vec();
+//! assert_eq!(arrivals.len(), 1_000);
+//! assert!(arrivals.iter().all(|a| a.site < 8 && a.item < 100));
+//! ```
 
 pub mod adversarial;
 pub mod assign;

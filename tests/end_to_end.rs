@@ -9,7 +9,7 @@ use dtrack::core::TrackingConfig;
 use dtrack::sim::Runner;
 use dtrack::sketch::exact::{ExactCounts, ExactRanks};
 use dtrack::workload::items::DistinctSeq;
-use dtrack::workload::{Bursty, RoundRobin, UniformSites, Workload, ZipfItems, ZipfSites};
+use dtrack::workload::{Bursty, UniformSites, Workload, ZipfItems, ZipfSites};
 
 #[test]
 fn count_all_algorithms_agree_on_zipf_sites() {

@@ -1,0 +1,271 @@
+//! Offline stand-in for the
+//! [`criterion`](https://crates.io/crates/criterion) benchmark harness.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! provides the API surface dtrack's benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`Throughput`], [`black_box`],
+//! [`criterion_group!`], [`criterion_main!`] — backed by a simple
+//! median-of-samples wall-clock timer instead of criterion's full
+//! statistical machinery.
+//!
+//! Reported numbers are honest medians with per-iteration calibration,
+//! good enough to compare sketches and protocols against each other on
+//! one machine. They lack criterion's outlier analysis, regression
+//! detection, and HTML reports; when the real crate is available, the
+//! workspace dependency can be repointed without touching bench code.
+//!
+//! Passing `--test` (as `cargo test` does for bench targets) runs every
+//! benchmark exactly once, as a smoke test, without timing loops.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched
+/// code. Delegates to [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units for reporting throughput alongside timings.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// How a benchmark run executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Full timing loops.
+    Measure,
+    /// One iteration per benchmark (`--test` smoke mode).
+    Test,
+}
+
+/// The timing loop driver handed to each benchmark closure.
+pub struct Bencher {
+    mode: Mode,
+    samples: usize,
+    /// Median per-iteration time of the last `iter` call, if measured.
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `f`, storing the median per-iteration duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.mode == Mode::Test {
+            black_box(f());
+            self.last = None;
+            return;
+        }
+        // Calibrate: grow the batch until one batch costs ≥ ~2ms, so
+        // cheap bodies aren't dominated by timer resolution.
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let el = t.elapsed();
+            if el >= Duration::from_millis(2) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        // Sample.
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..batch {
+                    black_box(f());
+                }
+                t.elapsed() / batch as u32
+            })
+            .collect();
+        times.sort_unstable();
+        self.last = Some(times[times.len() / 2]);
+    }
+}
+
+/// A named collection of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    /// Group-scoped sample count (as in real criterion), so one group's
+    /// `sample_size` cannot leak into later groups.
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Report throughput (per [`Throughput`] unit) next to timings.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Set the number of timing samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(3);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let throughput = self.throughput;
+        let samples = self.samples;
+        self.criterion.run_one(&full, throughput, samples, f);
+        self
+    }
+
+    /// Finish the group (reporting happens eagerly; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point: runs benchmarks and prints one line per result.
+pub struct Criterion {
+    mode: Mode,
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` invokes bench executables with `--test`; honor it
+        // by running each benchmark once without timing.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            mode: if test_mode { Mode::Test } else { Mode::Measure },
+            samples: 15,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: self.samples,
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.samples;
+        self.run_one(id, None, samples, f);
+        self
+    }
+
+    fn run_one<F>(
+        &mut self,
+        id: &str,
+        throughput: Option<Throughput>,
+        samples: usize,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            mode: self.mode,
+            samples,
+            last: None,
+        };
+        f(&mut b);
+        match (self.mode, b.last) {
+            (Mode::Test, _) => println!("test {id} ... ok (smoke)"),
+            (Mode::Measure, Some(med)) => {
+                let ns = med.as_nanos();
+                match throughput {
+                    Some(Throughput::Elements(n)) if ns > 0 => {
+                        let rate = n as f64 / med.as_secs_f64();
+                        println!("{id:<50} {ns:>12} ns/iter  {rate:>14.0} elem/s");
+                    }
+                    Some(Throughput::Bytes(n)) if ns > 0 => {
+                        let rate = n as f64 / med.as_secs_f64() / (1 << 20) as f64;
+                        println!("{id:<50} {ns:>12} ns/iter  {rate:>10.1} MiB/s");
+                    }
+                    _ => println!("{id:<50} {ns:>12} ns/iter"),
+                }
+            }
+            (Mode::Measure, None) => println!("{id:<50}  (no measurement)"),
+        }
+    }
+}
+
+/// Bundle benchmark functions into a group runner, as real criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            mode: Mode::Measure,
+            samples: 3,
+        };
+        let mut ran = 0u64;
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box((0..100u64).sum::<u64>())
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            mode: Mode::Test,
+            samples: 3,
+        };
+        let mut runs = 0u64;
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("once", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion {
+            mode: Mode::Test,
+            samples: 3,
+        };
+        let mut g = c.benchmark_group("chain");
+        g.sample_size(10)
+            .bench_function("a", |b| b.iter(|| 1 + 1))
+            .bench_function("b", |b| b.iter(|| 2 + 2));
+        g.finish();
+    }
+}

@@ -1,0 +1,179 @@
+//! Offline stand-in for the
+//! [`crossbeam-channel`](https://crates.io/crates/crossbeam-channel) crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! provides the subset of the API that [`dtrack-sim`'s channel runtime]
+//! uses — [`unbounded`], [`bounded`], a cloneable [`Sender`], and a
+//! [`Receiver`] with `recv`/`try_recv`/`iter` — implemented on top of
+//! `std::sync::mpsc`.
+//!
+//! Two deliberate simplifications, both harmless for dtrack's usage:
+//!
+//! * [`bounded`] does **not** apply backpressure — it returns an
+//!   unbounded queue. dtrack only uses bounded channels for ack/reply
+//!   rendezvous where the capacity is never exceeded anyway, so the
+//!   semantics (messages arrive, `recv` blocks until they do) coincide.
+//! * [`Receiver`] is not `Clone` (std's receiver is single-consumer).
+//!   dtrack never clones receivers.
+//!
+//! [`dtrack-sim`'s channel runtime]: ../dtrack_sim/runtime/index.html
+
+use std::sync::mpsc;
+
+/// Error returned by [`Sender::send`] when the receiving side is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::recv`] when all senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty but senders still exist.
+    Empty,
+    /// All senders have disconnected and the channel is drained.
+    Disconnected,
+}
+
+/// The sending half of a channel. Cloneable; all clones feed the same
+/// receiver.
+pub struct Sender<T> {
+    inner: mpsc::Sender<T>,
+}
+
+// Derived Clone would require T: Clone; the underlying mpsc sender does not.
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Send `value`, failing only if the receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+    }
+}
+
+/// The receiving half of a channel.
+pub struct Receiver<T> {
+    inner: mpsc::Receiver<T>,
+}
+
+impl<T> Receiver<T> {
+    /// Block until a message arrives or every sender is dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.inner.recv().map_err(|_| RecvError)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.inner.try_recv().map_err(|e| match e {
+            mpsc::TryRecvError::Empty => TryRecvError::Empty,
+            mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+        })
+    }
+
+    /// Blocking iterator over messages; ends when all senders are dropped.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { rx: self }
+    }
+}
+
+/// Iterator returned by [`Receiver::iter`].
+pub struct Iter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+/// Create a channel with no capacity limit.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender { inner: tx }, Receiver { inner: rx })
+}
+
+/// Create a channel with capacity `_cap`.
+///
+/// Stand-in caveat: capacity is **not** enforced (see crate docs); the
+/// returned channel is unbounded and `send` never blocks.
+pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
+    unbounded()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(5u32).unwrap();
+        assert_eq!(rx.recv(), Ok(5));
+    }
+
+    #[test]
+    fn cloned_senders_feed_one_receiver() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        tx.send(1u32).unwrap();
+        tx2.send(2).unwrap();
+        drop((tx, tx2));
+        let got: Vec<u32> = rx.iter().collect();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn recv_errors_after_all_senders_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn try_recv_reports_empty_then_value() {
+        let (tx, rx) = bounded(1);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(9u8).unwrap();
+        assert_eq!(rx.try_recv(), Ok(9));
+    }
+
+    #[test]
+    fn send_fails_when_receiver_gone() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(3u8), Err(SendError(3)));
+    }
+
+    #[test]
+    fn works_across_threads() {
+        let (tx, rx) = unbounded();
+        let h = std::thread::spawn(move || {
+            for i in 0..100u64 {
+                tx.send(i).unwrap();
+            }
+        });
+        let sum: u64 = rx.iter().sum();
+        h.join().unwrap();
+        assert_eq!(sum, 4950);
+    }
+}

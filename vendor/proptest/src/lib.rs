@@ -1,0 +1,352 @@
+//! Offline stand-in for the
+//! [`proptest`](https://crates.io/crates/proptest) crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the subset of proptest that dtrack's property tests use:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(...)]` header and `name in strategy` parameters,
+//! * range strategies (`0u64..50`, `0.02f64..0.5`, ...),
+//! * [`collection::vec`] and [`collection::hash_set`],
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//! * [`ProptestConfig::with_cases`].
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with the standard assert
+//!   message; inputs are reproducible (see below) but not minimized.
+//! * **Deterministic seeding.** Case `i` of test `t` derives its RNG from
+//!   `splitmix64(hash(module_path::t), i)`, so every run of the suite
+//!   exercises the same inputs — failures always reproduce. Real proptest
+//!   would draw fresh entropy per run; determinism is the better trade
+//!   here (the ROADMAP's tier-1 gate must not flake).
+
+use std::ops::Range;
+
+/// Per-invocation configuration (only `cases` is honored).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod test_runner {
+    //! The deterministic RNG driving case generation.
+
+    /// splitmix64 — statistically strong 64-bit mixer.
+    fn splitmix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Deterministic per-case random source.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for case number `case` of the test named `name`
+        /// (deterministic across runs and platforms).
+        pub fn for_case(name: &str, case: u32) -> Self {
+            // FNV-1a over the fully qualified test name.
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01B3);
+            }
+            TestRng {
+                state: splitmix64(h ^ splitmix64(case as u64)),
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, span)` by widening multiply.
+        pub fn below(&mut self, span: u64) -> u64 {
+            debug_assert!(span > 0);
+            ((self.next_u64() as u128 * span as u128) >> 64) as u64
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A generator of random values for one `proptest!` parameter.
+pub trait Strategy {
+    /// The type of value generated.
+    type Value;
+
+    /// Generate one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u64, usize, u32, u16, u8, i64, i32);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+/// Passing a strategy by reference also works (used by `collection`).
+impl<S: Strategy> Strategy for &S {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        (**self).new_value(rng)
+    }
+}
+
+pub mod collection {
+    //! Strategies producing collections of values.
+
+    use super::{Strategy, TestRng};
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A `Vec` whose length is uniform in `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = (&self.size).new_value(rng);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet<S::Value>` with target size drawn from `size`.
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A `HashSet` with size uniform in `size` (best effort: if the
+    /// element domain is too small to reach the target size, the set is
+    /// as large as repeated sampling achieves).
+    pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let target = (&self.size).new_value(rng);
+            let mut out = HashSet::with_capacity(target);
+            // Cap attempts so tiny domains can't loop forever.
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target.saturating_mul(50) + 100 {
+                out.insert(self.element.new_value(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import for tests: `use proptest::prelude::*;`.
+
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Assert inside a `proptest!` body (panics with the failing expression;
+/// no shrinking in this stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Inequality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Define property tests: each `fn name(x in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($p:pat in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(
+                        let $p = $crate::Strategy::new_value(
+                            &($strat), &mut __rng,
+                        );
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn rng_is_deterministic_per_name_and_case() {
+        let mut a = TestRng::for_case("t::x", 0);
+        let mut b = TestRng::for_case("t::x", 0);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_case("t::x", 1);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn range_strategy_respects_bounds() {
+        let mut rng = TestRng::for_case("t::bounds", 0);
+        for _ in 0..1000 {
+            let v = Strategy::new_value(&(5u64..10), &mut rng);
+            assert!((5..10).contains(&v));
+            let f = Strategy::new_value(&(0.25f64..0.5), &mut rng);
+            assert!((0.25..0.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_length() {
+        let mut rng = TestRng::for_case("t::vec", 0);
+        for _ in 0..100 {
+            let v = Strategy::new_value(
+                &crate::collection::vec(0u64..50, 3..7),
+                &mut rng,
+            );
+            assert!((3..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 50));
+        }
+    }
+
+    #[test]
+    fn hash_set_strategy_hits_target_size() {
+        let mut rng = TestRng::for_case("t::hs", 0);
+        let s = Strategy::new_value(
+            &crate::collection::hash_set(0u64..100_000, 10..11),
+            &mut rng,
+        );
+        assert_eq!(s.len(), 10);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The macro itself: params bind, asserts work, config is honored.
+        #[test]
+        fn macro_end_to_end(
+            xs in crate::collection::vec(0u64..10, 1..20),
+            mut set in crate::collection::hash_set(0u64..1000, 1..5),
+            p in 0.0f64..1.0,
+        ) {
+            prop_assert!(!xs.is_empty());
+            prop_assert!(xs.iter().all(|&x| x < 10));
+            prop_assert!((0.0..1.0).contains(&p));
+            set.insert(0);
+            prop_assert!(!set.is_empty());
+            prop_assert_eq!(xs.len(), xs.len());
+            prop_assert_ne!(set.len(), 0);
+        }
+    }
+}
