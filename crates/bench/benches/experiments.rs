@@ -8,19 +8,21 @@ use dtrack_bench::measure::{
     count_run, frequency_run, rank_run, CountAlgo, FreqAlgo, RankAlgo,
 };
 use dtrack_bounds::SamplingProblem;
+use dtrack_sim::{DeliveryPolicy, ExecConfig};
 
 fn bench_experiment_smoke(c: &mut Criterion) {
     let mut g = c.benchmark_group("experiment_smoke");
     g.sample_size(10);
 
+    let exec = ExecConfig::LockStep;
     g.bench_function("table1_count_row", |b| {
-        b.iter(|| count_run(CountAlgo::Randomized, 16, 0.05, 50_000, 1))
+        b.iter(|| count_run(exec, CountAlgo::Randomized, 16, 0.05, 50_000, 1))
     });
     g.bench_function("table1_frequency_row", |b| {
-        b.iter(|| frequency_run(FreqAlgo::Randomized, 16, 0.05, 50_000, 1))
+        b.iter(|| frequency_run(exec, FreqAlgo::Randomized, 16, 0.05, 50_000, 1))
     });
     g.bench_function("table1_rank_row", |b| {
-        b.iter(|| rank_run(RankAlgo::Randomized, 16, 0.05, 50_000, 1))
+        b.iter(|| rank_run(exec, RankAlgo::Randomized, 16, 0.05, 50_000, 1))
     });
     g.bench_function("figure1_point", |b| {
         b.iter(|| SamplingProblem::new(1_000).failure_rate(100, 500, 1))
@@ -28,5 +30,27 @@ fn bench_experiment_smoke(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_experiment_smoke);
+/// The same count row on every executor: quantifies what each layer of
+/// execution realism costs (lock-step vs event queue vs OS threads).
+fn bench_executor_matrix(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executor_matrix");
+    g.sample_size(10);
+
+    for (name, exec) in [
+        ("lockstep", ExecConfig::LockStep),
+        ("event_instant", ExecConfig::Event(DeliveryPolicy::Instant)),
+        (
+            "event_random_delay",
+            ExecConfig::Event(DeliveryPolicy::RandomDelay { min: 1, max: 32 }),
+        ),
+        ("channel", ExecConfig::Channel),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| count_run(exec, CountAlgo::Randomized, 16, 0.05, 50_000, 1))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_experiment_smoke, bench_executor_matrix);
 criterion_main!(benches);

@@ -58,6 +58,45 @@ fn bench_protocols(c: &mut Criterion) {
     g.finish();
 }
 
+/// Per-element `feed` vs the coalescing `feed_batch` fast path on the
+/// lock-step runner — the batch path should win on same-site runs
+/// (amortized site lookup, bulk element accounting, sparse space
+/// sampling) while producing identical protocol behavior.
+fn bench_batched_ingest(c: &mut Criterion) {
+    let n = 50_000u64;
+    let cfg = TrackingConfig::new(16, 0.05);
+    let mut g = c.benchmark_group("batched_ingest");
+    g.throughput(Throughput::Elements(n));
+    g.sample_size(10);
+
+    // Bursty site assignment: runs of 64 elements per site.
+    let batch: Vec<(usize, u64)> = {
+        let mut seq = DistinctSeq::new(3);
+        let mut rng = dtrack_sim::rng::rng_from_seed(2);
+        (0..n)
+            .map(|t| (((t / 64) % 16) as usize, seq.next_item(&mut rng)))
+            .collect()
+    };
+
+    g.bench_function("per_element_feed", |b| {
+        b.iter(|| {
+            let mut r = Runner::new(&RandomizedCount::new(cfg), 1);
+            for (s, v) in &batch {
+                r.feed(*s, black_box(v));
+            }
+            r.stats().total_msgs()
+        })
+    });
+    g.bench_function("feed_batch", |b| {
+        b.iter(|| {
+            let mut r = Runner::new(&RandomizedCount::new(cfg), 1);
+            r.feed_batch(black_box(&batch));
+            r.stats().total_msgs()
+        })
+    });
+    g.finish();
+}
+
 fn bench_queries(c: &mut Criterion) {
     // Query latency at the coordinator after a substantial stream.
     let cfg = TrackingConfig::new(16, 0.05);
@@ -89,5 +128,5 @@ fn bench_queries(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_protocols, bench_queries);
+criterion_group!(benches, bench_protocols, bench_batched_ingest, bench_queries);
 criterion_main!(benches);

@@ -1,0 +1,370 @@
+//! Perf-regression harness: a committed JSON baseline of words + wall
+//! time per protocol/workload cell, and a `--check` comparator.
+//!
+//! The criterion stand-in reports honest medians but has no memory, so
+//! nothing used to catch a regression landing between two PRs. This
+//! module gives the `perf_baseline` binary its machinery:
+//!
+//! * [`measure_cells`] runs a small fixed matrix (seven Table-1 protocol
+//!   cells on their standard workloads, lock-step executor) and records
+//!   the **median words** (deterministic given the seed set — an exact
+//!   regression signal for communication) and **median wall time** per
+//!   cell (noisy — compared with a generous factor, and the CI step is
+//!   non-blocking).
+//! * [`to_json`] / [`parse_json`] serialize the baseline without any
+//!   external dependency: the format is a flat, versioned JSON document
+//!   written and read only by this module.
+//! * [`compare`] diffs a current run against the stored baseline.
+//!
+//! Workflow: `cargo run --release -p dtrack-bench --bin perf_baseline`
+//! rewrites `BENCH_baseline.json`; `… --bin perf_baseline -- --check`
+//! exits non-zero if any cell regressed.
+
+use std::time::Instant;
+
+use dtrack_sim::ExecConfig;
+
+use crate::measure::{count_run, frequency_run, rank_run, CountAlgo, FreqAlgo, RankAlgo};
+
+/// Baseline parameters of one measurement matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Params {
+    /// Stream length per cell.
+    pub n: u64,
+    /// Number of sites.
+    pub k: usize,
+    /// Error target.
+    pub eps: f64,
+    /// Seeds 0..seeds are run; medians are stored.
+    pub seeds: u64,
+}
+
+impl Params {
+    /// The default matrix: small enough for CI, large enough that the
+    /// protocols leave their warm-up rounds.
+    pub fn default_ci() -> Self {
+        Self {
+            n: 60_000,
+            k: 16,
+            eps: 0.05,
+            seeds: 3,
+        }
+    }
+}
+
+/// One measured cell: a protocol on its standard workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Stable identifier, e.g. `count/randomized`.
+    pub id: String,
+    /// Median total words over the seed set (deterministic per seed).
+    pub words: u64,
+    /// Median wall time in milliseconds (machine-dependent).
+    pub millis: f64,
+}
+
+/// Median of a small vector (by partial order; NaN-free inputs).
+fn med_u64(mut v: Vec<u64>) -> u64 {
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+fn med_f64(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[v.len() / 2]
+}
+
+/// Run the measurement matrix and return one [`Cell`] per protocol.
+pub fn measure_cells(p: Params) -> Vec<Cell> {
+    let exec = ExecConfig::LockStep;
+    let timed = |f: &dyn Fn(u64) -> u64| -> (u64, f64) {
+        let mut words = Vec::new();
+        let mut millis = Vec::new();
+        for seed in 0..p.seeds {
+            let t0 = Instant::now();
+            words.push(f(seed));
+            millis.push(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        (med_u64(words), med_f64(millis))
+    };
+
+    type CellFn<'a> = (&'a str, Box<dyn Fn(u64) -> u64>);
+    let (n, k, eps) = (p.n, p.k, p.eps);
+    let cells: Vec<CellFn> = vec![
+        (
+            "count/deterministic",
+            Box::new(move |s| count_run(exec, CountAlgo::Deterministic, k, eps, n, s).0.words),
+        ),
+        (
+            "count/randomized",
+            Box::new(move |s| count_run(exec, CountAlgo::Randomized, k, eps, n, s).0.words),
+        ),
+        (
+            "count/sampling",
+            Box::new(move |s| count_run(exec, CountAlgo::Sampling, k, eps, n, s).0.words),
+        ),
+        (
+            "frequency/deterministic",
+            Box::new(move |s| {
+                frequency_run(exec, FreqAlgo::Deterministic, k, eps, n, s).0.words
+            }),
+        ),
+        (
+            "frequency/randomized",
+            Box::new(move |s| {
+                frequency_run(exec, FreqAlgo::Randomized, k, eps, n, s).0.words
+            }),
+        ),
+        (
+            "rank/deterministic",
+            Box::new(move |s| rank_run(exec, RankAlgo::Deterministic, k, eps, n, s).0.words),
+        ),
+        (
+            "rank/randomized",
+            Box::new(move |s| rank_run(exec, RankAlgo::Randomized, k, eps, n, s).0.words),
+        ),
+    ];
+
+    cells
+        .into_iter()
+        .map(|(id, f)| {
+            let (words, millis) = timed(&*f);
+            Cell {
+                id: id.to_string(),
+                words,
+                millis,
+            }
+        })
+        .collect()
+}
+
+/// Serialize a baseline document.
+pub fn to_json(p: Params, cells: &[Cell]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"version\": 1,\n");
+    s.push_str(&format!(
+        "  \"params\": {{\"n\": {}, \"k\": {}, \"eps\": {}, \"seeds\": {}}},\n",
+        p.n, p.k, p.eps, p.seeds
+    ));
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"id\": \"{}\", \"words\": {}, \"millis\": {:.3}}}{}\n",
+            c.id,
+            c.words,
+            c.millis,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Extract the JSON value following `"key":` in `obj` (a flat object
+/// slice produced by [`to_json`]). Returns the raw token up to the next
+/// `,`, `}` or `]`.
+fn field<'a>(obj: &'a str, key: &str) -> Result<&'a str, String> {
+    let pat = format!("\"{key}\":");
+    let start = obj
+        .find(&pat)
+        .ok_or_else(|| format!("missing field {key:?} in {obj:?}"))?
+        + pat.len();
+    let rest = obj[start..].trim_start();
+    let end = rest
+        .find([',', '}', ']'])
+        .ok_or_else(|| format!("unterminated field {key:?}"))?;
+    Ok(rest[..end].trim())
+}
+
+fn unquote(s: &str) -> Result<&str, String> {
+    s.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| format!("expected string, got {s:?}"))
+}
+
+/// Parse a document produced by [`to_json`]. This is deliberately *not*
+/// a general JSON parser — it accepts exactly the flat schema this
+/// module writes (and errors loudly on anything else).
+pub fn parse_json(s: &str) -> Result<(Params, Vec<Cell>), String> {
+    let version: u32 = field(s, "version")?
+        .parse()
+        .map_err(|e| format!("bad version: {e}"))?;
+    if version != 1 {
+        return Err(format!("unsupported baseline version {version}"));
+    }
+    let pstart = s
+        .find("\"params\"")
+        .ok_or_else(|| "missing params".to_string())?;
+    let pobj = &s[pstart..s[pstart..].find('}').map(|i| pstart + i + 1).unwrap_or(s.len())];
+    let params = Params {
+        n: field(pobj, "n")?.parse().map_err(|e| format!("bad n: {e}"))?,
+        k: field(pobj, "k")?.parse().map_err(|e| format!("bad k: {e}"))?,
+        eps: field(pobj, "eps")?
+            .parse()
+            .map_err(|e| format!("bad eps: {e}"))?,
+        seeds: field(pobj, "seeds")?
+            .parse()
+            .map_err(|e| format!("bad seeds: {e}"))?,
+    };
+    let cstart = s
+        .find("\"cells\"")
+        .ok_or_else(|| "missing cells".to_string())?;
+    let carr = &s[cstart..];
+    let mut cells = Vec::new();
+    let mut rest = carr;
+    while let Some(open) = rest.find('{') {
+        let close = rest[open..]
+            .find('}')
+            .ok_or_else(|| "unterminated cell object".to_string())?
+            + open;
+        let obj = &rest[open..=close];
+        cells.push(Cell {
+            id: unquote(field(obj, "id")?)?.to_string(),
+            words: field(obj, "words")?
+                .parse()
+                .map_err(|e| format!("bad words: {e}"))?,
+            millis: field(obj, "millis")?
+                .parse()
+                .map_err(|e| format!("bad millis: {e}"))?,
+        });
+        rest = &rest[close + 1..];
+    }
+    if cells.is_empty() {
+        return Err("baseline contains no cells".to_string());
+    }
+    Ok((params, cells))
+}
+
+/// Compare a current run against the baseline.
+///
+/// * `words` beyond ±`word_tol` (relative) is reported — words are
+///   deterministic given the seed set, so any drift is a real behavior
+///   change (more communication = regression, less = improvement worth
+///   re-baselining).
+/// * `millis` beyond `time_factor`× the baseline is reported — wall time
+///   is machine-dependent, so only large factors are meaningful.
+///
+/// Returns human-readable findings; empty means within tolerance.
+pub fn compare(
+    baseline: &[Cell],
+    current: &[Cell],
+    word_tol: f64,
+    time_factor: f64,
+) -> Vec<String> {
+    let mut findings = Vec::new();
+    for b in baseline {
+        let Some(c) = current.iter().find(|c| c.id == b.id) else {
+            findings.push(format!("{}: cell missing from current run", b.id));
+            continue;
+        };
+        let drift = (c.words as f64 - b.words as f64) / (b.words as f64).max(1.0);
+        if drift.abs() > word_tol {
+            findings.push(format!(
+                "{}: words {} -> {} ({:+.1}%, tolerance ±{:.0}%)",
+                b.id,
+                b.words,
+                c.words,
+                drift * 1e2,
+                word_tol * 1e2
+            ));
+        }
+        if c.millis > b.millis * time_factor {
+            findings.push(format!(
+                "{}: wall time {:.2}ms -> {:.2}ms (> {:.1}x baseline)",
+                b.id, b.millis, c.millis, time_factor
+            ));
+        }
+    }
+    for c in current {
+        if !baseline.iter().any(|b| b.id == c.id) {
+            findings.push(format!(
+                "{}: new cell not in baseline (re-run without --check)",
+                c.id
+            ));
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cells() -> Vec<Cell> {
+        vec![
+            Cell {
+                id: "count/randomized".into(),
+                words: 1234,
+                millis: 5.125,
+            },
+            Cell {
+                id: "rank/deterministic".into(),
+                words: 99,
+                millis: 0.75,
+            },
+        ]
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let p = Params::default_ci();
+        let cells = sample_cells();
+        let (p2, cells2) = parse_json(&to_json(p, &cells)).unwrap();
+        assert_eq!(p, p2);
+        assert_eq!(cells, cells2);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_json("").is_err());
+        assert!(parse_json("{\"version\": 2}").is_err());
+        assert!(parse_json("{\"version\": 1, \"cells\": []}").is_err());
+    }
+
+    #[test]
+    fn compare_flags_word_drift_and_slowdowns() {
+        let base = sample_cells();
+        let mut cur = sample_cells();
+        assert!(compare(&base, &cur, 0.02, 3.0).is_empty());
+        cur[0].words = 2000; // +62%
+        cur[1].millis = 10.0; // 13x
+        let findings = compare(&base, &cur, 0.02, 3.0);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings[0].contains("count/randomized"));
+        assert!(findings[1].contains("wall time"));
+    }
+
+    #[test]
+    fn compare_flags_missing_and_new_cells() {
+        let base = sample_cells();
+        let cur = vec![
+            base[0].clone(),
+            Cell {
+                id: "novel/cell".into(),
+                words: 1,
+                millis: 1.0,
+            },
+        ];
+        let findings = compare(&base, &cur, 0.02, 3.0);
+        assert!(findings.iter().any(|f| f.contains("missing")));
+        assert!(findings.iter().any(|f| f.contains("not in baseline")));
+    }
+
+    #[test]
+    fn measured_words_are_deterministic() {
+        let p = Params {
+            n: 4_000,
+            k: 4,
+            eps: 0.2,
+            seeds: 1,
+        };
+        let a = measure_cells(p);
+        let b = measure_cells(p);
+        assert_eq!(a.len(), 7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.words, y.words, "{}", x.id);
+        }
+    }
+}

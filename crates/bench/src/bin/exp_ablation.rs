@@ -15,44 +15,57 @@
 //!    budget has strictly larger variance than the tree + tail-sample
 //!    decomposition.
 //!
-//! Usage: `exp_ablation [N] [SEEDS]`
+//! Usage: `exp_ablation [N] [SEEDS] [EXEC]`
+//! (arm 3 probes coordinator state after every element, which requires
+//! the in-process lock-step executor; the other arms honor `EXEC`)
 
-use dtrack_bench::cli::{arg, banner};
+use dtrack_bench::cli::{arg, banner, exec_arg};
 use dtrack_bench::table::{fmt_num, Table};
-use dtrack_core::count::RandomizedCount;
-use dtrack_core::frequency::RandomizedFrequency;
-use dtrack_core::rank::RandomizedRank;
+use dtrack_core::count::{RandCountCoord, RandomizedCount};
+use dtrack_core::frequency::{RandFreqCoord, RandomizedFrequency};
+use dtrack_core::rank::{RandRankCoord, RandomizedRank};
 use dtrack_core::TrackingConfig;
-use dtrack_sim::Runner;
+use dtrack_sim::{ExecConfig, Executor, Runner};
 use dtrack_workload::items::DistinctSeq;
 use rand::Rng;
 
 fn main() {
     let n: u64 = arg(0, 200_000);
     let seeds: u64 = arg(1, 20);
-    banner("ABL — design ablations", &format!("N={n}, seeds={seeds}"));
+    let exec = exec_arg(2);
+    banner(
+        "ABL — design ablations",
+        &format!("N={n}, seeds={seeds}, exec={exec}"),
+    );
 
-    ablate_count_estimator(n, seeds);
-    ablate_frequency_estimator(n, seeds);
+    ablate_count_estimator(exec, n, seeds);
+    ablate_frequency_estimator(exec, n, seeds);
     ablate_rethinning(n, seeds);
-    ablate_rank_tree(n.min(100_000), seeds.min(10));
+    ablate_rank_tree(exec, n.min(100_000), seeds.min(10));
 }
 
 /// Arm 1: the two-case estimator of eq. (1) vs the naive one-case form,
 /// on a workload with many near-silent sites (99% of traffic at site 0).
-fn ablate_count_estimator(n: u64, seeds: u64) {
+fn ablate_count_estimator(exec: ExecConfig, n: u64, seeds: u64) {
     let (k, eps) = (64, 0.02);
     let cfg = TrackingConfig::new(k, eps);
     let mut two_case = 0.0;
     let mut naive = 0.0;
     for seed in 0..seeds {
-        let mut r = Runner::new(&RandomizedCount::new(cfg), seed);
-        for t in 0..n {
-            let site = if t % 100 == 0 { 1 + (t as usize / 100) % (k - 1) } else { 0 };
-            r.feed(site, &t);
-        }
-        two_case += r.coord().estimate() - n as f64;
-        naive += r.coord().estimate_naive() - n as f64;
+        let mut ex = exec.build(&RandomizedCount::new(cfg), seed);
+        let batch: Vec<(usize, u64)> = (0..n)
+            .map(|t| {
+                let site =
+                    if t % 100 == 0 { 1 + (t as usize / 100) % (k - 1) } else { 0 };
+                (site, t)
+            })
+            .collect();
+        ex.feed_batch(batch);
+        ex.quiesce();
+        let (est, est_naive) = ex
+            .query(|c: &RandCountCoord| (c.estimate(), c.estimate_naive()));
+        two_case += est - n as f64;
+        naive += est_naive - n as f64;
     }
     let mut t = Table::new(["count estimator", "mean signed error", "× (eps·n)"]);
     for (name, bias) in [("eq. (1) two-case", two_case), ("naive one-case", naive)] {
@@ -70,7 +83,7 @@ fn ablate_count_estimator(n: u64, seeds: u64) {
 
 /// Arm 2: the unbiased eq. (4) estimator vs the biased eq. (2) form, on
 /// a workload of many items each with frequency Θ(εn/√k).
-fn ablate_frequency_estimator(n: u64, seeds: u64) {
+fn ablate_frequency_estimator(exec: ExecConfig, n: u64, seeds: u64) {
     let (k, eps) = (16, 0.05);
     let cfg = TrackingConfig::new(k, eps);
     let domain = 24u64; // per-site item frequency ≈ 1/(2p): peak-bias regime
@@ -78,14 +91,18 @@ fn ablate_frequency_estimator(n: u64, seeds: u64) {
     let mut naive = 0.0;
     let probes = 8u64;
     for seed in 0..seeds {
-        let mut r = Runner::new(&RandomizedFrequency::new(cfg), seed);
-        for t in 0..n {
-            r.feed((t % k as u64) as usize, &(t % domain));
-        }
+        let mut ex = exec.build(&RandomizedFrequency::new(cfg), seed);
+        ex.feed_batch(
+            (0..n).map(|t| ((t % k as u64) as usize, t % domain)).collect(),
+        );
+        ex.quiesce();
         let truth = n as f64 / domain as f64;
         for j in 0..probes {
-            unbiased += r.coord().estimate_frequency(j) - truth;
-            naive += r.coord().estimate_frequency_naive(j) - truth;
+            let (est, est_naive) = ex.query(move |c: &RandFreqCoord| {
+                (c.estimate_frequency(j), c.estimate_frequency_naive(j))
+            });
+            unbiased += est - truth;
+            naive += est_naive - truth;
         }
     }
     let den = (seeds * probes) as f64;
@@ -103,7 +120,9 @@ fn ablate_frequency_estimator(n: u64, seeds: u64) {
     println!("(paper: eq. (2) bias is Θ(εn/√k) per site when f = Θ(εn/√k))\n");
 }
 
-/// Arm 3: the p-halving re-thinning step vs keeping stale n̄ᵢ.
+/// Arm 3: the p-halving re-thinning step vs keeping stale n̄ᵢ. Probes
+/// coordinator state after every element, so it always runs on the
+/// in-process lock-step executor.
 fn ablate_rethinning(n: u64, seeds: u64) {
     let (k, eps) = (16, 0.05);
     let cfg = TrackingConfig::new(k, eps);
@@ -155,7 +174,7 @@ fn ablate_rethinning(n: u64, seeds: u64) {
 /// at the protocol's own rate `p = C·√k/(εn̄)`: the words drop (no
 /// summaries) but the variance jumps from O((εn)²) to n/p = Θ(εn²/√k) —
 /// the tree is what turns a sample into an ε-guarantee.
-fn ablate_rank_tree(n: u64, seeds: u64) {
+fn ablate_rank_tree(exec: ExecConfig, n: u64, seeds: u64) {
     let (k, eps) = (16, 0.01);
     let cfg = TrackingConfig::new(k, eps);
     let seq = DistinctSeq::new(33);
@@ -168,12 +187,15 @@ fn ablate_rank_tree(n: u64, seeds: u64) {
     let mut tree_se = 0.0;
     let mut words = 0u64;
     for seed in 0..seeds {
-        let mut r = Runner::new(&RandomizedRank::new(cfg), seed);
-        for (t, v) in data.iter().enumerate() {
-            r.feed(t % k, v);
-        }
-        tree_se += (r.coord().estimate_rank(x) - truth).powi(2);
-        words = r.stats().total_words();
+        let mut ex = exec.build(&RandomizedRank::new(cfg), seed);
+        ex.feed_batch(
+            data.iter().enumerate().map(|(t, v)| (t % k, *v)).collect(),
+        );
+        ex.quiesce();
+        tree_se += (ex.query(move |c: &RandRankCoord| c.estimate_rank(x))
+            - truth)
+            .powi(2);
+        words = ex.stats().total_words();
     }
     // Samples only, at the protocol's own final-round rate.
     let q = (8.0 * (k as f64).sqrt() / (eps * n as f64)).min(1.0);

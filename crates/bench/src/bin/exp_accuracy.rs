@@ -2,9 +2,9 @@
 //! 4.1 — error ≤ εn at any fixed time with probability ≥ 0.9 — plus the
 //! §1.2 median-boosting claim (correct at *all* times).
 //!
-//! Usage: `exp_accuracy [N] [K] [EPS] [SEEDS]`
+//! Usage: `exp_accuracy [N] [K] [EPS] [SEEDS] [EXEC]`
 
-use dtrack_bench::cli::{arg, banner};
+use dtrack_bench::cli::{arg, banner, exec_arg};
 use dtrack_bench::measure::{
     count_boosted_max_error, count_run, frequency_run, frequency_single_probe_error,
     rank_run, CountAlgo, FreqAlgo, RankAlgo,
@@ -22,9 +22,10 @@ fn main() {
     let k: usize = arg(1, 16);
     let eps: f64 = arg(2, 0.02);
     let seeds: u64 = arg(3, 40);
+    let exec = exec_arg(4);
     banner(
         "ACC — error distributions over independent runs",
-        &format!("N={n}, k={k}, eps={eps}, seeds={seeds}"),
+        &format!("N={n}, k={k}, eps={eps}, seeds={seeds}, exec={exec}"),
     );
 
     let mut t = Table::new([
@@ -50,31 +51,31 @@ fn main() {
     push(
         "count NEW",
         (0..seeds)
-            .map(|s| count_run(CountAlgo::Randomized, k, eps, n, s).1)
+            .map(|s| count_run(exec, CountAlgo::Randomized, k, eps, n, s).1)
             .collect(),
     );
     push(
         "frequency NEW (1 probe)",
         (0..seeds)
-            .map(|s| frequency_single_probe_error(FreqAlgo::Randomized, k, eps, n, s))
+            .map(|s| frequency_single_probe_error(exec, FreqAlgo::Randomized, k, eps, n, s))
             .collect(),
     );
     push(
         "frequency NEW (max/25)",
         (0..seeds)
-            .map(|s| frequency_run(FreqAlgo::Randomized, k, eps, n, s).1)
+            .map(|s| frequency_run(exec, FreqAlgo::Randomized, k, eps, n, s).1)
             .collect(),
     );
     push(
         "rank NEW",
         (0..seeds)
-            .map(|s| rank_run(RankAlgo::Randomized, k, eps, n.min(200_000), s).1)
+            .map(|s| rank_run(exec, RankAlgo::Randomized, k, eps, n.min(200_000), s).1)
             .collect(),
     );
     push(
         "sampling [9]",
         (0..seeds)
-            .map(|s| count_run(CountAlgo::Sampling, k, eps, n, s).1)
+            .map(|s| count_run(exec, CountAlgo::Sampling, k, eps, n, s).1)
             .collect(),
     );
     t.print();
@@ -86,7 +87,7 @@ fn main() {
     let mut t2 = Table::new(["copies", "seed", "max err/(eps·n) over run"]);
     for seed in 0..seeds.min(5) {
         let worst =
-            count_boosted_max_error(k, eps, n, copies, seed, &checkpoints);
+            count_boosted_max_error(exec, k, eps, n, copies, seed, &checkpoints);
         t2.row([
             copies.to_string(),
             seed.to_string(),

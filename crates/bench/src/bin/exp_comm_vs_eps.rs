@@ -4,9 +4,9 @@
 //! baseline \[9\], which scales as `1/ε²` — so their log-log slopes against
 //! `1/ε` should come out ≈ 1 and ≈ 2 respectively.
 //!
-//! Usage: `exp_comm_vs_eps [N] [K] [SEEDS]`
+//! Usage: `exp_comm_vs_eps [N] [K] [SEEDS] [EXEC]`
 
-use dtrack_bench::cli::{arg, banner};
+use dtrack_bench::cli::{arg, banner, exec_arg};
 use dtrack_bench::fit::loglog_slope;
 use dtrack_bench::measure::{count_run, frequency_run, CountAlgo, FreqAlgo};
 use dtrack_bench::table::{fmt_num, Table};
@@ -15,10 +15,11 @@ fn main() {
     let n: u64 = arg(0, 1_000_000);
     let k: usize = arg(1, 16);
     let seeds: u64 = arg(2, 3);
+    let exec = exec_arg(3);
     let epss = [0.04, 0.02, 0.01, 0.005];
     banner(
         "T1-eps — communication vs 1/eps",
-        &format!("N={n}, k={k}, eps in {epss:?}, seeds={seeds}"),
+        &format!("N={n}, k={k}, eps in {epss:?}, seeds={seeds}, exec={exec}"),
     );
 
     let mut t = Table::new(["eps", "cnt-det", "cnt-NEW", "freq-det", "freq-NEW", "sampling"]);
@@ -30,11 +31,11 @@ fn main() {
     };
     for &eps in &epss {
         let vals = [
-            med(&|s| count_run(CountAlgo::Deterministic, k, eps, n, s).0.words),
-            med(&|s| count_run(CountAlgo::Randomized, k, eps, n, s).0.words),
-            med(&|s| frequency_run(FreqAlgo::Deterministic, k, eps, n, s).0.words),
-            med(&|s| frequency_run(FreqAlgo::Randomized, k, eps, n, s).0.words),
-            med(&|s| count_run(CountAlgo::Sampling, k, eps, n, s).0.words),
+            med(&|s| count_run(exec, CountAlgo::Deterministic, k, eps, n, s).0.words),
+            med(&|s| count_run(exec, CountAlgo::Randomized, k, eps, n, s).0.words),
+            med(&|s| frequency_run(exec, FreqAlgo::Deterministic, k, eps, n, s).0.words),
+            med(&|s| frequency_run(exec, FreqAlgo::Randomized, k, eps, n, s).0.words),
+            med(&|s| count_run(exec, CountAlgo::Sampling, k, eps, n, s).0.words),
         ];
         for (i, v) in vals.iter().enumerate() {
             series[i].push(*v);

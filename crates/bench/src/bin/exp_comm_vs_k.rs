@@ -7,9 +7,9 @@
 //! the deterministic baselines near 1.0 (each up to the additive
 //! `O(k logN)` terms, which flatten the small-k end).
 //!
-//! Usage: `exp_comm_vs_k [N] [EPS] [SEEDS]`
+//! Usage: `exp_comm_vs_k [N] [EPS] [SEEDS] [EXEC]`
 
-use dtrack_bench::cli::{arg, banner};
+use dtrack_bench::cli::{arg, banner, exec_arg};
 use dtrack_bench::fit::loglog_slope;
 use dtrack_bench::measure::{
     count_run, frequency_run, rank_run, CountAlgo, FreqAlgo, RankAlgo,
@@ -20,12 +20,13 @@ fn main() {
     let n: u64 = arg(0, 1_000_000);
     let eps: f64 = arg(1, 0.01);
     let seeds: u64 = arg(2, 3);
+    let exec = exec_arg(3);
     let rank_n = n.min(400_000);
     let rank_eps = eps.max(0.02);
     let ks = [4usize, 16, 64, 256];
     banner(
         "T1-k — communication vs number of sites k",
-        &format!("N={n} (rank {rank_n}), eps={eps} (rank {rank_eps}), k in {ks:?}, seeds={seeds}"),
+        &format!("N={n} (rank {rank_n}), eps={eps} (rank {rank_eps}), k in {ks:?}, seeds={seeds}, exec={exec}"),
     );
 
     let mut t = Table::new(["k", "cnt-det", "cnt-NEW", "freq-det", "freq-NEW", "rank-det", "rank-NEW"]);
@@ -37,12 +38,12 @@ fn main() {
     };
     for &k in &ks {
         let vals = [
-            med(&|s| count_run(CountAlgo::Deterministic, k, eps, n, s).0.words),
-            med(&|s| count_run(CountAlgo::Randomized, k, eps, n, s).0.words),
-            med(&|s| frequency_run(FreqAlgo::Deterministic, k, eps, n, s).0.words),
-            med(&|s| frequency_run(FreqAlgo::Randomized, k, eps, n, s).0.words),
-            med(&|s| rank_run(RankAlgo::Deterministic, k, rank_eps, rank_n, s).0.words),
-            med(&|s| rank_run(RankAlgo::Randomized, k, rank_eps, rank_n, s).0.words),
+            med(&|s| count_run(exec, CountAlgo::Deterministic, k, eps, n, s).0.words),
+            med(&|s| count_run(exec, CountAlgo::Randomized, k, eps, n, s).0.words),
+            med(&|s| frequency_run(exec, FreqAlgo::Deterministic, k, eps, n, s).0.words),
+            med(&|s| frequency_run(exec, FreqAlgo::Randomized, k, eps, n, s).0.words),
+            med(&|s| rank_run(exec, RankAlgo::Deterministic, k, rank_eps, rank_n, s).0.words),
+            med(&|s| rank_run(exec, RankAlgo::Randomized, k, rank_eps, rank_n, s).0.words),
         ];
         for (i, v) in vals.iter().enumerate() {
             series[i].push(*v);

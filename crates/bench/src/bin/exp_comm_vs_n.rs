@@ -3,9 +3,9 @@
 //! `O(logN)` round structure, so cost per *round* should be flat and
 //! total cost logarithmic in N (slope ≈ 0 on words/log₂N).
 //!
-//! Usage: `exp_comm_vs_n [K] [EPS] [SEEDS]`
+//! Usage: `exp_comm_vs_n [K] [EPS] [SEEDS] [EXEC]`
 
-use dtrack_bench::cli::{arg, banner};
+use dtrack_bench::cli::{arg, banner, exec_arg};
 use dtrack_bench::measure::{count_run, frequency_run, CountAlgo, FreqAlgo};
 use dtrack_bench::table::{fmt_num, Table};
 
@@ -13,10 +13,11 @@ fn main() {
     let k: usize = arg(0, 16);
     let eps: f64 = arg(1, 0.01);
     let seeds: u64 = arg(2, 3);
+    let exec = exec_arg(3);
     let ns = [62_500u64, 250_000, 1_000_000, 4_000_000];
     banner(
         "T1-N — communication vs stream length N",
-        &format!("k={k}, eps={eps}, N in {ns:?}, seeds={seeds}"),
+        &format!("k={k}, eps={eps}, N in {ns:?}, seeds={seeds}, exec={exec}"),
     );
 
     let med = |f: &dyn Fn(u64) -> u64| -> f64 {
@@ -34,8 +35,8 @@ fn main() {
     ]);
     let mut ratios = Vec::new();
     for &n in &ns {
-        let c = med(&|s| count_run(CountAlgo::Randomized, k, eps, n, s).0.words);
-        let f = med(&|s| frequency_run(FreqAlgo::Randomized, k, eps, n, s).0.words);
+        let c = med(&|s| count_run(exec, CountAlgo::Randomized, k, eps, n, s).0.words);
+        let f = med(&|s| frequency_run(exec, FreqAlgo::Randomized, k, eps, n, s).0.words);
         let l = (n as f64).log2();
         ratios.push(c / l);
         t.row([

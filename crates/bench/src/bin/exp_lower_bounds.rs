@@ -13,20 +13,24 @@
 //!    messages per subround — matching the lower bound's charge argument,
 //!    so the upper bound is tight on its own hard input.
 //!
-//! Usage: `exp_lower_bounds [K] [N]`
+//! Usage: `exp_lower_bounds [K] [N] [EXEC]`
 
-use dtrack_bench::cli::{arg, banner};
+use dtrack_bench::cli::{arg, banner, exec_arg};
 use dtrack_bench::table::{fmt_num, Table};
 use dtrack_bounds::{OneBitInstance, OneWayThresholds};
 use dtrack_core::count::RandomizedCount;
 use dtrack_core::TrackingConfig;
-use dtrack_sim::Runner;
+use dtrack_sim::Executor;
 use dtrack_workload::SubroundInstance;
 
 fn main() {
     let k: usize = arg(0, 64);
     let n: u64 = arg(1, 1_000_000);
-    banner("LB — lower-bound demonstrators", &format!("k={k}, N={n}"));
+    let exec = exec_arg(2);
+    banner(
+        "LB — lower-bound demonstrators",
+        &format!("k={k}, N={n}, exec={exec}"),
+    );
 
     // -- Part 1: Theorem 2.2, one-way threshold frontier --
     println!("-- Thm 2.2: one-way protocols under µ (error vs messages) --");
@@ -83,11 +87,10 @@ fn main() {
         let sched = inst.generate(3);
         let arrivals = SubroundInstance::arrivals(&sched);
         let proto = RandomizedCount::new(TrackingConfig::new(kk, eps));
-        let mut r = Runner::new(&proto, 5);
-        for a in &arrivals {
-            r.feed(a.site, &(a.item));
-        }
-        let msgs = r.stats().total_msgs() as f64;
+        let mut ex = exec.build(&proto, 5);
+        ex.feed_batch(arrivals.iter().map(|a| (a.site, a.item)).collect());
+        ex.quiesce();
+        let msgs = ex.stats().total_msgs() as f64;
         let subrounds = sched.len() as f64;
         t3.row([
             kk.to_string(),

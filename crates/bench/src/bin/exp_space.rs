@@ -4,9 +4,9 @@
 //! streaming lower bound Ω(1/ε), and shrinking as k grows; frequency
 //! deterministic `O(1/ε)`; rank NEW `O(1/(ε√k)·polylog)`; sampling O(1).
 //!
-//! Usage: `exp_space [N] [SEEDS]`
+//! Usage: `exp_space [N] [SEEDS] [EXEC]`
 
-use dtrack_bench::cli::{arg, banner};
+use dtrack_bench::cli::{arg, banner, exec_arg};
 use dtrack_bench::measure::{
     count_run, frequency_run, rank_run, CountAlgo, FreqAlgo, RankAlgo,
 };
@@ -15,10 +15,11 @@ use dtrack_bench::table::{fmt_num, Table};
 fn main() {
     let n: u64 = arg(0, 1_000_000);
     let seeds: u64 = arg(1, 3);
+    let exec = exec_arg(2);
     let rank_n = n.min(400_000);
     banner(
         "T1-space — peak words per site",
-        &format!("N={n} (rank {rank_n}), seeds={seeds}"),
+        &format!("N={n} (rank {rank_n}), seeds={seeds}, exec={exec}"),
     );
 
     let med = |f: &dyn Fn(u64) -> u64| -> f64 {
@@ -33,11 +34,11 @@ fn main() {
         let eps = 0.01;
         t.row([
             k.to_string(),
-            fmt_num(med(&|s| frequency_run(FreqAlgo::Randomized, k, eps, n, s).0.max_space)),
+            fmt_num(med(&|s| frequency_run(exec, FreqAlgo::Randomized, k, eps, n, s).0.max_space)),
             fmt_num(1.0 / (eps * (k as f64).sqrt())),
-            fmt_num(med(&|s| frequency_run(FreqAlgo::Deterministic, k, eps, n, s).0.max_space)),
-            fmt_num(med(&|s| count_run(CountAlgo::Randomized, k, eps, n, s).0.max_space)),
-            fmt_num(med(&|s| count_run(CountAlgo::Sampling, k, eps, n, s).0.max_space)),
+            fmt_num(med(&|s| frequency_run(exec, FreqAlgo::Deterministic, k, eps, n, s).0.max_space)),
+            fmt_num(med(&|s| count_run(exec, CountAlgo::Randomized, k, eps, n, s).0.max_space)),
+            fmt_num(med(&|s| count_run(exec, CountAlgo::Sampling, k, eps, n, s).0.max_space)),
         ]);
     }
     t.print();
@@ -50,10 +51,10 @@ fn main() {
         let reps = eps.max(0.02);
         t2.row([
             format!("{eps}"),
-            fmt_num(med(&|s| frequency_run(FreqAlgo::Randomized, k, eps, n, s).0.max_space)),
-            fmt_num(med(&|s| frequency_run(FreqAlgo::Deterministic, k, eps, n, s).0.max_space)),
-            fmt_num(med(&|s| rank_run(RankAlgo::Randomized, k, reps, rank_n, s).0.max_space)),
-            fmt_num(med(&|s| rank_run(RankAlgo::Deterministic, k, reps, rank_n, s).0.max_space)),
+            fmt_num(med(&|s| frequency_run(exec, FreqAlgo::Randomized, k, eps, n, s).0.max_space)),
+            fmt_num(med(&|s| frequency_run(exec, FreqAlgo::Deterministic, k, eps, n, s).0.max_space)),
+            fmt_num(med(&|s| rank_run(exec, RankAlgo::Randomized, k, reps, rank_n, s).0.max_space)),
+            fmt_num(med(&|s| rank_run(exec, RankAlgo::Deterministic, k, reps, rank_n, s).0.max_space)),
         ]);
     }
     t2.print();

@@ -9,9 +9,9 @@
 //! We measure both (in words; the word/bit gap is the lower-order
 //! slack the paper acknowledges) and print the product against the bound.
 //!
-//! Usage: `exp_tradeoff [N] [K] [SEEDS]`
+//! Usage: `exp_tradeoff [N] [K] [SEEDS] [EXEC]`
 
-use dtrack_bench::cli::{arg, banner};
+use dtrack_bench::cli::{arg, banner, exec_arg};
 use dtrack_bench::measure::{frequency_run, FreqAlgo};
 use dtrack_bench::table::{fmt_num, Table};
 
@@ -19,9 +19,10 @@ fn main() {
     let n: u64 = arg(0, 1_000_000);
     let k: usize = arg(1, 64);
     let seeds: u64 = arg(2, 3);
+    let exec = exec_arg(3);
     banner(
         "TRD — Thm 3.2 space-communication trade-off (frequency)",
-        &format!("N={n}, k={k}, seeds={seeds}"),
+        &format!("N={n}, k={k}, seeds={seeds}, exec={exec}"),
     );
 
     let med = |f: &dyn Fn(u64) -> (u64, u64)| -> (f64, f64) {
@@ -42,7 +43,7 @@ fn main() {
     for &eps in &[0.02, 0.01, 0.005] {
         let bound = (n as f64).log2() / (eps * eps);
         let (c, m) = med(&|s| {
-            let (cs, _) = frequency_run(FreqAlgo::Randomized, k, eps, n, s);
+            let (cs, _) = frequency_run(exec, FreqAlgo::Randomized, k, eps, n, s);
             (cs.words, cs.max_space)
         });
         t.row([
@@ -54,7 +55,7 @@ fn main() {
             fmt_num(bound),
         ]);
         let (c, m) = med(&|s| {
-            let (cs, _) = frequency_run(FreqAlgo::Sampling, k, eps, n, s);
+            let (cs, _) = frequency_run(exec, FreqAlgo::Sampling, k, eps, n, s);
             (cs.words, cs.max_space)
         });
         t.row([

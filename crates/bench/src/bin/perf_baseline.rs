@@ -1,0 +1,67 @@
+//! Perf-regression gate: write or check `BENCH_baseline.json`.
+//!
+//! * `perf_baseline` — run the fixed protocol/workload matrix and
+//!   (re)write the baseline file.
+//! * `perf_baseline --check` — re-run the matrix and compare against the
+//!   stored baseline: exits 1 if any cell's words drifted beyond ±2% or
+//!   wall time exceeded 3× (CI wires this as a non-blocking step).
+//!
+//! The baseline path defaults to `BENCH_baseline.json` in the current
+//! directory; override with the `BENCH_BASELINE` environment variable.
+//! Run under `--release` — debug timings would be meaningless against a
+//! release baseline (the check compares, it cannot tell why).
+
+use dtrack_bench::baseline::{compare, measure_cells, parse_json, to_json, Params};
+use dtrack_bench::cli::banner;
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let path = std::env::var("BENCH_BASELINE")
+        .unwrap_or_else(|_| "BENCH_baseline.json".to_string());
+    let params = Params::default_ci();
+    banner(
+        "PERF — protocol/workload perf baseline",
+        &format!(
+            "mode={}, file={path}, N={}, k={}, eps={}, seeds={}",
+            if check { "check" } else { "write" },
+            params.n,
+            params.k,
+            params.eps,
+            params.seeds
+        ),
+    );
+
+    let cells = measure_cells(params);
+    for c in &cells {
+        println!("{:28} {:>10} words  {:>9.2} ms", c.id, c.words, c.millis);
+    }
+    println!();
+
+    if !check {
+        std::fs::write(&path, to_json(params, &cells))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("baseline written to {path}");
+        return;
+    }
+
+    let stored = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {path}: {e} (write a baseline first)"));
+    let (stored_params, stored_cells) =
+        parse_json(&stored).unwrap_or_else(|e| panic!("corrupt baseline {path}: {e}"));
+    if stored_params != params {
+        println!(
+            "note: baseline params {stored_params:?} differ from current \
+             {params:?}; comparing anyway"
+        );
+    }
+    let findings = compare(&stored_cells, &cells, 0.02, 3.0);
+    if findings.is_empty() {
+        println!("OK: all {} cells within tolerance", cells.len());
+    } else {
+        println!("REGRESSIONS ({}):", findings.len());
+        for f in &findings {
+            println!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}

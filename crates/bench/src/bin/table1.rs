@@ -13,9 +13,10 @@
 //! | rank | new | O(1/(ε√k)·polylog) | O(√k/ε·logN·polylog) |
 //! | all | sampling \[9\] | O(1) | O(1/ε²·logN) |
 //!
-//! Usage: `table1 [N] [K] [EPS] [SEEDS]`
+//! Usage: `table1 [N] [K] [EPS] [SEEDS] [EXEC]`
+//! (`EXEC` picks the executor + delivery policy, e.g. `event:random:1:32`)
 
-use dtrack_bench::cli::{arg, banner};
+use dtrack_bench::cli::{arg, banner, exec_arg};
 use dtrack_bench::measure::{
     count_run, frequency_run, rank_run, CountAlgo, FreqAlgo, RankAlgo,
 };
@@ -26,10 +27,11 @@ fn main() {
     let k: usize = arg(1, 64);
     let eps: f64 = arg(2, 0.01);
     let seeds: u64 = arg(3, 3);
+    let exec = exec_arg(4);
     let rank_n = n.min(500_000); // rank protocols are heavier per element
     banner(
         "Table 1 — space and communication of all algorithms",
-        &format!("N={n} (rank: {rank_n}), k={k}, eps={eps}, seeds={seeds}"),
+        &format!("N={n} (rank: {rank_n}), k={k}, eps={eps}, seeds={seeds}, exec={exec}"),
     );
 
     let mut t = Table::new([
@@ -47,55 +49,55 @@ fn main() {
         (
             "count",
             "trivial (det)",
-            Box::new(move |s| count_run(CountAlgo::Deterministic, k, eps, n, s)),
+            Box::new(move |s| count_run(exec, CountAlgo::Deterministic, k, eps, n, s)),
             n,
         ),
         (
             "count",
             "NEW randomized",
-            Box::new(move |s| count_run(CountAlgo::Randomized, k, eps, n, s)),
+            Box::new(move |s| count_run(exec, CountAlgo::Randomized, k, eps, n, s)),
             n,
         ),
         (
             "count",
             "sampling [9]",
-            Box::new(move |s| count_run(CountAlgo::Sampling, k, eps, n, s)),
+            Box::new(move |s| count_run(exec, CountAlgo::Sampling, k, eps, n, s)),
             n,
         ),
         (
             "frequency",
             "[29]-style det",
-            Box::new(move |s| frequency_run(FreqAlgo::Deterministic, k, eps, n, s)),
+            Box::new(move |s| frequency_run(exec, FreqAlgo::Deterministic, k, eps, n, s)),
             n,
         ),
         (
             "frequency",
             "NEW randomized",
-            Box::new(move |s| frequency_run(FreqAlgo::Randomized, k, eps, n, s)),
+            Box::new(move |s| frequency_run(exec, FreqAlgo::Randomized, k, eps, n, s)),
             n,
         ),
         (
             "frequency",
             "sampling [9]",
-            Box::new(move |s| frequency_run(FreqAlgo::Sampling, k, eps, n, s)),
+            Box::new(move |s| frequency_run(exec, FreqAlgo::Sampling, k, eps, n, s)),
             n,
         ),
         (
             "rank",
             "[6]-style det",
-            Box::new(move |s| rank_run(RankAlgo::Deterministic, k, eps.max(0.02), rank_n, s)),
+            Box::new(move |s| rank_run(exec, RankAlgo::Deterministic, k, eps.max(0.02), rank_n, s)),
             rank_n,
         ),
         (
             "rank",
             "NEW randomized",
-            Box::new(move |s| rank_run(RankAlgo::Randomized, k, eps.max(0.02), rank_n, s)),
+            Box::new(move |s| rank_run(exec, RankAlgo::Randomized, k, eps.max(0.02), rank_n, s)),
             rank_n,
         ),
         (
             "rank",
             "sampling [9]",
-            Box::new(move |s| rank_run(RankAlgo::Sampling, k, eps.max(0.02), rank_n, s)),
+            Box::new(move |s| rank_run(exec, RankAlgo::Sampling, k, eps.max(0.02), rank_n, s)),
             rank_n,
         ),
     ];

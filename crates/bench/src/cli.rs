@@ -1,8 +1,11 @@
 //! Tiny positional-argument parsing for the experiment binaries.
 //!
 //! Every binary accepts optional positional overrides, e.g.
-//! `table1 [N] [K] [EPS] [SEEDS]`; anything omitted — or anything that
-//! fails to parse — falls back to the default.
+//! `table1 [N] [K] [EPS] [SEEDS] [EXEC]`; anything omitted — or anything
+//! that fails to parse — falls back to the default. The trailing `EXEC`
+//! argument selects the executor + delivery policy (see [`exec_arg`]).
+
+use dtrack_sim::ExecConfig;
 
 /// Parse positional argument `idx` (0-based, after the program name) as
 /// `T`, falling back to `default`.
@@ -11,6 +14,24 @@ pub fn arg<T: std::str::FromStr>(idx: usize, default: T) -> T {
         .nth(idx + 1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(default)
+}
+
+/// Parse positional argument `idx` as an [`ExecConfig`] spec
+/// (`lockstep | channel | event[:instant] | event:fixed:D |
+/// event:random:MIN:MAX | event:reorder:W`), defaulting to
+/// [`ExecConfig::LockStep`] when absent.
+///
+/// Unlike [`arg`], a *malformed* spec aborts with a message instead of
+/// silently falling back: an experiment silently run under the wrong
+/// execution model would be far worse than a startup error.
+pub fn exec_arg(idx: usize) -> ExecConfig {
+    match std::env::args().nth(idx + 1) {
+        None => ExecConfig::LockStep,
+        Some(s) => s.parse().unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }),
+    }
 }
 
 /// Standard experiment banner.

@@ -17,6 +17,7 @@
 //!
 //! Run with `cargo run -p dtrack-bench --release --bin <name>`.
 
+pub mod baseline;
 pub mod cli;
 pub mod fit;
 pub mod measure;

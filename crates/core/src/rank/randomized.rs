@@ -489,6 +489,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(debug_assertions, ignore = "slow in debug; runs in release CI")]
     fn rank_estimates_are_unbiased() {
         let (k, eps, n) = (9, 0.2, 30_000u64);
         let reps = 40;
@@ -507,6 +508,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(debug_assertions, ignore = "slow in debug; runs in release CI")]
     fn error_within_epsilon_with_good_probability() {
         let (k, eps, n) = (16, 0.15, 40_000u64);
         let reps = 30;

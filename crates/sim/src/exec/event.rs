@@ -1,0 +1,569 @@
+//! Deterministic discrete-event executor with pluggable delivery policies.
+//!
+//! [`EventRuntime`] is the third executor of the workspace, between the
+//! idealized lock-step [`crate::Runner`] and the genuinely concurrent
+//! [`crate::runtime::ChannelRuntime`]: it relaxes the paper's
+//! instant-communication assumption — messages can be delayed and
+//! reordered — while staying **single-threaded and fully deterministic**,
+//! so every off-model scenario is bit-for-bit reproducible from its seed.
+//! (The channel runtime also relaxes instant delivery, but its thread
+//! interleaving differs run to run; it can show *that* a protocol
+//! degrades, not replay *how*.)
+//!
+//! ## Model
+//!
+//! The runtime keeps a virtual clock in abstract **ticks**. Each call to
+//! [`EventRuntime::feed`] schedules one arrival at the current tick and
+//! advances the clock by one; [`EventRuntime::feed_at`] places arrivals
+//! on an explicit timeline (see `dtrack_workload`'s timed schedules).
+//! Every message induced by an event is assigned a delivery time
+//! `now + delay`, where `delay` comes from the [`DeliveryPolicy`]; events
+//! with equal delivery times are processed FIFO in creation order.
+//!
+//! With [`DeliveryPolicy::Instant`] this FIFO tie-break makes the runtime
+//! equivalent to [`crate::Runner`]: every state machine observes the
+//! exact same message sequence, so communication statistics, space peaks
+//! and query answers agree bit for bit (pinned by the
+//! `exec_equivalence` integration test).
+
+use std::collections::BinaryHeap;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::message::Words;
+use crate::net::{Dest, Net, Outbox};
+use crate::protocol::{Coordinator, Protocol, Site, SiteId};
+use crate::rng::{rng_from_seed, splitmix64};
+use crate::stats::{CommStats, SpaceStats};
+
+/// When does a message put on the wire reach its destination?
+///
+/// Delays are measured in the runtime's virtual ticks (one tick per
+/// arrival under [`EventRuntime::feed`]). All policies are deterministic
+/// given the master seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryPolicy {
+    /// Zero latency: messages are delivered (in FIFO order) before the
+    /// next element is admitted — the paper's idealized model, and
+    /// observationally identical to [`crate::Runner`].
+    Instant,
+    /// Every message takes exactly this many ticks. FIFO order is
+    /// preserved; the system runs `latency` ticks behind the streams.
+    FixedLatency(u64),
+    /// Per-message delay drawn uniformly from `[min, max]` ticks by a
+    /// seeded PRNG — delayed *and* reordered delivery, reproducibly.
+    RandomDelay {
+        /// Smallest possible delay in ticks.
+        min: u64,
+        /// Largest possible delay in ticks (inclusive).
+        max: u64,
+    },
+    /// Adversarial reordering: the `i`-th message overall is delayed
+    /// `window − (i mod window)` ticks, so each consecutive window of
+    /// messages arrives roughly reversed. Deterministic, no randomness.
+    AdversarialReorder {
+        /// Reorder window size in messages (clamped to ≥ 1).
+        window: u64,
+    },
+}
+
+/// Payload of a scheduled event.
+enum Ev<I, U, D> {
+    /// A stream element arriving at a site.
+    Arrive(SiteId, I),
+    /// A site → coordinator message in flight.
+    Up(SiteId, U),
+    /// A coordinator → site message in flight (broadcasts are expanded
+    /// into `k` of these when sent, per the model's cost accounting).
+    Down(SiteId, D),
+}
+
+/// Queue entry: ordered by `(at, seq)` so equal-time events pop FIFO.
+struct Entry<E> {
+    at: u64,
+    seq: u64,
+    ev: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    /// Reversed so that `BinaryHeap` (a max-heap) pops the *earliest*
+    /// `(at, seq)` first.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+type EntryOf<P> = Entry<
+    Ev<
+        <<P as Protocol>::Site as Site>::Item,
+        <<P as Protocol>::Site as Site>::Up,
+        <<P as Protocol>::Site as Site>::Down,
+    >,
+>;
+
+/// Single-threaded deterministic discrete-event executor.
+///
+/// See the [module docs](self) for the timing model. Like
+/// [`crate::Runner`], all accounting is exact: messages and words are
+/// charged when put on the wire, broadcasts are charged `k` messages,
+/// and per-site space is sampled after every event that touches a site.
+pub struct EventRuntime<P: Protocol> {
+    sites: Vec<P::Site>,
+    coord: P::Coord,
+    stats: CommStats,
+    space: SpaceStats,
+    policy: DeliveryPolicy,
+    /// Seeded PRNG driving [`DeliveryPolicy::RandomDelay`] only —
+    /// deliberately independent of the protocol's randomness.
+    delay_rng: SmallRng,
+    queue: BinaryHeap<EntryOf<P>>,
+    /// Virtual clock in ticks.
+    now: u64,
+    /// Monotone event counter: FIFO tie-break within a tick.
+    seq: u64,
+    /// Counts only *messages* put on the wire — the index the
+    /// [`DeliveryPolicy::AdversarialReorder`] pattern is defined over.
+    msg_seq: u64,
+    /// Scratch buffers reused across events to avoid per-event allocation.
+    outbox: Outbox<<P::Site as Site>::Up>,
+    net: Net<<P::Site as Site>::Down>,
+}
+
+impl<P: Protocol> EventRuntime<P> {
+    /// Instant-delivery runtime (equivalent to [`crate::Runner`]).
+    pub fn new(protocol: &P, master_seed: u64) -> Self {
+        Self::with_policy(protocol, master_seed, DeliveryPolicy::Instant)
+    }
+
+    /// Build a protocol instance under an explicit delivery policy. All
+    /// randomness — the protocol's and the delivery policy's — derives
+    /// from `master_seed`, so runs replay exactly.
+    pub fn with_policy(protocol: &P, master_seed: u64, policy: DeliveryPolicy) -> Self {
+        let (sites, coord) = protocol.build(master_seed);
+        let k = sites.len();
+        assert_eq!(k, protocol.k(), "protocol built wrong number of sites");
+        Self {
+            sites,
+            coord,
+            stats: CommStats::default(),
+            space: SpaceStats::new(k),
+            policy,
+            delay_rng: rng_from_seed(splitmix64(master_seed ^ 0x0DE1_1FE7_DE1A_7ED0)),
+            queue: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+            msg_seq: 0,
+            outbox: Outbox::new(),
+            net: Net::new(),
+        }
+    }
+
+    /// Number of sites.
+    pub fn k(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// The delivery policy this runtime was built with.
+    pub fn policy(&self) -> DeliveryPolicy {
+        self.policy
+    }
+
+    /// Current virtual time in ticks.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Messages currently in flight (scheduled but not yet delivered).
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Communication statistics so far (messages charged when sent).
+    pub fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+
+    /// Peak per-site space so far.
+    pub fn space(&self) -> &SpaceStats {
+        &self.space
+    }
+
+    /// The coordinator, for protocol-specific queries. Note that under a
+    /// delayed policy the coordinator may not have seen in-flight
+    /// messages yet; call [`EventRuntime::quiesce`] first for the state
+    /// the idealized model would be in.
+    pub fn coord(&self) -> &P::Coord {
+        &self.coord
+    }
+
+    /// A site, for white-box tests.
+    pub fn site(&self, id: SiteId) -> &P::Site {
+        &self.sites[id]
+    }
+
+    /// Deliver one element at the current tick, process everything due,
+    /// and advance the clock by one tick.
+    pub fn feed(&mut self, site: SiteId, item: <P::Site as Site>::Item) {
+        let at = self.now;
+        self.feed_at(at, site, item);
+        self.now += 1;
+    }
+
+    /// Deliver one element at an explicit time `at ≥ now` (ticks). Any
+    /// in-flight messages due in `(now, at]` are delivered first, in
+    /// timestamp order. Multiple arrivals may share a tick (bursts).
+    pub fn feed_at(&mut self, at: u64, site: SiteId, item: <P::Site as Site>::Item) {
+        assert!(at >= self.now, "feed_at: time went backwards");
+        debug_assert!(site < self.sites.len());
+        self.push(at, Ev::Arrive(site, item));
+        self.run_until(at);
+    }
+
+    /// Deliver every in-flight message, advancing the clock as needed —
+    /// the event-queue analogue of a distributed flush. Afterwards the
+    /// system is in the state the idealized model would reach.
+    pub fn quiesce(&mut self) {
+        self.run_until(u64::MAX);
+    }
+
+    /// Delay in ticks for the next message put on the wire.
+    fn delay(&mut self) -> u64 {
+        let i = self.msg_seq;
+        self.msg_seq += 1;
+        match self.policy {
+            DeliveryPolicy::Instant => 0,
+            DeliveryPolicy::FixedLatency(d) => d,
+            DeliveryPolicy::RandomDelay { min, max } => {
+                // The vendored rand has no inclusive ranges; clamp so
+                // `max + 1` cannot overflow (a delay of u64::MAX − 1
+                // ticks is already "never" for any real schedule).
+                let max = max.min(u64::MAX - 1);
+                if max <= min {
+                    min
+                } else {
+                    self.delay_rng.gen_range(min..max + 1)
+                }
+            }
+            DeliveryPolicy::AdversarialReorder { window } => {
+                let w = window.max(1);
+                w - (i % w)
+            }
+        }
+    }
+
+    fn push(&mut self, at: u64, ev: Ev<<P::Site as Site>::Item, <P::Site as Site>::Up, <P::Site as Site>::Down>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Entry { at, seq, ev });
+    }
+
+    /// Process every queued event with timestamp ≤ `t` in `(at, seq)`
+    /// order, advancing `now` to each event's time.
+    fn run_until(&mut self, t: u64) {
+        // Safety valve against protocols that ping-pong forever: a
+        // pending event may legitimately cascade into at most ~64 rounds
+        // of ≤ (k+2) messages each (same budget as Runner's
+        // max_rounds_per_event), so total pops are bounded by a multiple
+        // of the initial backlog.
+        let per_event = 1 + 64 * (self.sites.len() as u64 + 2);
+        let cap = (self.queue.len() as u64 + 1).saturating_mul(per_event);
+        let mut pops = 0u64;
+        while let Some(head) = self.queue.peek() {
+            if head.at > t {
+                break;
+            }
+            pops += 1;
+            assert!(
+                pops <= cap,
+                "protocol failed to quiesce within {cap} events"
+            );
+            let Entry { at, ev, .. } = self.queue.pop().expect("peeked");
+            if at > self.now {
+                self.now = at;
+            }
+            match ev {
+                Ev::Arrive(site, item) => {
+                    self.stats.elements += 1;
+                    self.sites[site].on_item(&item, &mut self.outbox);
+                    self.space.observe(site, self.sites[site].space_words());
+                    self.flush_site(site);
+                }
+                Ev::Up(from, up) => {
+                    self.coord.on_message(from, &up, &mut self.net);
+                    self.flush_coord();
+                }
+                Ev::Down(to, down) => {
+                    self.sites[to].on_message(&down, &mut self.outbox);
+                    self.space.observe(to, self.sites[to].space_words());
+                    self.flush_site(to);
+                }
+            }
+        }
+    }
+
+    /// Put a site's pending upstream messages on the wire.
+    fn flush_site(&mut self, from: SiteId) {
+        if self.outbox.is_empty() {
+            return;
+        }
+        let mut outbox = std::mem::take(&mut self.outbox);
+        for up in outbox.drain() {
+            self.stats.up_msgs += 1;
+            self.stats.up_words += up.words();
+            let at = self.now + self.delay();
+            self.push(at, Ev::Up(from, up));
+        }
+        self.outbox = outbox; // hand the (empty) buffer back for reuse
+    }
+
+    /// Put the coordinator's pending downstream messages on the wire,
+    /// expanding broadcasts into `k` deliveries (charged `k` messages).
+    fn flush_coord(&mut self) {
+        if self.net.is_empty() {
+            return;
+        }
+        let mut net = std::mem::take(&mut self.net);
+        for (dest, down) in net.drain() {
+            match dest {
+                Dest::Site(to) => {
+                    self.stats.down_msgs += 1;
+                    self.stats.down_words += down.words();
+                    let at = self.now + self.delay();
+                    self.push(at, Ev::Down(to, down));
+                }
+                Dest::Broadcast => {
+                    self.stats.broadcast_events += 1;
+                    let k = self.sites.len() as u64;
+                    self.stats.down_msgs += k;
+                    self.stats.down_words += k * down.words();
+                    for to in 0..self.sites.len() {
+                        let at = self.now + self.delay();
+                        self.push(at, Ev::Down(to, down.clone()));
+                    }
+                }
+            }
+        }
+        self.net = net;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Runner;
+
+    /// Toy protocol mirroring the one in `runner::tests`: every 2nd
+    /// element triggers an up; every 3rd up triggers a broadcast; sites
+    /// ack the first broadcast they see.
+    struct ToySite {
+        count: u64,
+        acked: bool,
+    }
+    impl Site for ToySite {
+        type Item = u64;
+        type Up = u64;
+        type Down = u64;
+        fn on_item(&mut self, _item: &u64, out: &mut Outbox<u64>) {
+            self.count += 1;
+            if self.count % 2 == 0 {
+                out.send(self.count);
+            }
+        }
+        fn on_message(&mut self, _msg: &u64, out: &mut Outbox<u64>) {
+            if !self.acked {
+                self.acked = true;
+                out.send(u64::MAX);
+            }
+        }
+        fn space_words(&self) -> u64 {
+            3
+        }
+    }
+    struct ToyCoord {
+        ups: u64,
+    }
+    impl Coordinator for ToyCoord {
+        type Up = u64;
+        type Down = u64;
+        fn on_message(&mut self, _from: SiteId, msg: &u64, net: &mut Net<u64>) {
+            if *msg == u64::MAX {
+                return;
+            }
+            self.ups += 1;
+            if self.ups % 3 == 0 {
+                net.broadcast(self.ups);
+            }
+        }
+    }
+    struct Toy {
+        k: usize,
+    }
+    impl Protocol for Toy {
+        type Site = ToySite;
+        type Coord = ToyCoord;
+        fn k(&self) -> usize {
+            self.k
+        }
+        fn build(&self, _seed: u64) -> (Vec<ToySite>, ToyCoord) {
+            (
+                (0..self.k)
+                    .map(|_| ToySite {
+                        count: 0,
+                        acked: false,
+                    })
+                    .collect(),
+                ToyCoord { ups: 0 },
+            )
+        }
+    }
+
+    #[test]
+    fn instant_policy_matches_runner_exactly() {
+        let p = Toy { k: 4 };
+        let mut r = Runner::new(&p, 0);
+        let mut e = EventRuntime::new(&p, 0);
+        for i in 0..12u64 {
+            r.feed((i % 4) as usize, &i);
+            e.feed((i % 4) as usize, i);
+        }
+        assert_eq!(r.stats(), e.stats());
+        assert_eq!(r.space().max_peak(), e.space().max_peak());
+        assert_eq!(e.in_flight(), 0, "instant policy leaves nothing in flight");
+    }
+
+    #[test]
+    fn fixed_latency_defers_delivery_until_quiesce() {
+        let p = Toy { k: 4 };
+        let mut e = EventRuntime::with_policy(&p, 0, DeliveryPolicy::FixedLatency(1000));
+        for i in 0..12u64 {
+            e.feed((i % 4) as usize, i);
+        }
+        // Ups are charged at send time, but the coordinator has seen none
+        // of them yet (latency exceeds the stream length)…
+        assert_eq!(e.stats().up_msgs, 4);
+        assert_eq!(e.coord().ups, 0);
+        assert!(e.in_flight() > 0);
+        // …until quiesce advances the clock past the in-flight horizon.
+        e.quiesce();
+        assert_eq!(e.coord().ups, 4);
+        assert_eq!(e.in_flight(), 0);
+        // Final totals equal the instant run: same messages, just later.
+        let mut instant = EventRuntime::new(&p, 0);
+        for i in 0..12u64 {
+            instant.feed((i % 4) as usize, i);
+        }
+        assert_eq!(e.stats(), instant.stats());
+    }
+
+    #[test]
+    fn random_delay_is_reproducible() {
+        let p = Toy { k: 8 };
+        let policy = DeliveryPolicy::RandomDelay { min: 1, max: 32 };
+        let run = |seed: u64| {
+            let mut e = EventRuntime::with_policy(&p, seed, policy);
+            for i in 0..200u64 {
+                e.feed((i % 8) as usize, i);
+            }
+            e.quiesce();
+            (e.stats().clone(), e.coord().ups, e.now())
+        };
+        assert_eq!(run(7), run(7), "same seed must replay bit-for-bit");
+        assert_ne!(run(7).2, run(8).2, "different seeds should differ");
+    }
+
+    #[test]
+    fn adversarial_reorder_is_deterministic_and_quiesces() {
+        let p = Toy { k: 4 };
+        let policy = DeliveryPolicy::AdversarialReorder { window: 8 };
+        let run = || {
+            let mut e = EventRuntime::with_policy(&p, 3, policy);
+            for i in 0..100u64 {
+                e.feed((i % 4) as usize, i);
+            }
+            e.quiesce();
+            (e.stats().clone(), e.coord().ups)
+        };
+        assert_eq!(run(), run());
+        assert_eq!(run().0.elements, 100);
+    }
+
+    #[test]
+    fn feed_at_orders_bursts_on_an_explicit_timeline() {
+        let p = Toy { k: 2 };
+        let mut e = EventRuntime::with_policy(&p, 0, DeliveryPolicy::FixedLatency(5));
+        // Burst of four arrivals at t=10, then one at t=100.
+        for i in 0..4u64 {
+            e.feed_at(10, (i % 2) as usize, i);
+        }
+        assert_eq!(e.now(), 10);
+        // The burst's ups (sent at t=10) deliver at t=15 ≤ 100.
+        e.feed_at(100, 0, 99);
+        assert_eq!(e.now(), 100);
+        assert_eq!(e.coord().ups, 2); // sites 0 and 1 each hit count=2
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn feed_at_rejects_past_timestamps() {
+        let p = Toy { k: 2 };
+        let mut e = EventRuntime::new(&p, 0);
+        e.feed_at(10, 0, 1);
+        e.feed_at(9, 0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "quiesce")]
+    fn runaway_protocols_are_detected() {
+        struct LoopSite;
+        impl Site for LoopSite {
+            type Item = u64;
+            type Up = u64;
+            type Down = u64;
+            fn on_item(&mut self, _: &u64, out: &mut Outbox<u64>) {
+                out.send(0);
+            }
+            fn on_message(&mut self, _: &u64, out: &mut Outbox<u64>) {
+                out.send(0); // always replies → infinite ping-pong
+            }
+            fn space_words(&self) -> u64 {
+                1
+            }
+        }
+        struct LoopCoord;
+        impl Coordinator for LoopCoord {
+            type Up = u64;
+            type Down = u64;
+            fn on_message(&mut self, from: SiteId, _: &u64, net: &mut Net<u64>) {
+                net.send(from, 0);
+            }
+        }
+        struct Looping;
+        impl Protocol for Looping {
+            type Site = LoopSite;
+            type Coord = LoopCoord;
+            fn k(&self) -> usize {
+                1
+            }
+            fn build(&self, _: u64) -> (Vec<LoopSite>, LoopCoord) {
+                (vec![LoopSite], LoopCoord)
+            }
+        }
+        let mut e = EventRuntime::new(&Looping, 0);
+        e.feed(0, 1);
+    }
+}

@@ -1,0 +1,486 @@
+//! The unified execution layer: one [`Executor`] abstraction over all
+//! three runtimes.
+//!
+//! Protocol code (sites + coordinator state machines) is pure *mechanism*
+//! — it reacts to events and writes messages into sinks. *Policy* — when
+//! those messages move — lives entirely in an executor:
+//!
+//! | executor | delivery | determinism | use for |
+//! |---|---|---|---|
+//! | [`Runner`] | instant, lock-step | bit-exact | paper-model measurement, exact accounting |
+//! | [`EventRuntime`] | pluggable [`DeliveryPolicy`] | bit-exact | reproducible off-model stress (latency, reorder) |
+//! | [`ChannelRuntime`] | OS threads + channels | nondeterministic | real-concurrency robustness checks |
+//!
+//! The [`Executor`] trait exposes the operations every measurement path
+//! needs — `feed`, a batched `feed_batch` fast path, `quiesce`, `stats`,
+//! `space`, and coordinator access — so experiment harnesses and
+//! integration tests are written once and run against any executor.
+//! [`ExecConfig`] is the serializable selector (it parses from strings
+//! like `event:random:1:32`, used by the bench CLI), and [`AnyExec`] is
+//! the enum-dispatched executor it builds.
+//!
+//! ## Example
+//!
+//! ```
+//! use dtrack_sim::exec::{DeliveryPolicy, EventRuntime, ExecConfig, Executor};
+//! # use dtrack_sim::net::{Net, Outbox};
+//! # use dtrack_sim::protocol::{Coordinator, Protocol, Site, SiteId};
+//! # struct EchoSite;
+//! # impl Site for EchoSite {
+//! #     type Item = u64; type Up = u64; type Down = u64;
+//! #     fn on_item(&mut self, item: &u64, out: &mut Outbox<u64>) { out.send(*item); }
+//! #     fn on_message(&mut self, _: &u64, _: &mut Outbox<u64>) {}
+//! #     fn space_words(&self) -> u64 { 1 }
+//! # }
+//! # struct SumCoord { sum: u64 }
+//! # impl Coordinator for SumCoord {
+//! #     type Up = u64; type Down = u64;
+//! #     fn on_message(&mut self, _: SiteId, m: &u64, _: &mut Net<u64>) { self.sum += m; }
+//! # }
+//! # struct Echo;
+//! # impl Protocol for Echo {
+//! #     type Site = EchoSite; type Coord = SumCoord;
+//! #     fn k(&self) -> usize { 4 }
+//! #     fn build(&self, _: u64) -> (Vec<EchoSite>, SumCoord) {
+//! #         ((0..4).map(|_| EchoSite).collect(), SumCoord { sum: 0 })
+//! #     }
+//! # }
+//! // Same protocol, three execution policies, one driver:
+//! let configs = [
+//!     ExecConfig::LockStep,
+//!     ExecConfig::Event(DeliveryPolicy::FixedLatency(8)),
+//!     "event:reorder:16".parse().unwrap(),
+//! ];
+//! for config in configs {
+//!     let mut ex = config.build(&Echo, 7);
+//!     for t in 0..100u64 {
+//!         ex.feed((t % 4) as usize, 1);
+//!     }
+//!     ex.quiesce();
+//!     assert_eq!(ex.query(|c| c.sum), 100);
+//!     assert_eq!(ex.stats().up_msgs, 100);
+//! }
+//! ```
+
+pub mod event;
+
+pub use event::{DeliveryPolicy, EventRuntime};
+
+use crate::protocol::{Protocol, Site, SiteId};
+use crate::runner::Runner;
+use crate::runtime::ChannelRuntime;
+use crate::stats::{CommStats, SpaceStats};
+
+/// Uniform driving interface over the three executors.
+///
+/// The trait is deliberately *owning* on items (unlike `Runner`'s
+/// borrowed `feed`) so that thread-backed executors can move elements
+/// into site queues without cloning.
+///
+/// Contract: [`Executor::query`] (and coordinator reads via
+/// [`Executor::coord`]) observe a consistent cut only after
+/// [`Executor::quiesce`]; between quiesce calls, executors with delayed
+/// delivery may answer from stale coordinator state — that staleness is
+/// exactly what the off-model experiments measure.
+pub trait Executor<P: Protocol> {
+    /// Number of sites.
+    fn k(&self) -> usize;
+
+    /// Deliver one element to a site.
+    fn feed(&mut self, site: SiteId, item: <P::Site as Site>::Item);
+
+    /// Deliver a batch of `(site, item)` pairs. Semantically identical
+    /// to feeding them one by one in order; executors override this with
+    /// genuine fast paths (site-run coalescing, chunked channel sends).
+    fn feed_batch(&mut self, batch: Vec<(SiteId, <P::Site as Site>::Item)>) {
+        for (site, item) in batch {
+            self.feed(site, item);
+        }
+    }
+
+    /// Drive the system to the state the idealized instant-delivery
+    /// model would be in: all queued elements processed, no messages in
+    /// flight. A no-op for executors that are always quiescent.
+    fn quiesce(&mut self);
+
+    /// Snapshot of communication statistics.
+    fn stats(&self) -> CommStats;
+
+    /// Snapshot of peak per-site space.
+    fn space(&self) -> SpaceStats;
+
+    /// Direct coordinator access, if the executor runs it in-process
+    /// (`None` for thread-backed executors — use [`Executor::query`]).
+    fn coord(&self) -> Option<&P::Coord>;
+
+    /// Run a closure against the coordinator state and return its
+    /// result. Call [`Executor::quiesce`] first for a consistent cut.
+    fn query<R, F>(&mut self, f: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce(&P::Coord) -> R + Send + 'static;
+}
+
+impl<P: Protocol> Executor<P> for Runner<P> {
+    fn k(&self) -> usize {
+        Runner::k(self)
+    }
+
+    fn feed(&mut self, site: SiteId, item: <P::Site as Site>::Item) {
+        Runner::feed(self, site, &item);
+    }
+
+    fn feed_batch(&mut self, batch: Vec<(SiteId, <P::Site as Site>::Item)>) {
+        Runner::feed_batch(self, &batch);
+    }
+
+    /// The lock-step runner drains every message before `feed` returns,
+    /// so it is always quiescent.
+    fn quiesce(&mut self) {}
+
+    fn stats(&self) -> CommStats {
+        Runner::stats(self).clone()
+    }
+
+    fn space(&self) -> SpaceStats {
+        Runner::space(self).clone()
+    }
+
+    fn coord(&self) -> Option<&P::Coord> {
+        Some(Runner::coord(self))
+    }
+
+    fn query<R, F>(&mut self, f: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce(&P::Coord) -> R + Send + 'static,
+    {
+        f(Runner::coord(self))
+    }
+}
+
+impl<P: Protocol> Executor<P> for EventRuntime<P> {
+    fn k(&self) -> usize {
+        EventRuntime::k(self)
+    }
+
+    fn feed(&mut self, site: SiteId, item: <P::Site as Site>::Item) {
+        EventRuntime::feed(self, site, item);
+    }
+
+    // feed_batch: the trait's default per-element loop is already right
+    // for the event queue — occupancy is bounded by the in-flight
+    // delivery window, so there is nothing to amortize.
+
+    fn quiesce(&mut self) {
+        EventRuntime::quiesce(self);
+    }
+
+    fn stats(&self) -> CommStats {
+        EventRuntime::stats(self).clone()
+    }
+
+    fn space(&self) -> SpaceStats {
+        EventRuntime::space(self).clone()
+    }
+
+    fn coord(&self) -> Option<&P::Coord> {
+        Some(EventRuntime::coord(self))
+    }
+
+    fn query<R, F>(&mut self, f: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce(&P::Coord) -> R + Send + 'static,
+    {
+        f(EventRuntime::coord(self))
+    }
+}
+
+impl<P: Protocol> Executor<P> for ChannelRuntime<P>
+where
+    P::Site: Send + 'static,
+    P::Coord: Send + 'static,
+    <P::Site as Site>::Item: Send + 'static,
+    <P::Site as Site>::Up: Send + 'static,
+    <P::Site as Site>::Down: Send + 'static,
+{
+    fn k(&self) -> usize {
+        ChannelRuntime::k(self)
+    }
+
+    fn feed(&mut self, site: SiteId, item: <P::Site as Site>::Item) {
+        ChannelRuntime::feed(self, site, item);
+    }
+
+    fn feed_batch(&mut self, batch: Vec<(SiteId, <P::Site as Site>::Item)>) {
+        ChannelRuntime::feed_batch(self, batch);
+    }
+
+    fn quiesce(&mut self) {
+        ChannelRuntime::quiesce(self);
+    }
+
+    fn stats(&self) -> CommStats {
+        ChannelRuntime::stats(self)
+    }
+
+    fn space(&self) -> SpaceStats {
+        ChannelRuntime::space(self)
+    }
+
+    /// The coordinator lives on its own thread — use [`Executor::query`].
+    fn coord(&self) -> Option<&P::Coord> {
+        None
+    }
+
+    fn query<R, F>(&mut self, f: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce(&P::Coord) -> R + Send + 'static,
+    {
+        ChannelRuntime::with_coord(self, f)
+    }
+}
+
+/// Executor + delivery-policy selector: the one config enum experiment
+/// binaries and integration tests use to pick an execution scenario.
+///
+/// Parses from compact specs (case-sensitive, all integers base-10):
+///
+/// | spec | meaning |
+/// |---|---|
+/// | `lockstep` (or `runner`) | [`ExecConfig::LockStep`] |
+/// | `event` (or `event:instant`) | event-scheduled, instant delivery |
+/// | `event:fixed:D` | fixed `D`-tick latency |
+/// | `event:random:MIN:MAX` | seeded uniform delay in `[MIN, MAX]` |
+/// | `event:reorder:W` | adversarial reorder, window `W` |
+/// | `channel` | thread-per-site channel runtime |
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecConfig {
+    /// The lock-step [`Runner`]: instant delivery, exact accounting.
+    LockStep,
+    /// The deterministic [`EventRuntime`] under a delivery policy.
+    Event(DeliveryPolicy),
+    /// The thread-per-site [`ChannelRuntime`].
+    Channel,
+}
+
+impl ExecConfig {
+    /// Build the selected executor for a protocol instance.
+    pub fn build<P: Protocol>(self, protocol: &P, master_seed: u64) -> AnyExec<P>
+    where
+        P::Site: Send + 'static,
+        P::Coord: Send + 'static,
+        <P::Site as Site>::Item: Send + 'static,
+        <P::Site as Site>::Up: Send + 'static,
+        <P::Site as Site>::Down: Send + 'static,
+    {
+        match self {
+            ExecConfig::LockStep => AnyExec::LockStep(Runner::new(protocol, master_seed)),
+            ExecConfig::Event(policy) => {
+                AnyExec::Event(EventRuntime::with_policy(protocol, master_seed, policy))
+            }
+            ExecConfig::Channel => AnyExec::Channel(ChannelRuntime::new(protocol, master_seed)),
+        }
+    }
+}
+
+impl std::fmt::Display for ExecConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecConfig::LockStep => write!(f, "lockstep"),
+            ExecConfig::Event(DeliveryPolicy::Instant) => write!(f, "event:instant"),
+            ExecConfig::Event(DeliveryPolicy::FixedLatency(d)) => write!(f, "event:fixed:{d}"),
+            ExecConfig::Event(DeliveryPolicy::RandomDelay { min, max }) => {
+                write!(f, "event:random:{min}:{max}")
+            }
+            ExecConfig::Event(DeliveryPolicy::AdversarialReorder { window }) => {
+                write!(f, "event:reorder:{window}")
+            }
+            ExecConfig::Channel => write!(f, "channel"),
+        }
+    }
+}
+
+impl std::str::FromStr for ExecConfig {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        let parts: Vec<&str> = s.split(':').collect();
+        let num = |p: &str| -> Result<u64, String> {
+            p.parse()
+                .map_err(|_| format!("exec spec {s:?}: {p:?} is not an integer"))
+        };
+        match parts.as_slice() {
+            ["lockstep"] | ["runner"] => Ok(ExecConfig::LockStep),
+            ["channel"] => Ok(ExecConfig::Channel),
+            ["event"] | ["event", "instant"] => Ok(ExecConfig::Event(DeliveryPolicy::Instant)),
+            ["event", "fixed", d] => {
+                Ok(ExecConfig::Event(DeliveryPolicy::FixedLatency(num(d)?)))
+            }
+            ["event", "random", min, max] => {
+                let (min, max) = (num(min)?, num(max)?);
+                if min > max {
+                    return Err(format!("exec spec {s:?}: min {min} > max {max}"));
+                }
+                if max == u64::MAX {
+                    return Err(format!("exec spec {s:?}: max delay too large"));
+                }
+                Ok(ExecConfig::Event(DeliveryPolicy::RandomDelay { min, max }))
+            }
+            ["event", "reorder", w] => {
+                let window = num(w)?;
+                if window == 0 {
+                    return Err(format!("exec spec {s:?}: window must be ≥ 1"));
+                }
+                Ok(ExecConfig::Event(DeliveryPolicy::AdversarialReorder {
+                    window,
+                }))
+            }
+            _ => Err(format!(
+                "unknown exec spec {s:?} (expected lockstep | channel | \
+                 event[:instant] | event:fixed:D | event:random:MIN:MAX | \
+                 event:reorder:W)"
+            )),
+        }
+    }
+}
+
+/// Enum dispatch over the three executors, built by [`ExecConfig::build`].
+///
+/// The `Send + 'static` bounds come from the [`ChannelRuntime`] variant
+/// (its sites and messages cross thread boundaries); every protocol in
+/// `dtrack-core` satisfies them.
+pub enum AnyExec<P: Protocol>
+where
+    P::Site: Send + 'static,
+    P::Coord: Send + 'static,
+    <P::Site as Site>::Item: Send + 'static,
+    <P::Site as Site>::Up: Send + 'static,
+    <P::Site as Site>::Down: Send + 'static,
+{
+    /// Lock-step runner.
+    LockStep(Runner<P>),
+    /// Deterministic event scheduler.
+    Event(EventRuntime<P>),
+    /// Thread-per-site channel runtime.
+    Channel(ChannelRuntime<P>),
+}
+
+macro_rules! dispatch {
+    ($self:expr, $ex:ident => $body:expr) => {
+        match $self {
+            AnyExec::LockStep($ex) => $body,
+            AnyExec::Event($ex) => $body,
+            AnyExec::Channel($ex) => $body,
+        }
+    };
+}
+
+impl<P: Protocol> Executor<P> for AnyExec<P>
+where
+    P::Site: Send + 'static,
+    P::Coord: Send + 'static,
+    <P::Site as Site>::Item: Send + 'static,
+    <P::Site as Site>::Up: Send + 'static,
+    <P::Site as Site>::Down: Send + 'static,
+{
+    fn k(&self) -> usize {
+        dispatch!(self, ex => Executor::<P>::k(ex))
+    }
+
+    fn feed(&mut self, site: SiteId, item: <P::Site as Site>::Item) {
+        dispatch!(self, ex => Executor::<P>::feed(ex, site, item))
+    }
+
+    fn feed_batch(&mut self, batch: Vec<(SiteId, <P::Site as Site>::Item)>) {
+        dispatch!(self, ex => Executor::<P>::feed_batch(ex, batch))
+    }
+
+    fn quiesce(&mut self) {
+        dispatch!(self, ex => Executor::<P>::quiesce(ex))
+    }
+
+    fn stats(&self) -> CommStats {
+        dispatch!(self, ex => Executor::<P>::stats(ex))
+    }
+
+    fn space(&self) -> SpaceStats {
+        dispatch!(self, ex => Executor::<P>::space(ex))
+    }
+
+    fn coord(&self) -> Option<&P::Coord> {
+        dispatch!(self, ex => Executor::<P>::coord(ex))
+    }
+
+    fn query<R, F>(&mut self, f: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce(&P::Coord) -> R + Send + 'static,
+    {
+        dispatch!(self, ex => Executor::<P>::query(ex, f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exec_config_parses_every_spec() {
+        let cases: Vec<(&str, ExecConfig)> = vec![
+            ("lockstep", ExecConfig::LockStep),
+            ("runner", ExecConfig::LockStep),
+            ("channel", ExecConfig::Channel),
+            ("event", ExecConfig::Event(DeliveryPolicy::Instant)),
+            ("event:instant", ExecConfig::Event(DeliveryPolicy::Instant)),
+            (
+                "event:fixed:12",
+                ExecConfig::Event(DeliveryPolicy::FixedLatency(12)),
+            ),
+            (
+                "event:random:1:32",
+                ExecConfig::Event(DeliveryPolicy::RandomDelay { min: 1, max: 32 }),
+            ),
+            (
+                "event:reorder:16",
+                ExecConfig::Event(DeliveryPolicy::AdversarialReorder { window: 16 }),
+            ),
+        ];
+        for (spec, want) in cases {
+            assert_eq!(spec.parse::<ExecConfig>().unwrap(), want, "{spec}");
+        }
+    }
+
+    #[test]
+    fn exec_config_rejects_malformed_specs() {
+        for bad in [
+            "",
+            "evnt",
+            "event:fixed",
+            "event:fixed:x",
+            "event:random:5:1",
+            "event:random:0:18446744073709551615",
+            "event:reorder:0",
+            "lockstep:extra",
+        ] {
+            assert!(bad.parse::<ExecConfig>().is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        for spec in [
+            "lockstep",
+            "channel",
+            "event:instant",
+            "event:fixed:7",
+            "event:random:0:9",
+            "event:reorder:4",
+        ] {
+            let cfg: ExecConfig = spec.parse().unwrap();
+            assert_eq!(cfg.to_string().parse::<ExecConfig>().unwrap(), cfg);
+        }
+    }
+}

@@ -19,9 +19,14 @@
 //!
 //! * [`Site`] / [`Coordinator`] / [`Protocol`] traits describing a tracking
 //!   protocol,
+//! * [`exec`], the unified execution layer: the [`Executor`] trait and the
+//!   [`ExecConfig`] selector over the three executors below,
 //! * [`Runner`], a deterministic lock-step executor that enforces the
 //!   instant-communication semantics and does exact accounting
 //!   ([`CommStats`]),
+//! * [`exec::EventRuntime`], a deterministic discrete-event executor with
+//!   pluggable [`DeliveryPolicy`]s (instant, fixed latency, seeded random
+//!   delay, adversarial reorder) for reproducible off-model stress,
 //! * [`runtime::ChannelRuntime`], a genuinely concurrent executor built on
 //!   crossbeam channels (one OS thread per site) used for robustness tests,
 //! * seeded PRNG utilities ([`rng`]) including the geometric skip sampler
@@ -41,6 +46,7 @@
 //! assert!((20..400).contains(&hits)); // ≈ 100 expected successes
 //! ```
 
+pub mod exec;
 pub mod message;
 pub mod net;
 pub mod protocol;
@@ -49,8 +55,9 @@ pub mod runner;
 pub mod runtime;
 pub mod stats;
 
+pub use exec::{AnyExec, DeliveryPolicy, EventRuntime, ExecConfig, Executor};
 pub use message::Words;
 pub use net::{Dest, Net, Outbox};
 pub use protocol::{Coordinator, Protocol, Site, SiteId};
 pub use runner::Runner;
-pub use stats::CommStats;
+pub use stats::{CommStats, SpaceStats};

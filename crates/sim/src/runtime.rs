@@ -16,7 +16,20 @@ use crossbeam_channel::{bounded, unbounded, Sender};
 use crate::message::Words;
 use crate::net::{Dest, Net, Outbox};
 use crate::protocol::{Coordinator, Protocol, Site, SiteId};
-use crate::stats::CommStats;
+use crate::stats::{CommStats, SpaceStats};
+
+/// Capacity of each site's inbound queue. Once a site falls this many
+/// messages behind, producers ([`ChannelRuntime::feed`] and the
+/// coordinator) block until it catches up — real backpressure, relied on
+/// by the batched ingest path so unbounded producer speed cannot exhaust
+/// memory. Sites themselves never block (the coordinator queue is
+/// unbounded), which rules out deadlock cycles.
+const SITE_QUEUE_CAP: usize = 1024;
+
+/// Elements per [`SiteMsg::Batch`] chunk on the batched ingest path.
+/// Small enough that capacity-based backpressure still engages, large
+/// enough to amortize per-message channel overhead.
+const BATCH_CHUNK: usize = 256;
 
 /// Lock-free mirror of [`CommStats`] shared by all threads.
 #[derive(Default)]
@@ -44,6 +57,8 @@ impl AtomicStats {
 
 enum SiteMsg<I, D> {
     Item(I),
+    /// A chunk of elements ingested in one channel send (fast path).
+    Batch(Vec<I>),
     Down(D),
     Flush(Sender<()>),
     Stop,
@@ -78,6 +93,8 @@ where
     stats: Arc<AtomicStats>,
     /// Messages sent but not yet processed (both directions).
     in_flight: Arc<AtomicI64>,
+    /// Per-site peak space, self-reported by the site threads.
+    space_peaks: Arc<Vec<AtomicU64>>,
 }
 
 impl<P: Protocol> ChannelRuntime<P>
@@ -94,13 +111,18 @@ where
         let k = sites.len();
         let stats = Arc::new(AtomicStats::default());
         let in_flight = Arc::new(AtomicI64::new(0));
+        let space_peaks =
+            Arc::new((0..k).map(|_| AtomicU64::new(0)).collect::<Vec<_>>());
 
         let (coord_tx, coord_rx) =
             unbounded::<CoordMsg<<P::Site as Site>::Up, P::Coord>>();
         let mut site_txs = Vec::with_capacity(k);
         let mut site_rxs = Vec::with_capacity(k);
         for _ in 0..k {
-            let (tx, rx) = unbounded();
+            // Bounded: producers block when a site falls behind. Safe
+            // because site threads themselves never block on a send (the
+            // coordinator queue is unbounded), so they always drain.
+            let (tx, rx) = bounded(SITE_QUEUE_CAP);
             site_txs.push(tx);
             site_rxs.push(rx);
         }
@@ -114,28 +136,42 @@ where
             let coord_tx = coord_tx.clone();
             let stats = Arc::clone(&stats);
             let in_flight = Arc::clone(&in_flight);
+            let space_peaks = Arc::clone(&space_peaks);
             handles.push(std::thread::spawn(move || {
                 let mut out = Outbox::new();
-                for msg in rx.iter() {
-                    match msg {
-                        SiteMsg::Item(item) => {
-                            site.on_item(&item, &mut out);
-                        }
-                        SiteMsg::Down(d) => {
-                            in_flight.fetch_sub(1, Ordering::SeqCst);
-                            site.on_message(&d, &mut out);
-                        }
-                        SiteMsg::Flush(ack) => {
-                            let _ = ack.send(());
-                            continue;
-                        }
-                        SiteMsg::Stop => break,
-                    }
+                // Ship queued ups and record the space peak; called after
+                // every event that touches the site state.
+                let flush = |site: &P::Site,
+                                 out: &mut Outbox<<P::Site as Site>::Up>| {
+                    space_peaks[id].fetch_max(site.space_words(), Ordering::SeqCst);
                     for up in out.drain() {
                         stats.up_msgs.fetch_add(1, Ordering::SeqCst);
                         stats.up_words.fetch_add(up.words(), Ordering::SeqCst);
                         in_flight.fetch_add(1, Ordering::SeqCst);
                         let _ = coord_tx.send(CoordMsg::Up(id, up));
+                    }
+                };
+                for msg in rx.iter() {
+                    match msg {
+                        SiteMsg::Item(item) => {
+                            site.on_item(&item, &mut out);
+                            flush(&site, &mut out);
+                        }
+                        SiteMsg::Batch(items) => {
+                            for item in items {
+                                site.on_item(&item, &mut out);
+                                flush(&site, &mut out);
+                            }
+                        }
+                        SiteMsg::Down(d) => {
+                            in_flight.fetch_sub(1, Ordering::SeqCst);
+                            site.on_message(&d, &mut out);
+                            flush(&site, &mut out);
+                        }
+                        SiteMsg::Flush(ack) => {
+                            let _ = ack.send(());
+                        }
+                        SiteMsg::Stop => break,
                     }
                 }
             }));
@@ -204,6 +240,7 @@ where
             handles,
             stats,
             in_flight,
+            space_peaks,
         }
     }
 
@@ -212,15 +249,57 @@ where
         self.site_txs.len()
     }
 
-    /// Asynchronously deliver an element to a site.
+    /// Asynchronously deliver an element to a site. Blocks only if the
+    /// site's queue is full (`SITE_QUEUE_CAP` messages behind).
     pub fn feed(&self, site: SiteId, item: <P::Site as Site>::Item) {
         self.stats.elements.fetch_add(1, Ordering::SeqCst);
         let _ = self.site_txs[site].send(SiteMsg::Item(item));
     }
 
+    /// Batched ingest fast path: elements are grouped by destination site
+    /// (preserving each site's arrival order) and shipped in
+    /// `BATCH_CHUNK`-sized chunks, so channel synchronization is paid
+    /// once per chunk instead of once per element. Bounded site queues
+    /// apply backpressure if producers outpace the sites.
+    pub fn feed_batch(&self, batch: Vec<(SiteId, <P::Site as Site>::Item)>) {
+        let k = self.site_txs.len();
+        let mut per_site: Vec<Vec<<P::Site as Site>::Item>> =
+            (0..k).map(|_| Vec::new()).collect();
+        for (site, item) in batch {
+            let items = &mut per_site[site];
+            items.push(item);
+            if items.len() >= BATCH_CHUNK {
+                let chunk = std::mem::take(items);
+                self.stats
+                    .elements
+                    .fetch_add(chunk.len() as u64, Ordering::SeqCst);
+                let _ = self.site_txs[site].send(SiteMsg::Batch(chunk));
+            }
+        }
+        for (site, items) in per_site.into_iter().enumerate() {
+            if !items.is_empty() {
+                self.stats
+                    .elements
+                    .fetch_add(items.len() as u64, Ordering::SeqCst);
+                let _ = self.site_txs[site].send(SiteMsg::Batch(items));
+            }
+        }
+    }
+
     /// Snapshot of communication statistics.
     pub fn stats(&self) -> CommStats {
         self.stats.snapshot()
+    }
+
+    /// Snapshot of peak per-site space, as self-reported by the site
+    /// threads after every event. Quiesce first for a consistent cut.
+    pub fn space(&self) -> SpaceStats {
+        SpaceStats::from_peaks(
+            self.space_peaks
+                .iter()
+                .map(|p| p.load(Ordering::SeqCst))
+                .collect(),
+        )
     }
 
     /// Block until all queued elements and all in-flight messages have been
@@ -338,6 +417,21 @@ mod tests {
         fn build(&self, _: u64) -> (Vec<EchoSite>, SumCoord) {
             ((0..self.k).map(|_| EchoSite).collect(), SumCoord { sum: 0 })
         }
+    }
+
+    #[test]
+    fn batched_ingest_matches_per_element_accounting() {
+        let rt = ChannelRuntime::new(&Echo { k: 4 }, 0);
+        let batch: Vec<(usize, u64)> =
+            (0..10_000u64).map(|i| ((i % 4) as usize, i)).collect();
+        let expect: u64 = batch.iter().map(|&(_, v)| v).sum();
+        rt.feed_batch(batch);
+        rt.quiesce();
+        assert_eq!(rt.with_coord(|c| c.sum), expect);
+        assert_eq!(rt.space().max_peak(), 1); // EchoSite reports 1 word
+        let stats = rt.shutdown();
+        assert_eq!(stats.elements, 10_000);
+        assert_eq!(stats.up_msgs, 10_000);
     }
 
     #[test]

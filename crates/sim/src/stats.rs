@@ -72,6 +72,13 @@ impl SpaceStats {
         Self { peaks: vec![0; k] }
     }
 
+    /// Rebuild from externally tracked per-site peaks (used by executors
+    /// that sample space outside this struct, e.g. the channel runtime's
+    /// per-thread atomics).
+    pub fn from_peaks(peaks: Vec<u64>) -> Self {
+        Self { peaks }
+    }
+
     /// Record an observation of site `i`'s current resident words.
     pub fn observe(&mut self, site: usize, words: u64) {
         if words > self.peaks[site] {

@@ -13,7 +13,9 @@
 //!   distribution µ of Theorem 2.2 and the round/subround instance of
 //!   Theorem 2.4.
 //! * [`stream`] — glue: an [`stream::Arrival`] iterator combining an item
-//!   generator with an assignment policy.
+//!   generator with an assignment policy, plus timed schedules
+//!   ([`stream::TimedArrival`], [`stream::Pacing`]) that place the same
+//!   arrivals on an explicit timeline for the event-scheduled executor.
 //!
 //! ## Example
 //!
@@ -37,4 +39,4 @@ pub use adversarial::{MuCase, MuDistribution, SubroundInstance};
 pub use assign::{Bursty, RoundRobin, SingleSite, SiteAssign, UniformSites, ZipfSites};
 pub use items::{DistinctSeq, ItemGen, UniformItems, ZipfItems};
 pub use phased::{DriftingItems, Sequential};
-pub use stream::{Arrival, Workload};
+pub use stream::{Arrival, Pacing, Schedule, TimedArrival, Workload};

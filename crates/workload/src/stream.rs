@@ -1,7 +1,8 @@
-//! Arrival streams: item generator × site assignment.
+//! Arrival streams: item generator × site assignment, optionally placed
+//! on an explicit timeline for the event-scheduled executor.
 
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use crate::assign::SiteAssign;
 use crate::items::ItemGen;
@@ -15,6 +16,84 @@ pub struct Arrival {
     pub item: u64,
 }
 
+/// An [`Arrival`] with an explicit arrival time in executor ticks —
+/// the input unit of `dtrack_sim`'s event-scheduled runtime (`feed_at`),
+/// where message latency is measured against the same clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedArrival {
+    /// Arrival time in ticks (non-decreasing along a schedule).
+    pub at: u64,
+    /// Receiving site, `0..k`.
+    pub site: usize,
+    /// The element.
+    pub item: u64,
+}
+
+/// How a schedule spaces arrivals on the virtual timeline.
+///
+/// The lock-step model has no clock, so pacing only matters to executors
+/// with non-instant delivery: it decides how many arrivals a delayed
+/// message "overtakes".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pacing {
+    /// One tick per arrival — the implicit clock of per-element `feed`.
+    Unit,
+    /// A fixed gap of `gap` ticks between consecutive arrivals (a slow,
+    /// regular stream; `Fixed(1)` ≡ `Unit`).
+    Fixed(u64),
+    /// Bursts of `burst` simultaneous arrivals (same tick), `idle` ticks
+    /// apart — the adversarial regime for fixed-latency delivery, since
+    /// a whole burst is in flight before any coordinator feedback lands.
+    Bursty {
+        /// Arrivals per burst (clamped to ≥ 1).
+        burst: u64,
+        /// Ticks between consecutive bursts (clamped to ≥ 1).
+        idle: u64,
+    },
+    /// Memoryless arrivals: gaps drawn from a geometric distribution on
+    /// `{1, 2, …}` with mean `mean_gap` ticks, using the schedule's own
+    /// seeded PRNG — a discrete Poisson-like process, reproducible from
+    /// the workload seed. `mean_gap = 1` degenerates to [`Pacing::Unit`].
+    Poisson {
+        /// Mean gap between arrivals in ticks (clamped to ≥ 1).
+        mean_gap: u64,
+    },
+}
+
+impl Pacing {
+    /// Gap in ticks to add *before* arrival number `i` (0-based; the
+    /// first arrival is always at tick 0).
+    fn gap(&self, i: u64, rng: &mut SmallRng) -> u64 {
+        if i == 0 {
+            return 0;
+        }
+        match *self {
+            Pacing::Unit => 1,
+            Pacing::Fixed(gap) => gap,
+            Pacing::Bursty { burst, idle } => {
+                if i % burst.max(1) == 0 {
+                    idle.max(1)
+                } else {
+                    0
+                }
+            }
+            Pacing::Poisson { mean_gap } => {
+                // Geometric(1/mean) on {1, 2, …} via inverse CDF: mean
+                // is exactly `mean_gap`, and mean_gap = 1 (p = 1, where
+                // ln(1−p) = −∞) is the always-gap-1 degenerate case.
+                let m = mean_gap.max(1);
+                if m == 1 {
+                    1
+                } else {
+                    let p = 1.0 / m as f64;
+                    let u: f64 = 1.0 - rng.gen::<f64>();
+                    1 + (u.ln() / (1.0 - p).ln()).floor().min(1e18) as u64
+                }
+            }
+        }
+    }
+}
+
 /// Iterator producing `n` arrivals from an item generator and a site
 /// assignment policy, driven by a seeded PRNG (workload randomness is
 /// deliberately separate from protocol randomness).
@@ -24,6 +103,9 @@ pub struct Workload<I, A> {
     assign: A,
     remaining: u64,
     rng: SmallRng,
+    /// Kept so [`Workload::timed`] can derive an independent pacing
+    /// stream without disturbing the item/site stream.
+    seed: u64,
 }
 
 impl<I: ItemGen, A: SiteAssign> Workload<I, A> {
@@ -34,6 +116,7 @@ impl<I: ItemGen, A: SiteAssign> Workload<I, A> {
             assign,
             remaining: n,
             rng: SmallRng::seed_from_u64(seed),
+            seed,
         }
     }
 
@@ -45,6 +128,65 @@ impl<I: ItemGen, A: SiteAssign> Workload<I, A> {
     /// Materialize all arrivals.
     pub fn collect_vec(self) -> Vec<Arrival> {
         self.collect()
+    }
+
+    /// Place this workload on an explicit timeline: the *same* arrivals
+    /// (item/site randomness is untouched), each stamped with a tick per
+    /// `pacing`. Timing randomness ([`Pacing::Poisson`]) comes from an
+    /// independent stream derived from the workload seed, so a timed
+    /// schedule is as reproducible as the workload itself.
+    pub fn timed(self, pacing: Pacing) -> Schedule<I, A> {
+        let pacing_rng =
+            SmallRng::seed_from_u64(self.seed ^ 0x71C3_D00F_5EED_7143);
+        Schedule {
+            inner: self,
+            pacing,
+            pacing_rng,
+            now: 0,
+            issued: 0,
+        }
+    }
+}
+
+/// Iterator producing [`TimedArrival`]s: a [`Workload`] plus a [`Pacing`].
+#[derive(Debug, Clone)]
+pub struct Schedule<I, A> {
+    inner: Workload<I, A>,
+    pacing: Pacing,
+    pacing_rng: SmallRng,
+    now: u64,
+    issued: u64,
+}
+
+impl<I: ItemGen, A: SiteAssign> Schedule<I, A> {
+    /// Number of sites.
+    pub fn k(&self) -> usize {
+        self.inner.k()
+    }
+
+    /// Materialize the whole schedule.
+    pub fn collect_vec(self) -> Vec<TimedArrival> {
+        self.collect()
+    }
+}
+
+impl<I: ItemGen, A: SiteAssign> Iterator for Schedule<I, A> {
+    type Item = TimedArrival;
+
+    fn next(&mut self) -> Option<TimedArrival> {
+        let gap = self.pacing.gap(self.issued, &mut self.pacing_rng);
+        let a = self.inner.next()?;
+        self.issued += 1;
+        self.now += gap;
+        Some(TimedArrival {
+            at: self.now,
+            site: a.site,
+            item: a.item,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
     }
 }
 
@@ -102,6 +244,66 @@ mod tests {
         items.sort_unstable();
         items.dedup();
         assert_eq!(items.len(), 10_000);
+    }
+
+    #[test]
+    fn timed_preserves_the_untimed_arrivals() {
+        let make = || Workload::new(UniformItems::new(50), RoundRobin::new(3), 500, 9);
+        let plain = make().collect_vec();
+        for pacing in [
+            Pacing::Unit,
+            Pacing::Fixed(7),
+            Pacing::Bursty { burst: 10, idle: 100 },
+            Pacing::Poisson { mean_gap: 5 },
+        ] {
+            let timed = make().timed(pacing).collect_vec();
+            assert_eq!(timed.len(), plain.len());
+            for (t, p) in timed.iter().zip(&plain) {
+                assert_eq!((t.site, t.item), (p.site, p.item), "{pacing:?}");
+            }
+            // Timestamps are non-decreasing and start at 0.
+            assert_eq!(timed[0].at, 0);
+            assert!(timed.windows(2).all(|w| w[0].at <= w[1].at));
+        }
+    }
+
+    #[test]
+    fn unit_pacing_is_one_tick_per_arrival() {
+        let timed = Workload::new(UniformItems::new(10), RoundRobin::new(2), 5, 1)
+            .timed(Pacing::Unit)
+            .collect_vec();
+        let ticks: Vec<u64> = timed.iter().map(|t| t.at).collect();
+        assert_eq!(ticks, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bursty_pacing_groups_same_tick_arrivals() {
+        let timed = Workload::new(UniformItems::new(10), RoundRobin::new(2), 9, 1)
+            .timed(Pacing::Bursty { burst: 3, idle: 50 })
+            .collect_vec();
+        let ticks: Vec<u64> = timed.iter().map(|t| t.at).collect();
+        assert_eq!(ticks, vec![0, 0, 0, 50, 50, 50, 100, 100, 100]);
+    }
+
+    #[test]
+    fn poisson_pacing_is_reproducible_with_roughly_right_rate() {
+        let make = || {
+            Workload::new(UniformItems::new(10), RoundRobin::new(2), 2_000, 4)
+                .timed(Pacing::Poisson { mean_gap: 8 })
+                .collect_vec()
+        };
+        let a = make();
+        assert_eq!(a, make(), "same seed must give the same timeline");
+        let span = a.last().unwrap().at as f64;
+        let mean_gap = span / (a.len() - 1) as f64;
+        // Geometric on {1,2,…} with p = 1/8 has mean exactly 8.
+        assert!((6.0..10.0).contains(&mean_gap), "mean gap {mean_gap}");
+        // mean_gap = 1 must degenerate to unit pacing, not a 0-gap burst.
+        let unit = Workload::new(UniformItems::new(10), RoundRobin::new(2), 5, 1)
+            .timed(Pacing::Poisson { mean_gap: 1 })
+            .collect_vec();
+        let ticks: Vec<u64> = unit.iter().map(|t| t.at).collect();
+        assert_eq!(ticks, vec![0, 1, 2, 3, 4]);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use dtrack::workload::items::DistinctSeq;
 
 #[test]
 fn count_tracking_concurrent() {
-    let (k, eps, n) = (8, 0.1, 100_000u64);
+    let (k, eps, n) = (8, 0.1, 20_000u64);
     let proto = RandomizedCount::new(TrackingConfig::new(k, eps));
     let mut ok = 0;
     let reps = 10;
@@ -36,7 +36,7 @@ fn count_tracking_concurrent() {
 
 #[test]
 fn frequency_tracking_concurrent() {
-    let (k, eps, n) = (8, 0.1, 80_000u64);
+    let (k, eps, n) = (8, 0.1, 16_000u64);
     let proto = RandomizedFrequency::new(TrackingConfig::new(k, eps));
     let mut ok = 0;
     let reps = 10;
@@ -59,7 +59,7 @@ fn frequency_tracking_concurrent() {
 
 #[test]
 fn rank_tracking_concurrent() {
-    let (k, eps, n) = (8, 0.2, 60_000u64);
+    let (k, eps, n) = (8, 0.2, 12_000u64);
     let proto = RandomizedRank::new(TrackingConfig::new(k, eps));
     let mut ok = 0;
     let reps = 8;
@@ -90,7 +90,7 @@ fn concurrent_feeding_from_multiple_producers() {
     // Feed from 4 producer threads concurrently — the runtime must
     // remain consistent (count conservation after quiesce).
     use std::sync::Arc;
-    let (k, n_per) = (8usize, 25_000u64);
+    let (k, n_per) = (8usize, 5_000u64);
     let proto = RandomizedCount::new(TrackingConfig::new(k, 0.1));
     let rt: Arc<ChannelRuntime<RandomizedCount>> =
         Arc::new(ChannelRuntime::new(&proto, 77));

@@ -1,0 +1,275 @@
+//! The equivalence matrix pinning the unified execution layer:
+//!
+//! 1. For all seven Table-1 protocols, the lock-step `Runner` and the
+//!    `EventRuntime` under the instant `DeliveryPolicy` produce
+//!    **identical** `CommStats`, per-site space peaks, and query answers
+//!    at the same master seed — the event scheduler's FIFO tie-break
+//!    reproduces the runner's round structure exactly, so the refactor
+//!    is behavior-preserving by construction, not by accident.
+//! 2. The `EventRuntime` under a *seeded random-delay* policy is
+//!    bit-for-bit reproducible: two runs of the same seed agree on every
+//!    statistic and query; a different seed produces a different run.
+
+use dtrack::core::count::{DeterministicCount, RandomizedCount};
+use dtrack::core::frequency::{DeterministicFrequency, RandomizedFrequency};
+use dtrack::core::rank::{DeterministicRank, RandomizedRank};
+use dtrack::core::sampling::ContinuousSampling;
+use dtrack::core::TrackingConfig;
+use dtrack::sim::exec::{DeliveryPolicy, EventRuntime};
+use dtrack::sim::{Protocol, Runner, Site};
+use dtrack::workload::items::DistinctSeq;
+use dtrack::workload::{UniformSites, Workload, ZipfItems};
+
+const K: usize = 8;
+const N: u64 = 6_000;
+const SEED: u64 = 42;
+
+fn cfg() -> TrackingConfig {
+    TrackingConfig::new(K, 0.1)
+}
+
+/// Zipf-items workload (count / frequency / sampling protocols).
+fn zipf_arrivals() -> Vec<(usize, u64)> {
+    Workload::new(ZipfItems::new(500, 1.2), UniformSites::new(K), N, 7)
+        .map(|a| (a.site, a.item))
+        .collect()
+}
+
+/// Duplicate-free workload (rank protocols assume distinct elements).
+fn distinct_arrivals() -> Vec<(usize, u64)> {
+    Workload::new(DistinctSeq::new(7), UniformSites::new(K), N, 7)
+        .map(|a| (a.site, a.item))
+        .collect()
+}
+
+/// Drive `Runner` and instant-`EventRuntime` side by side and require
+/// identical accounting, space, and query answers (f64s compared
+/// exactly: identical state must give identical bits).
+fn assert_equivalent<P, Q>(name: &str, proto: &P, arrivals: &[(usize, u64)], queries: Q)
+where
+    P: Protocol,
+    P::Site: Site<Item = u64>,
+    Q: Fn(&P::Coord) -> Vec<f64>,
+{
+    let mut runner = Runner::new(proto, SEED);
+    let mut event = EventRuntime::new(proto, SEED);
+    for &(site, item) in arrivals {
+        runner.feed(site, &item);
+        event.feed(site, item);
+        debug_assert_eq!(event.in_flight(), 0);
+    }
+    event.quiesce(); // no-op under instant delivery; keeps the contract
+    assert_eq!(runner.stats(), event.stats(), "{name}: CommStats differ");
+    for site in 0..K {
+        assert_eq!(
+            runner.space().peak(site),
+            event.space().peak(site),
+            "{name}: space peak differs at site {site}"
+        );
+    }
+    let qr = queries(runner.coord());
+    let qe = queries(event.coord());
+    assert_eq!(qr, qe, "{name}: query answers differ");
+    assert!(
+        qr.iter().all(|v| v.is_finite()),
+        "{name}: queries not finite"
+    );
+}
+
+/// Two same-seed runs under `policy` must agree bit for bit. (Note a
+/// *different* seed need not visibly differ for the deterministic
+/// protocols — their message totals depend only on element counts — so
+/// seed sensitivity is asserted separately, on a randomized protocol.)
+fn assert_reproducible<P, Q>(
+    name: &str,
+    proto: &P,
+    arrivals: &[(usize, u64)],
+    policy: DeliveryPolicy,
+    queries: Q,
+) where
+    P: Protocol,
+    P::Site: Site<Item = u64>,
+    Q: Fn(&P::Coord) -> Vec<f64>,
+{
+    let run = |seed: u64| {
+        let mut event = EventRuntime::with_policy(proto, seed, policy);
+        for &(site, item) in arrivals {
+            event.feed(site, item);
+        }
+        event.quiesce();
+        let answers = queries(event.coord());
+        (event.stats().clone(), event.now(), answers)
+    };
+    let a = run(SEED);
+    let b = run(SEED);
+    assert_eq!(a, b, "{name}: same seed, different run under {policy:?}");
+}
+
+/// Different master seeds produce visibly different randomized runs —
+/// the reproducibility above is seed-derived, not accidental constancy.
+#[test]
+fn different_seeds_differ_under_random_delay() {
+    let proto = RandomizedCount::new(cfg());
+    let arrivals = zipf_arrivals();
+    let policy = DeliveryPolicy::RandomDelay { min: 1, max: 32 };
+    let run = |seed: u64| {
+        let mut event = EventRuntime::with_policy(&proto, seed, policy);
+        for &(site, item) in &arrivals {
+            event.feed(site, item);
+        }
+        event.quiesce();
+        (event.stats().clone(), event.coord().estimate())
+    };
+    assert_ne!(run(SEED), run(SEED ^ 0xDEAD));
+}
+
+macro_rules! equivalence_case {
+    ($test:ident, $name:literal, $proto:expr, $arrivals:expr, $queries:expr) => {
+        #[test]
+        fn $test() {
+            let proto = $proto;
+            let arrivals = $arrivals;
+            let queries = $queries;
+            assert_equivalent($name, &proto, &arrivals, &queries);
+            assert_reproducible(
+                $name,
+                &proto,
+                &arrivals,
+                DeliveryPolicy::RandomDelay { min: 1, max: 32 },
+                &queries,
+            );
+        }
+    };
+}
+
+equivalence_case!(
+    randomized_count_equivalence,
+    "randomized count",
+    RandomizedCount::new(cfg()),
+    zipf_arrivals(),
+    |c: &dtrack::core::count::RandCountCoord| vec![c.estimate()]
+);
+
+equivalence_case!(
+    deterministic_count_equivalence,
+    "deterministic count",
+    DeterministicCount::new(cfg()),
+    zipf_arrivals(),
+    |c: &dtrack::core::count::DetCountCoord| vec![c.estimate()]
+);
+
+equivalence_case!(
+    randomized_frequency_equivalence,
+    "randomized frequency",
+    RandomizedFrequency::new(cfg()),
+    zipf_arrivals(),
+    |c: &dtrack::core::frequency::RandFreqCoord| {
+        (0..10).map(|j| c.estimate_frequency(j)).collect()
+    }
+);
+
+equivalence_case!(
+    deterministic_frequency_equivalence,
+    "deterministic frequency",
+    DeterministicFrequency::new(cfg()),
+    zipf_arrivals(),
+    |c: &dtrack::core::frequency::DetFreqCoord| {
+        (0..10).map(|j| c.estimate_frequency(j)).collect()
+    }
+);
+
+equivalence_case!(
+    randomized_rank_equivalence,
+    "randomized rank",
+    RandomizedRank::new(cfg()),
+    distinct_arrivals(),
+    |c: &dtrack::core::rank::RandRankCoord| {
+        [u64::MAX / 4, u64::MAX / 2, u64::MAX / 4 * 3]
+            .iter()
+            .map(|&x| c.estimate_rank(x))
+            .collect()
+    }
+);
+
+equivalence_case!(
+    deterministic_rank_equivalence,
+    "deterministic rank",
+    DeterministicRank::new(cfg()),
+    distinct_arrivals(),
+    |c: &dtrack::core::rank::DetRankCoord| {
+        [u64::MAX / 4, u64::MAX / 2, u64::MAX / 4 * 3]
+            .iter()
+            .map(|&x| c.estimate_rank(x))
+            .collect()
+    }
+);
+
+equivalence_case!(
+    continuous_sampling_equivalence,
+    "continuous sampling",
+    ContinuousSampling::new(cfg()),
+    distinct_arrivals(),
+    |c: &dtrack::core::sampling::SamplingCoord| {
+        vec![
+            c.estimate_count(),
+            c.estimate_frequency(3),
+            c.estimate_rank(u64::MAX / 2),
+        ]
+    }
+);
+
+/// The batched ingest fast path feeds through the same equivalence: a
+/// `feed_batch` run on the `Runner` equals the per-element run on the
+/// `EventRuntime` (transitively pinning all three ingest paths).
+#[test]
+fn feed_batch_equals_event_runtime_per_element() {
+    let proto = RandomizedFrequency::new(cfg());
+    let arrivals = zipf_arrivals();
+    let mut batched = Runner::new(&proto, SEED);
+    batched.feed_batch(&arrivals);
+    let mut event = EventRuntime::new(&proto, SEED);
+    for &(site, item) in &arrivals {
+        event.feed(site, item);
+    }
+    assert_eq!(batched.stats(), event.stats());
+    // Space too: feed_batch samples space at message/run boundaries
+    // only, so this pins that the documented weakening is invisible for
+    // the real protocols (site space grows monotonically between sends).
+    for site in 0..K {
+        assert_eq!(
+            batched.space().peak(site),
+            event.space().peak(site),
+            "space peak differs at site {site}"
+        );
+    }
+    let qb: Vec<f64> = (0..10).map(|j| batched.coord().estimate_frequency(j)).collect();
+    let qe: Vec<f64> = (0..10).map(|j| event.coord().estimate_frequency(j)).collect();
+    assert_eq!(qb, qe);
+}
+
+/// Adversarial reorder is deterministic without a seed: two runs agree,
+/// and the protocols survive (finite, sane estimates after quiesce).
+#[test]
+fn adversarial_reorder_is_deterministic_and_sane() {
+    let proto = RandomizedCount::new(cfg());
+    let arrivals = zipf_arrivals();
+    let run = || {
+        let mut event = EventRuntime::with_policy(
+            &proto,
+            SEED,
+            DeliveryPolicy::AdversarialReorder { window: 16 },
+        );
+        for &(site, item) in &arrivals {
+            event.feed(site, item);
+        }
+        event.quiesce();
+        (event.stats().clone(), event.coord().estimate())
+    };
+    let (stats, est) = run();
+    assert_eq!(run(), (stats.clone(), est));
+    assert_eq!(stats.elements, N);
+    // Reordering can cost accuracy, not sanity: the estimate is finite
+    // and within half of the true count.
+    assert!(est.is_finite());
+    assert!((est - N as f64).abs() <= 0.5 * N as f64, "estimate {est}");
+}

@@ -4,21 +4,23 @@
 //! The build environment has no registry access, so this vendored crate
 //! provides the subset of the API that [`dtrack-sim`'s channel runtime]
 //! uses — [`unbounded`], [`bounded`], a cloneable [`Sender`], and a
-//! [`Receiver`] with `recv`/`try_recv`/`iter` — implemented on top of
-//! `std::sync::mpsc`.
+//! [`Receiver`] with `recv`/`try_recv`/`iter` — implemented on a
+//! `Mutex<VecDeque>` guarded by two condition variables.
 //!
-//! Two deliberate simplifications, both harmless for dtrack's usage:
+//! Unlike the first-generation stand-in (which wrapped `std::sync::mpsc`
+//! and silently ignored capacity), [`bounded`] now enforces **real
+//! bounded semantics**: `send` on a full channel blocks until a receiver
+//! makes room or the receiver is dropped. `dtrack-sim`'s batched ingest
+//! path relies on this backpressure to keep site queues from growing
+//! without limit when producers outpace the site threads.
 //!
-//! * [`bounded`] does **not** apply backpressure — it returns an
-//!   unbounded queue. dtrack only uses bounded channels for ack/reply
-//!   rendezvous where the capacity is never exceeded anyway, so the
-//!   semantics (messages arrive, `recv` blocks until they do) coincide.
-//! * [`Receiver`] is not `Clone` (std's receiver is single-consumer).
-//!   dtrack never clones receivers.
+//! One remaining simplification, harmless for dtrack's usage:
+//! [`Receiver`] is not `Clone` (dtrack never clones receivers).
 //!
 //! [`dtrack-sim`'s channel runtime]: ../dtrack_sim/runtime/index.html
 
-use std::sync::mpsc;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Error returned by [`Sender::send`] when the receiving side is gone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,45 +39,125 @@ pub enum TryRecvError {
     Disconnected,
 }
 
+/// Queue state shared by all handles to one channel.
+struct Inner<T> {
+    queue: VecDeque<T>,
+    /// Live `Sender` clones. 0 ⇒ `recv` on an empty queue fails.
+    senders: usize,
+    /// Whether the `Receiver` is still alive. false ⇒ `send` fails.
+    receiver_alive: bool,
+}
+
+struct Chan<T> {
+    inner: Mutex<Inner<T>>,
+    /// Signalled when a message is pushed or the last sender leaves.
+    not_empty: Condvar,
+    /// Signalled when a message is popped or the receiver leaves.
+    not_full: Condvar,
+    /// `None` ⇒ unbounded; `Some(c)` ⇒ `send` blocks while `len == c`.
+    cap: Option<usize>,
+}
+
 /// The sending half of a channel. Cloneable; all clones feed the same
 /// receiver.
 pub struct Sender<T> {
-    inner: mpsc::Sender<T>,
+    chan: Arc<Chan<T>>,
 }
 
-// Derived Clone would require T: Clone; the underlying mpsc sender does not.
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
+        self.chan.inner.lock().unwrap().senders += 1;
         Sender {
-            inner: self.inner.clone(),
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.chan.inner.lock().unwrap();
+        inner.senders -= 1;
+        if inner.senders == 0 {
+            // Wake blocked receivers so they can observe disconnection.
+            self.chan.not_empty.notify_all();
         }
     }
 }
 
 impl<T> Sender<T> {
     /// Send `value`, failing only if the receiver has been dropped.
+    ///
+    /// On a [`bounded`] channel at capacity this blocks until the
+    /// receiver pops a message (backpressure) or disconnects.
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-        self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        let mut inner = self.chan.inner.lock().unwrap();
+        if let Some(cap) = self.chan.cap {
+            while inner.receiver_alive && inner.queue.len() >= cap {
+                inner = self.chan.not_full.wait(inner).unwrap();
+            }
+        }
+        if !inner.receiver_alive {
+            return Err(SendError(value));
+        }
+        inner.queue.push_back(value);
+        drop(inner);
+        self.chan.not_empty.notify_one();
+        Ok(())
     }
 }
 
 /// The receiving half of a channel.
 pub struct Receiver<T> {
-    inner: mpsc::Receiver<T>,
+    chan: Arc<Chan<T>>,
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.chan.inner.lock().unwrap().receiver_alive = false;
+        // Wake blocked senders so they can observe disconnection.
+        self.chan.not_full.notify_all();
+    }
 }
 
 impl<T> Receiver<T> {
     /// Block until a message arrives or every sender is dropped.
     pub fn recv(&self) -> Result<T, RecvError> {
-        self.inner.recv().map_err(|_| RecvError)
+        let mut inner = self.chan.inner.lock().unwrap();
+        loop {
+            if let Some(v) = inner.queue.pop_front() {
+                drop(inner);
+                self.chan.not_full.notify_one();
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = self.chan.not_empty.wait(inner).unwrap();
+        }
     }
 
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
-        self.inner.try_recv().map_err(|e| match e {
-            mpsc::TryRecvError::Empty => TryRecvError::Empty,
-            mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
-        })
+        let mut inner = self.chan.inner.lock().unwrap();
+        match inner.queue.pop_front() {
+            Some(v) => {
+                drop(inner);
+                self.chan.not_full.notify_one();
+                Ok(v)
+            }
+            None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.chan.inner.lock().unwrap().queue.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// Blocking iterator over messages; ends when all senders are dropped.
@@ -106,23 +188,45 @@ impl<'a, T> IntoIterator for &'a Receiver<T> {
     }
 }
 
-/// Create a channel with no capacity limit.
-pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-    let (tx, rx) = mpsc::channel();
-    (Sender { inner: tx }, Receiver { inner: rx })
+fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::new(),
+            senders: 1,
+            receiver_alive: true,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        cap,
+    });
+    (
+        Sender {
+            chan: Arc::clone(&chan),
+        },
+        Receiver { chan },
+    )
 }
 
-/// Create a channel with capacity `_cap`.
+/// Create a channel with no capacity limit; `send` never blocks.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+/// Create a channel with capacity `cap`: once `cap` messages are queued,
+/// `send` blocks until the receiver pops one (backpressure).
 ///
-/// Stand-in caveat: capacity is **not** enforced (see crate docs); the
-/// returned channel is unbounded and `send` never blocks.
-pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
-    unbounded()
+/// `cap = 0` is treated as capacity 1 (this stand-in has no rendezvous
+/// channels; real crossbeam's zero-capacity channel blocks both sides).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    channel(Some(cap.max(1)))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
 
     #[test]
     fn send_recv_roundtrip() {
@@ -175,5 +279,56 @@ mod tests {
         let sum: u64 = rx.iter().sum();
         h.join().unwrap();
         assert_eq!(sum, 4950);
+    }
+
+    #[test]
+    fn bounded_send_blocks_at_capacity() {
+        let (tx, rx) = bounded(2);
+        tx.send(1u32).unwrap();
+        tx.send(2).unwrap();
+        let blocked = Arc::new(AtomicBool::new(true));
+        let b2 = Arc::clone(&blocked);
+        let h = std::thread::spawn(move || {
+            tx.send(3).unwrap(); // must block until a recv frees a slot
+            b2.store(false, Ordering::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(blocked.load(Ordering::SeqCst), "send did not block at cap");
+        assert_eq!(rx.recv(), Ok(1));
+        h.join().unwrap();
+        assert!(!blocked.load(Ordering::SeqCst));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn bounded_send_unblocks_on_receiver_drop() {
+        let (tx, rx) = bounded(1);
+        tx.send(1u32).unwrap();
+        let h = std::thread::spawn(move || tx.send(2));
+        std::thread::sleep(Duration::from_millis(20));
+        drop(rx);
+        // The blocked send must return the value as an error, not hang.
+        assert_eq!(h.join().unwrap(), Err(SendError(2)));
+    }
+
+    #[test]
+    fn bounded_keeps_fifo_order_under_contention() {
+        let (tx, rx) = bounded(4);
+        let h = std::thread::spawn(move || {
+            for i in 0..10_000u64 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<u64> = rx.iter().collect();
+        h.join().unwrap();
+        assert_eq!(got, (0..10_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let (tx, rx) = bounded(0);
+        tx.send(7u8).unwrap(); // would deadlock if capacity were 0
+        assert_eq!(rx.recv(), Ok(7));
     }
 }
