@@ -14,7 +14,7 @@ fn bench_experiment_smoke(c: &mut Criterion) {
     let mut g = c.benchmark_group("experiment_smoke");
     g.sample_size(10);
 
-    let exec = ExecConfig::LockStep;
+    let exec = ExecConfig::lockstep();
     g.bench_function("table1_count_row", |b| {
         b.iter(|| count_run(exec, CountAlgo::Randomized, 16, 0.05, 50_000, 1))
     });
@@ -37,13 +37,13 @@ fn bench_executor_matrix(c: &mut Criterion) {
     g.sample_size(10);
 
     for (name, exec) in [
-        ("lockstep", ExecConfig::LockStep),
-        ("event_instant", ExecConfig::Event(DeliveryPolicy::Instant)),
+        ("lockstep", ExecConfig::lockstep()),
+        ("event_instant", ExecConfig::event(DeliveryPolicy::Instant)),
         (
             "event_random_delay",
-            ExecConfig::Event(DeliveryPolicy::RandomDelay { min: 1, max: 32 }),
+            ExecConfig::event(DeliveryPolicy::RandomDelay { min: 1, max: 32 }),
         ),
-        ("channel", ExecConfig::Channel),
+        ("channel", ExecConfig::channel()),
     ] {
         g.bench_function(name, |b| {
             b.iter(|| count_run(exec, CountAlgo::Randomized, 16, 0.05, 50_000, 1))

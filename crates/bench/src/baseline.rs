@@ -5,8 +5,9 @@
 //! nothing used to catch a regression landing between two PRs. This
 //! module gives the `perf_baseline` binary its machinery:
 //!
-//! * [`measure_cells`] runs a small fixed matrix (seven Table-1 protocol
-//!   cells on their standard workloads, lock-step executor) and records
+//! * [`measure_cells`] runs a small fixed matrix (the seven Table-1
+//!   protocol cells on their standard workloads plus one sliding-window
+//!   cell, lock-step executor) and records
 //!   the **median words** (deterministic given the seed set — an exact
 //!   regression signal for communication) and **median wall time** per
 //!   cell (noisy — compared with a generous factor, and the CI step is
@@ -76,7 +77,7 @@ fn med_f64(mut v: Vec<f64>) -> f64 {
 
 /// Run the measurement matrix and return one [`Cell`] per protocol.
 pub fn measure_cells(p: Params) -> Vec<Cell> {
-    let exec = ExecConfig::LockStep;
+    let exec = ExecConfig::lockstep();
     let timed = |f: &dyn Fn(u64) -> u64| -> (u64, f64) {
         let mut words = Vec::new();
         let mut millis = Vec::new();
@@ -122,6 +123,18 @@ pub fn measure_cells(p: Params) -> Vec<Cell> {
         (
             "rank/randomized",
             Box::new(move |s| rank_run(exec, RankAlgo::Randomized, k, eps, n, s).0.words),
+        ),
+        // Sliding-window scenario: the randomized count protocol under
+        // the Windowed adapter (window = n/4). Words include the epoch
+        // restarts and heartbeat/seal traffic, so this cell guards the
+        // window subsystem's communication behavior.
+        (
+            "count/windowed",
+            Box::new(move |s| {
+                count_run(exec.windowed(n / 4), CountAlgo::Randomized, k, eps, n, s)
+                    .0
+                    .words
+            }),
         ),
     ];
 
@@ -361,7 +374,7 @@ mod tests {
         };
         let a = measure_cells(p);
         let b = measure_cells(p);
-        assert_eq!(a.len(), 7);
+        assert_eq!(a.len(), 8);
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.id, y.id);
             assert_eq!(x.words, y.words, "{}", x.id);

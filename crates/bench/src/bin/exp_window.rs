@@ -1,0 +1,167 @@
+//! Windowed vs whole-stream tracking: communication and accuracy of the
+//! Table-1 protocols when restricted to the last `W` elements via the
+//! `dtrack_core::window::Windowed` adapter (epoch-restarted instances
+//! under an exponential histogram).
+//!
+//! For each protocol the table shows the whole-stream run and the
+//! `+window:W` run side by side on the same workload: total words, the
+//! words-overhead factor of windowing (epoch restarts re-pay each
+//! protocol's warm-up, plus heartbeat/seal traffic), and the error —
+//! each measured against its own truth (whole-stream error over `n`,
+//! windowed error over the exact last-`W` answer, normalized by `W`).
+//!
+//! Usage: `exp_window [N] [K] [EPS] [W] [SEEDS] [EXEC]`
+//! (`EXEC` picks the executor + delivery policy, e.g. `channel` or
+//! `event:random:1:32`; the window is added on top of it.)
+
+use dtrack_bench::cli::{arg, banner, exec_arg};
+use dtrack_bench::measure::{
+    count_run, frequency_run, rank_run, CountAlgo, FreqAlgo, RankAlgo,
+};
+use dtrack_bench::table::{fmt_num, Table};
+use dtrack_bench::CommSpace;
+
+fn main() {
+    let n: u64 = arg(0, 200_000);
+    let k: usize = arg(1, 16);
+    let eps: f64 = arg(2, 0.05);
+    let w: u64 = arg(3, (n / 8).max(2));
+    let seeds: u64 = arg(4, 3);
+    let exec = exec_arg(5);
+    if exec.window.is_some() {
+        eprintln!("error: exp_window adds the window itself; pass a bare exec spec");
+        std::process::exit(2);
+    }
+    let rank_n = n.min(200_000); // rank protocols are heavier per element
+    let rank_w = w.min(rank_n / 2).max(2);
+    banner(
+        "Windowed vs whole-stream tracking (exponential histogram of epochs)",
+        &format!(
+            "N={n} (rank: {rank_n}), k={k}, eps={eps}, W={w} (rank: {rank_w}), \
+             seeds={seeds}, exec={exec}"
+        ),
+    );
+
+    let mut t = Table::new([
+        "problem",
+        "algorithm",
+        "words(whole)",
+        "words(window)",
+        "overhead×",
+        "err/n(whole)",
+        "err/W(window)",
+    ]);
+
+    let med = |f: &dyn Fn(u64) -> (CommSpace, f64)| {
+        let mut runs: Vec<(CommSpace, f64)> = (0..seeds).map(f).collect();
+        runs.sort_by_key(|r| r.0.words);
+        runs[runs.len() / 2]
+    };
+
+    type RowFn = Box<dyn Fn(u64, bool) -> (CommSpace, f64)>;
+    let win = move |on: bool, w: u64| {
+        if on {
+            exec.windowed(w)
+        } else {
+            exec
+        }
+    };
+    let rows: Vec<(&str, &str, RowFn)> = vec![
+        (
+            "count",
+            "trivial (det)",
+            Box::new(move |s, on| count_run(win(on, w), CountAlgo::Deterministic, k, eps, n, s)),
+        ),
+        (
+            "count",
+            "NEW randomized",
+            Box::new(move |s, on| count_run(win(on, w), CountAlgo::Randomized, k, eps, n, s)),
+        ),
+        (
+            "count",
+            "sampling [9]",
+            Box::new(move |s, on| count_run(win(on, w), CountAlgo::Sampling, k, eps, n, s)),
+        ),
+        (
+            "frequency",
+            "[29]-style det",
+            Box::new(move |s, on| {
+                frequency_run(win(on, w), FreqAlgo::Deterministic, k, eps, n, s)
+            }),
+        ),
+        (
+            "frequency",
+            "NEW randomized",
+            Box::new(move |s, on| frequency_run(win(on, w), FreqAlgo::Randomized, k, eps, n, s)),
+        ),
+        (
+            "rank",
+            "[6]-style det",
+            Box::new(move |s, on| {
+                rank_run(
+                    win(on, rank_w),
+                    RankAlgo::Deterministic,
+                    k,
+                    eps.max(0.02),
+                    rank_n,
+                    s,
+                )
+            }),
+        ),
+        (
+            "rank",
+            "NEW randomized",
+            Box::new(move |s, on| {
+                rank_run(
+                    win(on, rank_w),
+                    RankAlgo::Randomized,
+                    k,
+                    eps.max(0.02),
+                    rank_n,
+                    s,
+                )
+            }),
+        ),
+        (
+            "rank",
+            "sampling [9]",
+            Box::new(move |s, on| {
+                rank_run(
+                    win(on, rank_w),
+                    RankAlgo::Sampling,
+                    k,
+                    eps.max(0.02),
+                    rank_n,
+                    s,
+                )
+            }),
+        ),
+    ];
+
+    for (problem, algo, f) in rows {
+        let (whole_cs, whole_err) = med(&|s| f(s, false));
+        let (win_cs, win_err) = med(&|s| f(s, true));
+        t.row([
+            problem.to_string(),
+            algo.to_string(),
+            fmt_num(whole_cs.words as f64),
+            fmt_num(win_cs.words as f64),
+            fmt_num(win_cs.words as f64 / whole_cs.words.max(1) as f64),
+            fmt_num(whole_err),
+            fmt_num(win_err),
+        ]);
+    }
+    t.print();
+
+    println!();
+    println!(
+        "expected shapes: windowing pays an overhead factor (epoch restarts re-enter"
+    );
+    println!(
+        "each protocol's warm-up rounds, plus heartbeat/seal/ack traffic), in exchange"
+    );
+    println!(
+        "for answers that track the last W elements instead of the whole stream;"
+    );
+    println!("windowed errors are measured against the exact sliding-window truth.");
+}

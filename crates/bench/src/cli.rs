@@ -3,7 +3,8 @@
 //! Every binary accepts optional positional overrides, e.g.
 //! `table1 [N] [K] [EPS] [SEEDS] [EXEC]`; anything omitted — or anything
 //! that fails to parse — falls back to the default. The trailing `EXEC`
-//! argument selects the executor + delivery policy (see [`exec_arg`]).
+//! argument selects the executor + delivery policy and, via a
+//! `+window:W` suffix, sliding-window tracking (see [`exec_arg`]).
 
 use dtrack_sim::ExecConfig;
 
@@ -16,17 +17,18 @@ pub fn arg<T: std::str::FromStr>(idx: usize, default: T) -> T {
         .unwrap_or(default)
 }
 
-/// Parse positional argument `idx` as an [`ExecConfig`] spec
+/// Parse positional argument `idx` as an [`ExecConfig`] scenario spec
 /// (`lockstep | channel | event[:instant] | event:fixed:D |
-/// event:random:MIN:MAX | event:reorder:W`), defaulting to
-/// [`ExecConfig::LockStep`] when absent.
+/// event:random:MIN:MAX | event:reorder:W`, each optionally suffixed
+/// `+window:W` for sliding-window tracking), defaulting to
+/// [`ExecConfig::lockstep`] when absent.
 ///
 /// Unlike [`arg`], a *malformed* spec aborts with a message instead of
 /// silently falling back: an experiment silently run under the wrong
 /// execution model would be far worse than a startup error.
 pub fn exec_arg(idx: usize) -> ExecConfig {
     match std::env::args().nth(idx + 1) {
-        None => ExecConfig::LockStep,
+        None => ExecConfig::lockstep(),
         Some(s) => s.parse().unwrap_or_else(|e| {
             eprintln!("error: {e}");
             std::process::exit(2);

@@ -14,8 +14,11 @@
 //! | `exp_figure1` | Figure 1 / Claim A.1: sampling-problem failure curve |
 //! | `exp_lower_bounds` | Thm 2.2 one-way frontier; Thm 2.3/2.4 hard instances |
 //! | `exp_tradeoff` | Thm 3.2 space–communication trade-off |
+//! | `exp_window` | sliding-window vs whole-stream tracking (beyond the paper) |
 //!
-//! Run with `cargo run -p dtrack-bench --release --bin <name>`.
+//! Run with `cargo run -p dtrack-bench --release --bin <name>`. Every
+//! binary takes a trailing `EXEC` scenario argument (executor + delivery
+//! policy, optionally `+window:W` — see `dtrack_sim::ExecConfig`).
 
 pub mod baseline;
 pub mod cli;

@@ -1,13 +1,21 @@
 //! Instrumented end-to-end protocol runs over standard workloads.
 //!
-//! Every run function takes an [`ExecConfig`] selecting the executor and
-//! delivery policy (lock-step runner, deterministic event scheduler with
-//! instant/fixed/random/adversarial delivery, or the concurrent channel
-//! runtime), so a single experiment definition measures the whole
-//! scenario matrix. Elements are ingested through the executors'
-//! batched fast path; queries go through [`Executor::query`] after a
-//! [`Executor::quiesce`] (a consistent cut — under delayed delivery this
-//! is the state the idealized model would have reached).
+//! Every run function takes an [`ExecConfig`] scenario selecting the
+//! executor and delivery policy (lock-step runner, deterministic event
+//! scheduler with instant/fixed/random/adversarial delivery, or the
+//! concurrent channel runtime) **and** optionally a sliding window, so a
+//! single experiment definition measures the whole scenario matrix.
+//! When the scenario carries `window: Some(w)` (spec suffix
+//! `+window:W`), the run functions wrap the protocol in
+//! [`dtrack_core::window::Windowed`] and score answers against the
+//! *exact sliding-window* truth over the last `w` elements (errors
+//! normalized by `w`, the windowed analogue of `n`); otherwise they
+//! track the whole stream exactly as before.
+//!
+//! Elements are ingested through the executors' batched fast path;
+//! queries go through [`Executor::query`] after a [`Executor::quiesce`]
+//! (a consistent cut — under delayed delivery this is the state the
+//! idealized model would have reached).
 
 use dtrack_core::boost::{median, Replicated, ReplicatedCoord};
 use dtrack_core::count::{
@@ -20,8 +28,9 @@ use dtrack_core::rank::{
     DeterministicRank, DetRankCoord, RandRankCoord, RandomizedRank,
 };
 use dtrack_core::sampling::{ContinuousSampling, SamplingCoord};
+use dtrack_core::window::{WinCoord, Windowed};
 use dtrack_core::TrackingConfig;
-use dtrack_sim::{ExecConfig, Executor, Protocol};
+use dtrack_sim::{ExecConfig, ExecMode, Executor, Protocol};
 use dtrack_sketch::exact::{ExactCounts, ExactRanks};
 use dtrack_workload::items::{DistinctSeq, ItemGen, ZipfItems};
 use dtrack_workload::{Arrival, RoundRobin, SiteAssign, UniformSites, Workload};
@@ -91,8 +100,32 @@ fn round_robin_batch(k: usize, n: u64) -> Vec<(usize, u64)> {
     (0..n).map(|t| ((t % k as u64) as usize, t)).collect()
 }
 
+/// The duplicate-free round-robin rank workload — one definition shared
+/// by [`rank_run`] and [`windowed_rank_run`], so `exp_window`'s
+/// whole-stream and windowed rows measure the *same* stream.
+fn rank_batch(k: usize, n: u64, seed: u64) -> Vec<(usize, u64)> {
+    let mut items = DistinctSeq::new(seed ^ 0xBEEF);
+    let mut assign = RoundRobin::new(k);
+    let mut wl_rng = dtrack_sim::rng::rng_from_seed(seed);
+    (0..n)
+        .map(|_| {
+            let site = assign.next_site(&mut wl_rng);
+            let item = items.next_item(&mut wl_rng);
+            (site, item)
+        })
+        .collect()
+}
+
+/// Frequency probes: the 20 globally hottest zipf items plus 5 absent
+/// ones — shared by [`frequency_run`] and [`windowed_frequency_run`].
+fn freq_probes() -> Vec<u64> {
+    (0..20u64).chain(2_000_000..2_000_005).collect()
+}
+
 /// Run count-tracking over a round-robin stream of `n` elements.
-/// Returns cost and the final relative error `|n̂ − n|/n`.
+/// Returns cost and the final relative error `|n̂ − n|/n` — or, for a
+/// `+window:W` scenario, the windowed estimate's error
+/// `|n̂_W − min(n, W)|/W` against the exact sliding-window count.
 pub fn count_run(
     exec: ExecConfig,
     algo: CountAlgo,
@@ -101,6 +134,9 @@ pub fn count_run(
     n: u64,
     seed: u64,
 ) -> (CommSpace, f64) {
+    if let Some(w) = exec.window {
+        return windowed_count_run(exec.mode, algo, k, eps, n, w, seed);
+    }
     let cfg = TrackingConfig::new(k, eps);
     let batch = round_robin_batch(k, n);
     macro_rules! run {
@@ -125,6 +161,41 @@ pub fn count_run(
             run!(ContinuousSampling::new(cfg), |c: &SamplingCoord| c
                 .estimate_count())
         }
+    }
+}
+
+/// Run *windowed* count-tracking: the protocol wrapped in
+/// [`Windowed`] with window `w`, scored against the exact sliding
+/// count `min(n, w)`. Called by [`count_run`] for `+window:W`
+/// scenarios; callable directly when the executor mode and window are
+/// already separate.
+pub fn windowed_count_run(
+    mode: ExecMode,
+    algo: CountAlgo,
+    k: usize,
+    eps: f64,
+    n: u64,
+    w: u64,
+    seed: u64,
+) -> (CommSpace, f64) {
+    let cfg = TrackingConfig::new(k, eps);
+    let batch = round_robin_batch(k, n);
+    let truth = n.min(w) as f64;
+    macro_rules! run {
+        ($inner:expr, $coord:ty) => {{
+            let proto = Windowed::new($inner, w);
+            let mut ex = mode.build(&proto, seed);
+            ex.feed_batch(batch);
+            ex.quiesce();
+            let est: f64 = ex.query(|c: &WinCoord<$coord>| c.windowed_count());
+            let err = (est - truth).abs() / w as f64;
+            (CommSpace::from_exec(&ex), err)
+        }};
+    }
+    match algo {
+        CountAlgo::Randomized => run!(RandomizedCount::new(cfg), RandomizedCount),
+        CountAlgo::Deterministic => run!(DeterministicCount::new(cfg), DeterministicCount),
+        CountAlgo::Sampling => run!(ContinuousSampling::new(cfg), ContinuousSampling),
     }
 }
 
@@ -212,7 +283,9 @@ fn freq_workload(k: usize, n: u64, seed: u64) -> Vec<Arrival> {
 }
 
 /// Run frequency-tracking; returns cost and the maximum `|f̂ − f|/n` over
-/// the 20 most frequent items plus 5 absent probes.
+/// the 20 most frequent items plus 5 absent probes — or, for a
+/// `+window:W` scenario, the same maximum against the items' exact
+/// counts within the last `w` arrivals, normalized by `w`.
 pub fn frequency_run(
     exec: ExecConfig,
     algo: FreqAlgo,
@@ -221,6 +294,9 @@ pub fn frequency_run(
     n: u64,
     seed: u64,
 ) -> (CommSpace, f64) {
+    if let Some(w) = exec.window {
+        return windowed_frequency_run(exec.mode, algo, k, eps, n, w, seed);
+    }
     let cfg = TrackingConfig::new(k, eps);
     let arrivals = freq_workload(k, n, seed ^ 0xF00D);
     let mut exact = ExactCounts::new();
@@ -231,7 +307,7 @@ pub fn frequency_run(
             (a.site, a.item)
         })
         .collect();
-    let probes: Vec<u64> = (0..20u64).chain(2_000_000..2_000_005).collect();
+    let probes = freq_probes();
     macro_rules! run {
         ($proto:expr, $est:expr) => {{
             let mut ex = exec.build(&$proto, seed);
@@ -261,6 +337,56 @@ pub fn frequency_run(
             run!(ContinuousSampling::new(cfg), |c: &SamplingCoord, j| c
                 .estimate_frequency(j))
         }
+    }
+}
+
+/// Run *windowed* frequency-tracking over the standard zipf workload:
+/// the protocol wrapped in [`Windowed`] with window `w`, scored by the
+/// maximum `|f̂_W − f_W|/w` over the 20 globally hottest items plus 5
+/// absent probes, where `f_W` is the item's exact count within the last
+/// `w` arrivals.
+pub fn windowed_frequency_run(
+    mode: ExecMode,
+    algo: FreqAlgo,
+    k: usize,
+    eps: f64,
+    n: u64,
+    w: u64,
+    seed: u64,
+) -> (CommSpace, f64) {
+    let cfg = TrackingConfig::new(k, eps);
+    let arrivals = freq_workload(k, n, seed ^ 0xF00D);
+    let batch: Vec<(usize, u64)> = arrivals.iter().map(|a| (a.site, a.item)).collect();
+    // Exact truth over the last w arrivals only.
+    let mut exact_window = ExactCounts::new();
+    let tail_start = arrivals.len().saturating_sub(w as usize);
+    for a in &arrivals[tail_start..] {
+        exact_window.observe(a.item);
+    }
+    let probes = freq_probes();
+    macro_rules! run {
+        ($inner:expr, $coord:ty) => {{
+            let proto = Windowed::new($inner, w);
+            let mut ex = mode.build(&proto, seed);
+            ex.feed_batch(batch);
+            ex.quiesce();
+            let worst = probes
+                .iter()
+                .map(|&j| {
+                    let estimate: f64 =
+                        ex.query(move |c: &WinCoord<$coord>| c.windowed_frequency(j));
+                    (estimate - exact_window.frequency(j) as f64).abs() / w as f64
+                })
+                .fold(0.0f64, f64::max);
+            (CommSpace::from_exec(&ex), worst)
+        }};
+    }
+    match algo {
+        FreqAlgo::Randomized => run!(RandomizedFrequency::new(cfg), RandomizedFrequency),
+        FreqAlgo::Deterministic => {
+            run!(DeterministicFrequency::new(cfg), DeterministicFrequency)
+        }
+        FreqAlgo::Sampling => run!(ContinuousSampling::new(cfg), ContinuousSampling),
     }
 }
 
@@ -312,7 +438,10 @@ pub fn frequency_single_probe_error(
 }
 
 /// Run rank-tracking over a duplicate-free round-robin stream; returns
-/// cost and the maximum `|rank̂ − rank|/n` over the deciles.
+/// cost and the maximum `|rank̂ − rank|/n` over the deciles — or, for a
+/// `+window:W` scenario, the same maximum over the *window's* deciles
+/// against the exact ranks within the last `w` arrivals, normalized by
+/// `w`.
 pub fn rank_run(
     exec: ExecConfig,
     algo: RankAlgo,
@@ -321,19 +450,15 @@ pub fn rank_run(
     n: u64,
     seed: u64,
 ) -> (CommSpace, f64) {
+    if let Some(w) = exec.window {
+        return windowed_rank_run(exec.mode, algo, k, eps, n, w, seed);
+    }
     let cfg = TrackingConfig::new(k, eps);
-    let mut items = DistinctSeq::new(seed ^ 0xBEEF);
-    let mut assign = RoundRobin::new(k);
-    let mut wl_rng = dtrack_sim::rng::rng_from_seed(seed);
+    let batch = rank_batch(k, n, seed);
     let mut exact = ExactRanks::new();
-    let batch: Vec<(usize, u64)> = (0..n)
-        .map(|_| {
-            let site = assign.next_site(&mut wl_rng);
-            let item = items.next_item(&mut wl_rng);
-            exact.insert(item);
-            (site, item)
-        })
-        .collect();
+    for &(_, item) in &batch {
+        exact.insert(item);
+    }
     macro_rules! run {
         ($proto:expr, $est:expr) => {{
             let mut ex = exec.build(&$proto, seed);
@@ -367,6 +492,52 @@ pub fn rank_run(
     }
 }
 
+/// Run *windowed* rank-tracking over the same duplicate-free stream as
+/// [`rank_run`]: the protocol wrapped in [`Windowed`] with window `w`,
+/// scored by the maximum `|rank̂_W − rank_W|/w` over the window's
+/// deciles, where `rank_W` counts only the last `w` arrivals.
+pub fn windowed_rank_run(
+    mode: ExecMode,
+    algo: RankAlgo,
+    k: usize,
+    eps: f64,
+    n: u64,
+    w: u64,
+    seed: u64,
+) -> (CommSpace, f64) {
+    let cfg = TrackingConfig::new(k, eps);
+    let batch = rank_batch(k, n, seed);
+    // Exact truth over the last w arrivals only.
+    let mut exact_window = ExactRanks::new();
+    let tail_start = batch.len().saturating_sub(w as usize);
+    for &(_, item) in &batch[tail_start..] {
+        exact_window.insert(item);
+    }
+    macro_rules! run {
+        ($inner:expr, $coord:ty) => {{
+            let proto = Windowed::new($inner, w);
+            let mut ex = mode.build(&proto, seed);
+            ex.feed_batch(batch);
+            ex.quiesce();
+            let worst = (1..10)
+                .map(|d| {
+                    let x = exact_window.quantile(d as f64 / 10.0).unwrap();
+                    let truth = exact_window.rank(x) as f64;
+                    let estimate: f64 =
+                        ex.query(move |c: &WinCoord<$coord>| c.windowed_rank(x));
+                    (estimate - truth).abs() / w as f64
+                })
+                .fold(0.0f64, f64::max);
+            (CommSpace::from_exec(&ex), worst)
+        }};
+    }
+    match algo {
+        RankAlgo::Randomized => run!(RandomizedRank::new(cfg), RandomizedRank),
+        RankAlgo::Deterministic => run!(DeterministicRank::new(cfg), DeterministicRank),
+        RankAlgo::Sampling => run!(ContinuousSampling::new(cfg), ContinuousSampling),
+    }
+}
+
 /// Median over seeds of a per-seed scalar measurement.
 pub fn median_over_seeds<F: Fn(u64) -> f64>(seeds: std::ops::Range<u64>, f: F) -> f64 {
     median(seeds.map(f).collect())
@@ -378,9 +549,9 @@ mod tests {
     use dtrack_sim::DeliveryPolicy;
 
     const EXECS: [ExecConfig; 3] = [
-        ExecConfig::LockStep,
-        ExecConfig::Event(DeliveryPolicy::Instant),
-        ExecConfig::Channel,
+        ExecConfig::lockstep(),
+        ExecConfig::event(DeliveryPolicy::Instant),
+        ExecConfig::channel(),
     ];
 
     #[test]
@@ -407,7 +578,7 @@ mod tests {
             FreqAlgo::Sampling,
         ] {
             let (cs, err) =
-                frequency_run(ExecConfig::LockStep, algo, 4, 0.2, 20_000, 2);
+                frequency_run(ExecConfig::lockstep(), algo, 4, 0.2, 20_000, 2);
             assert!(cs.msgs > 0);
             assert!(err < 0.5, "{algo:?} err {err}");
         }
@@ -420,10 +591,36 @@ mod tests {
             RankAlgo::Deterministic,
             RankAlgo::Sampling,
         ] {
-            let (cs, err) = rank_run(ExecConfig::LockStep, algo, 4, 0.2, 20_000, 3);
+            let (cs, err) = rank_run(ExecConfig::lockstep(), algo, 4, 0.2, 20_000, 3);
             assert!(cs.msgs > 0);
             assert!(err < 0.5, "{algo:?} err {err}");
         }
+    }
+
+    #[test]
+    fn windowed_count_runs_on_all_executors() {
+        for exec in EXECS {
+            let exec = exec.windowed(4_096);
+            let (cs, err) = count_run(exec, CountAlgo::Randomized, 4, 0.1, 20_000, 1);
+            assert!(cs.msgs > 0);
+            // The deterministic executors meet the accuracy target; the
+            // channel runtime is a robustness check only — thread timing
+            // can make bucket contents outrun their heartbeat ranges
+            // (see the window module docs), so only sanity is asserted.
+            let tol = if exec.mode == ExecMode::Channel { 4.0 } else { 0.5 };
+            assert!(err.is_finite() && err < tol, "{exec} err {err}");
+        }
+    }
+
+    #[test]
+    fn windowed_frequency_and_rank_score_against_window_truth() {
+        let exec = ExecConfig::lockstep().windowed(8_192);
+        let (fcs, ferr) = frequency_run(exec, FreqAlgo::Randomized, 4, 0.1, 30_000, 2);
+        assert!(fcs.msgs > 0);
+        assert!(ferr < 0.25, "freq err {ferr}");
+        let (rcs, rerr) = rank_run(exec, RankAlgo::Deterministic, 4, 0.1, 30_000, 3);
+        assert!(rcs.msgs > 0);
+        assert!(rerr < 0.25, "rank err {rerr}");
     }
 
     #[test]
@@ -431,7 +628,7 @@ mod tests {
         // A fixed 64-tick latency delays every message by 64 elements —
         // the protocol's view lags, but after quiesce the estimate must
         // still be in the right ballpark (count conservation of ups).
-        let exec = ExecConfig::Event(DeliveryPolicy::FixedLatency(64));
+        let exec = ExecConfig::event(DeliveryPolicy::FixedLatency(64));
         let (cs, err) = count_run(exec, CountAlgo::Randomized, 8, 0.1, 40_000, 5);
         assert!(cs.msgs > 0);
         assert!(err < 0.5, "err {err}");
@@ -442,7 +639,7 @@ mod tests {
     fn boosted_error_is_small_at_all_checkpoints() {
         let checkpoints: Vec<u64> = (1..20).map(|i| i * 1000).collect();
         let worst = count_boosted_max_error(
-            ExecConfig::LockStep,
+            ExecConfig::lockstep(),
             8,
             0.15,
             20_000,
@@ -457,7 +654,7 @@ mod tests {
     fn trace_has_checkpoint_arity() {
         let cps = vec![100, 1000, 5000];
         let t = count_error_trace(
-            ExecConfig::LockStep,
+            ExecConfig::lockstep(),
             CountAlgo::Randomized,
             4,
             0.2,

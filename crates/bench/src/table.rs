@@ -104,7 +104,7 @@ mod tests {
     fn number_formats() {
         assert_eq!(fmt_num(0.0), "0");
         assert_eq!(fmt_num(0.1234), "0.1234");
-        assert_eq!(fmt_num(3.14159), "3.14");
+        assert_eq!(fmt_num(6.54321), "6.54");
         assert_eq!(fmt_num(1234.0), "1234");
         assert!(fmt_num(123_456_789.0).contains('e'));
     }

@@ -25,7 +25,7 @@ fn median_words(f: impl Fn(u64) -> (CommSpace, f64)) -> (u64, f64) {
 
 #[test]
 fn randomized_count_beats_deterministic_words() {
-    let exec = ExecConfig::LockStep;
+    let exec = ExecConfig::lockstep();
     let (rand, rand_err) =
         median_words(|s| count_run(exec, CountAlgo::Randomized, K, EPS, N, s));
     let (det, det_err) =
@@ -39,7 +39,7 @@ fn randomized_count_beats_deterministic_words() {
 
 #[test]
 fn randomized_frequency_beats_deterministic_words() {
-    let exec = ExecConfig::LockStep;
+    let exec = ExecConfig::lockstep();
     let (rand, rand_err) =
         median_words(|s| frequency_run(exec, FreqAlgo::Randomized, K, EPS, N, s));
     let (det, det_err) =
@@ -53,7 +53,7 @@ fn randomized_frequency_beats_deterministic_words() {
 
 #[test]
 fn randomized_rank_beats_deterministic_words() {
-    let exec = ExecConfig::LockStep;
+    let exec = ExecConfig::lockstep();
     let (rand, rand_err) =
         median_words(|s| rank_run(exec, RankAlgo::Randomized, K, EPS, N, s));
     let (det, det_err) =
@@ -69,7 +69,7 @@ fn randomized_rank_beats_deterministic_words() {
 fn sampling_words_are_roughly_k_independent() {
     // The [9] baseline costs O(1/ε²·logN) words regardless of k: growing
     // k by 16× must not grow its cost by more than a small factor.
-    let exec = ExecConfig::LockStep;
+    let exec = ExecConfig::lockstep();
     let (small_k, _) =
         median_words(|s| count_run(exec, CountAlgo::Sampling, 4, EPS, N, s));
     let (large_k, _) =

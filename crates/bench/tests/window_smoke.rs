@@ -1,0 +1,96 @@
+//! Smoke test for the `exp_window` experiment harness: runs its core
+//! measurement path (the windowed run functions, exactly what the
+//! binary medians over) at tiny N on **all three executors** and
+//! asserts the invariants the windowed-vs-whole comparison relies on:
+//! the table can be produced end-to-end everywhere, windowing costs
+//! extra words (epoch restarts + heartbeats), and the windowed error is
+//! measured against the sliding truth (finite, sane).
+
+use dtrack_bench::measure::{
+    count_run, frequency_run, rank_run, CountAlgo, FreqAlgo, RankAlgo,
+};
+use dtrack_sim::{DeliveryPolicy, ExecConfig, ExecMode};
+
+const K: usize = 8;
+const EPS: f64 = 0.1;
+const N: u64 = 12_000;
+const W: u64 = 3_000;
+const SEED: u64 = 2;
+
+fn execs() -> [ExecConfig; 3] {
+    [
+        ExecConfig::lockstep(),
+        ExecConfig::event(DeliveryPolicy::Instant),
+        ExecConfig::channel(),
+    ]
+}
+
+#[test]
+fn windowed_count_emits_on_all_three_executors() {
+    for exec in execs() {
+        let (whole, whole_err) = count_run(exec, CountAlgo::Randomized, K, EPS, N, SEED);
+        let (win, win_err) = count_run(
+            exec.windowed(W),
+            CountAlgo::Randomized,
+            K,
+            EPS,
+            N,
+            SEED,
+        );
+        assert!(whole.words > 0 && win.words > 0, "{exec}");
+        assert!(
+            win.words > whole.words,
+            "{exec}: windowing should cost extra words ({} ≤ {})",
+            win.words,
+            whole.words
+        );
+        assert!(whole_err.is_finite() && win_err.is_finite(), "{exec}");
+        // Deterministic executors meet a real accuracy bar; the channel
+        // runtime is sanity-only (thread timing can stretch buckets).
+        let tol = if exec.mode == ExecMode::Channel { 4.0 } else { 0.5 };
+        assert!(win_err < tol, "{exec} windowed err {win_err}");
+    }
+}
+
+#[test]
+fn windowed_frequency_and_rank_emit_on_the_deterministic_executors() {
+    for exec in execs().into_iter().take(2) {
+        let (fcs, ferr) = frequency_run(
+            exec.windowed(W),
+            FreqAlgo::Deterministic,
+            K,
+            EPS,
+            N,
+            SEED,
+        );
+        assert!(fcs.words > 0 && ferr < 0.25, "{exec} freq err {ferr}");
+        let (rcs, rerr) = rank_run(exec.windowed(W), RankAlgo::Sampling, K, EPS, N, SEED);
+        assert!(rcs.words > 0 && rerr < 0.25, "{exec} rank err {rerr}");
+    }
+}
+
+#[test]
+fn lockstep_and_event_windowed_runs_agree_bit_for_bit() {
+    // The windowed adapter must preserve the exec layer's equivalence
+    // guarantee: identical accounting and identical answers under
+    // instant delivery.
+    let a = count_run(
+        ExecConfig::lockstep().windowed(W),
+        CountAlgo::Randomized,
+        K,
+        EPS,
+        N,
+        SEED,
+    );
+    let b = count_run(
+        ExecConfig::event(DeliveryPolicy::Instant).windowed(W),
+        CountAlgo::Randomized,
+        K,
+        EPS,
+        N,
+        SEED,
+    );
+    assert_eq!(a.0.words, b.0.words);
+    assert_eq!(a.0.msgs, b.0.msgs);
+    assert_eq!(a.1.to_bits(), b.1.to_bits(), "windowed answers must be bit-identical");
+}

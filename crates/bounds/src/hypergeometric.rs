@@ -77,7 +77,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         for _ in 0..1000 {
             let x = sample(&mut rng, 50, 20, 30);
-            assert!(x <= 20 && x <= 30);
+            assert!(x <= 20, "cannot draw more successes than exist");
             // At least draws − (population − successes) = 0 here.
         }
     }

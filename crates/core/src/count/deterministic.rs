@@ -88,6 +88,20 @@ impl Coordinator for DetCountCoord {
     }
 }
 
+/// A closed epoch digests to its final (1+ε)-underestimate; the
+/// sliding-window adapter sums those across buckets.
+impl crate::window::EpochProtocol for DeterministicCount {
+    type Digest = crate::window::ScalarCount;
+
+    fn digest(coord: &DetCountCoord) -> Self::Digest {
+        crate::window::ScalarCount(coord.estimate())
+    }
+
+    fn merge(a: Self::Digest, b: &Self::Digest) -> Self::Digest {
+        a.merged(b)
+    }
+}
+
 impl Protocol for DeterministicCount {
     type Site = DetCountSite;
     type Coord = DetCountCoord;

@@ -244,6 +244,20 @@ impl Coordinator for RandCountCoord {
     }
 }
 
+/// A closed epoch of count tracking digests to its final estimate; the
+/// sliding-window adapter sums those across buckets.
+impl crate::window::EpochProtocol for RandomizedCount {
+    type Digest = crate::window::ScalarCount;
+
+    fn digest(coord: &RandCountCoord) -> Self::Digest {
+        crate::window::ScalarCount(coord.estimate())
+    }
+
+    fn merge(a: Self::Digest, b: &Self::Digest) -> Self::Digest {
+        a.merged(b)
+    }
+}
+
 impl Protocol for RandomizedCount {
     type Site = RandCountSite;
     type Coord = RandCountCoord;

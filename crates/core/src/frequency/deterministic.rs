@@ -220,6 +220,22 @@ impl Coordinator for DetFreqCoord {
     }
 }
 
+/// A closed epoch digests to its mirrored-counter table (every tracked
+/// item with its estimate); the sliding-window adapter sum-merges the
+/// tables across buckets. Untracked items digest to 0, which is exactly
+/// the whole-stream estimator's behavior here.
+impl crate::window::EpochProtocol for DeterministicFrequency {
+    type Digest = crate::window::ItemCounts;
+
+    fn digest(coord: &DetFreqCoord) -> Self::Digest {
+        crate::window::ItemCounts::from_pairs(coord.heavy_hitters(f64::NEG_INFINITY))
+    }
+
+    fn merge(a: Self::Digest, b: &Self::Digest) -> Self::Digest {
+        a.merged(b)
+    }
+}
+
 impl Protocol for DeterministicFrequency {
     type Site = DetFreqSite;
     type Coord = DetFreqCoord;

@@ -349,6 +349,27 @@ impl Coordinator for RandFreqCoord {
     }
 }
 
+/// A closed epoch digests to the estimates of every item the estimator
+/// tracked a counter or sample for; the sliding-window adapter
+/// sum-merges those tables across buckets.
+///
+/// Items never sampled in an epoch digest to 0 rather than the
+/// whole-stream estimator's small negative `−d/p` correction (a
+/// per-item table cannot carry a correction for items it has never
+/// seen), so windowed estimates of rare items carry a slight extra
+/// positive bias — heavy hitters are unaffected.
+impl crate::window::EpochProtocol for RandomizedFrequency {
+    type Digest = crate::window::ItemCounts;
+
+    fn digest(coord: &RandFreqCoord) -> Self::Digest {
+        crate::window::ItemCounts::from_pairs(coord.heavy_hitters(f64::NEG_INFINITY))
+    }
+
+    fn merge(a: Self::Digest, b: &Self::Digest) -> Self::Digest {
+        a.merged(b)
+    }
+}
+
 impl Protocol for RandomizedFrequency {
     type Site = RandFreqSite;
     type Coord = RandFreqCoord;

@@ -24,7 +24,10 @@
 //! `p = Θ(√k/(εn))`) and [`config`]. [`boost`] turns the per-time-instant
 //! 0.9 success probability into "correct at all times" via independent
 //! copies and medians (§1.2), and [`reduction`] derives frequency answers
-//! from a rank tracker (§1.2).
+//! from a rank tracker (§1.2). [`window`] goes beyond the paper: it
+//! restricts any protocol to the **last `W` elements** (sliding-window
+//! tracking) by running epoch-restarted copies under an
+//! exponential-histogram of digests.
 //!
 //! ## Example
 //!
@@ -53,5 +56,6 @@ pub mod frequency;
 pub mod rank;
 pub mod reduction;
 pub mod sampling;
+pub mod window;
 
 pub use config::TrackingConfig;

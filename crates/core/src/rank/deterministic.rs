@@ -231,6 +231,31 @@ impl Coordinator for DetRankCoord {
     }
 }
 
+/// A closed epoch digests each retained GK summary into weighted value
+/// points `(v, g)`: the prefix-sum of `g` below `x` is GK's certified
+/// minimum rank `rmin(x)`, within `ε/4·n_local` of the summary's
+/// midpoint estimate (the `delta` halves are dropped — a one-sided
+/// truncation already inside the GK error budget).
+impl crate::window::EpochProtocol for DeterministicRank {
+    type Digest = crate::window::WeightedValues;
+
+    fn digest(coord: &DetRankCoord) -> Self::Digest {
+        let mut points = Vec::new();
+        for s in coord
+            .summaries
+            .iter()
+            .flat_map(|rounds| rounds.iter().flatten())
+        {
+            points.extend(s.tuples.iter().map(|t| (t.v, t.g as f64)));
+        }
+        crate::window::WeightedValues::from_points(points)
+    }
+
+    fn merge(a: Self::Digest, b: &Self::Digest) -> Self::Digest {
+        a.merged(b)
+    }
+}
+
 impl Protocol for DeterministicRank {
     type Site = DetRankSite;
     type Coord = DetRankCoord;

@@ -303,6 +303,37 @@ impl ChunkView {
     fn estimate_total(&self) -> f64 {
         self.estimate_rank(u64::MAX)
     }
+
+    /// Append this chunk's rank mass as weighted value points: the
+    /// canonical decomposition's summary items at their level weights
+    /// `2^ℓ`, plus the sampled tail at weight `1/p` — by construction
+    /// the prefix-sum of these points reproduces [`ChunkView::estimate_rank`]
+    /// for every query `x`.
+    fn digest_points(&self, out: &mut Vec<(u64, f64)>) {
+        let q = self.leaf_count();
+        let mut consumed = 0u64;
+        if q > 0 {
+            for level in (0..64 - q.leading_zeros() as u64).rev() {
+                if (q >> level) & 1 == 1 {
+                    let idx = (consumed >> level) as usize;
+                    if let Some(s) = self
+                        .levels
+                        .get(level as usize)
+                        .and_then(|summaries| summaries.get(idx))
+                    {
+                        for (l, items) in s.levels.iter().enumerate() {
+                            let w = (1u64 << l) as f64;
+                            out.extend(items.iter().map(|&v| (v, w)));
+                        }
+                    }
+                    consumed += 1 << level;
+                }
+            }
+        }
+        if self.p > 0.0 {
+            out.extend(self.tail.iter().map(|&v| (v, 1.0 / self.p)));
+        }
+    }
 }
 
 /// Coordinator state for [`RandomizedRank`].
@@ -418,6 +449,26 @@ impl Coordinator for RandRankCoord {
                 }
             }
         }
+    }
+}
+
+/// A closed epoch digests every chunk's canonical decomposition into
+/// weighted value points (summary items at `2^ℓ`, sampled tails at
+/// `1/p`), so the digest's prefix-sum rank equals the coordinator's
+/// unbiased [`RandRankCoord::estimate_rank`] at epoch close.
+impl crate::window::EpochProtocol for RandomizedRank {
+    type Digest = crate::window::WeightedValues;
+
+    fn digest(coord: &RandRankCoord) -> Self::Digest {
+        let mut points = Vec::new();
+        for chunk in coord.chunks.values() {
+            chunk.digest_points(&mut points);
+        }
+        crate::window::WeightedValues::from_points(points)
+    }
+
+    fn merge(a: Self::Digest, b: &Self::Digest) -> Self::Digest {
+        a.merged(b)
     }
 }
 

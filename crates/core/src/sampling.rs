@@ -158,6 +158,25 @@ impl Coordinator for SamplingCoord {
     }
 }
 
+/// A closed epoch digests to its Bernoulli(2^{−L}) sample, each element
+/// weighted by the inverse sampling rate 2^L — so the digest answers
+/// count, frequency, *and* rank queries, just like the live coordinator.
+/// Merging concatenates point sets (each keeps its own epoch's weight).
+impl crate::window::EpochProtocol for ContinuousSampling {
+    type Digest = crate::window::WeightedValues;
+
+    fn digest(coord: &SamplingCoord) -> Self::Digest {
+        let w = coord.scale();
+        crate::window::WeightedValues::from_points(
+            coord.sample().map(|v| (v, w)).collect(),
+        )
+    }
+
+    fn merge(a: Self::Digest, b: &Self::Digest) -> Self::Digest {
+        a.merged(b)
+    }
+}
+
 impl Protocol for ContinuousSampling {
     type Site = SamplingSite;
     type Coord = SamplingCoord;

@@ -108,13 +108,13 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-type EntryOf<P> = Entry<
-    Ev<
-        <<P as Protocol>::Site as Site>::Item,
-        <<P as Protocol>::Site as Site>::Up,
-        <<P as Protocol>::Site as Site>::Down,
-    >,
+type EvOf<P> = Ev<
+    <<P as Protocol>::Site as Site>::Item,
+    <<P as Protocol>::Site as Site>::Up,
+    <<P as Protocol>::Site as Site>::Down,
 >;
+
+type EntryOf<P> = Entry<EvOf<P>>;
 
 /// Single-threaded deterministic discrete-event executor.
 ///
@@ -224,12 +224,20 @@ impl<P: Protocol> EventRuntime<P> {
         self.now += 1;
     }
 
-    /// Deliver one element at an explicit time `at ≥ now` (ticks). Any
-    /// in-flight messages due in `(now, at]` are delivered first, in
-    /// timestamp order. Multiple arrivals may share a tick (bursts).
+    /// Deliver one element at schedule time `at` (ticks). Any in-flight
+    /// messages due in `(now, at]` are delivered first, in timestamp
+    /// order. Multiple arrivals may share a tick (bursts).
+    ///
+    /// A schedule time the clock has already passed — e.g. after a
+    /// mid-schedule [`EventRuntime::quiesce`] (which advances `now` to
+    /// the last in-flight delivery), or behind a delivery delay longer
+    /// than the schedule's gaps — is delivered *late*, at the current
+    /// tick: arrival order is always preserved and only the pacing is
+    /// best-effort, mirroring `ChannelRuntime::feed_at`'s wall-clock
+    /// semantics. Deterministic in either case.
     pub fn feed_at(&mut self, at: u64, site: SiteId, item: <P::Site as Site>::Item) {
-        assert!(at >= self.now, "feed_at: time went backwards");
         debug_assert!(site < self.sites.len());
+        let at = at.max(self.now);
         self.push(at, Ev::Arrive(site, item));
         self.run_until(at);
     }
@@ -266,7 +274,7 @@ impl<P: Protocol> EventRuntime<P> {
         }
     }
 
-    fn push(&mut self, at: u64, ev: Ev<<P::Site as Site>::Item, <P::Site as Site>::Up, <P::Site as Site>::Down>) {
+    fn push(&mut self, at: u64, ev: EvOf<P>) {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Entry { at, seq, ev });
@@ -380,7 +388,7 @@ mod tests {
         type Down = u64;
         fn on_item(&mut self, _item: &u64, out: &mut Outbox<u64>) {
             self.count += 1;
-            if self.count % 2 == 0 {
+            if self.count.is_multiple_of(2) {
                 out.send(self.count);
             }
         }
@@ -405,7 +413,7 @@ mod tests {
                 return;
             }
             self.ups += 1;
-            if self.ups % 3 == 0 {
+            if self.ups.is_multiple_of(3) {
                 net.broadcast(self.ups);
             }
         }
@@ -518,12 +526,26 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "time went backwards")]
-    fn feed_at_rejects_past_timestamps() {
+    fn feed_at_delivers_past_timestamps_late_in_order() {
         let p = Toy { k: 2 };
         let mut e = EventRuntime::new(&p, 0);
         e.feed_at(10, 0, 1);
+        // A schedule time the clock already passed is delivered now —
+        // the clock never goes backwards, the arrival is not dropped.
         e.feed_at(9, 0, 2);
+        assert_eq!(e.now(), 10);
+        assert_eq!(e.stats().elements, 2);
+        // The same applies after a mid-schedule quiesce under latency:
+        // quiesce advances the clock to the last in-flight delivery, and
+        // the next (now-past) schedule tick still feeds fine.
+        let mut d = EventRuntime::with_policy(&p, 0, DeliveryPolicy::FixedLatency(50));
+        d.feed_at(0, 0, 1);
+        d.feed_at(0, 0, 2); // count=2 → up sent, due at tick 50
+        d.quiesce();
+        assert_eq!(d.now(), 50);
+        d.feed_at(1, 1, 3);
+        assert_eq!(d.now(), 50);
+        assert_eq!(d.stats().elements, 3);
     }
 
     #[test]

@@ -12,12 +12,28 @@
 //! | [`ChannelRuntime`] | OS threads + channels | nondeterministic | real-concurrency robustness checks |
 //!
 //! The [`Executor`] trait exposes the operations every measurement path
-//! needs — `feed`, a batched `feed_batch` fast path, `quiesce`, `stats`,
-//! `space`, and coordinator access — so experiment harnesses and
-//! integration tests are written once and run against any executor.
-//! [`ExecConfig`] is the serializable selector (it parses from strings
-//! like `event:random:1:32`, used by the bench CLI), and [`AnyExec`] is
-//! the enum-dispatched executor it builds.
+//! needs — `feed`, a batched `feed_batch` fast path, timed `feed_at`
+//! ingest, `quiesce`, `stats`, `space`, and coordinator access — so
+//! experiment harnesses and integration tests are written once and run
+//! against any executor.
+//!
+//! ## Scenario selection
+//!
+//! [`ExecConfig`] is the serializable *scenario* selector used by the
+//! bench CLI and the integration tests. It combines an [`ExecMode`]
+//! (which executor + delivery policy) with an optional sliding-window
+//! size, and parses from compact specs like `event:random:1:32` or
+//! `lockstep+window:100000`. [`AnyExec`] is the enum-dispatched executor
+//! [`ExecConfig::build`] produces.
+//!
+//! The window half of a scenario is *not* applied by [`ExecConfig::build`]
+//! — a sliding window wraps the **protocol** (see `dtrack_core`'s
+//! `window::Windowed` adapter), not the executor, so generic code cannot
+//! apply it without changing the protocol type. Callers that support
+//! windowed scenarios (the `dtrack-bench` run functions, `exp_window`)
+//! read [`ExecConfig::window`], wrap their protocol, and build via
+//! [`ExecMode::build`]. [`ExecConfig::build`] panics on a windowed
+//! scenario rather than silently measuring the wrong thing.
 //!
 //! ## Example
 //!
@@ -47,8 +63,8 @@
 //! # }
 //! // Same protocol, three execution policies, one driver:
 //! let configs = [
-//!     ExecConfig::LockStep,
-//!     ExecConfig::Event(DeliveryPolicy::FixedLatency(8)),
+//!     ExecConfig::lockstep(),
+//!     ExecConfig::event(DeliveryPolicy::FixedLatency(8)),
 //!     "event:reorder:16".parse().unwrap(),
 //! ];
 //! for config in configs {
@@ -60,6 +76,10 @@
 //!     assert_eq!(ex.query(|c| c.sum), 100);
 //!     assert_eq!(ex.stats().up_msgs, 100);
 //! }
+//! // A windowed scenario round-trips through the same parser:
+//! let win: ExecConfig = "lockstep+window:4096".parse().unwrap();
+//! assert_eq!(win.window, Some(4096));
+//! assert_eq!(win.to_string(), "lockstep+window:4096");
 //! ```
 
 pub mod event;
@@ -88,6 +108,25 @@ pub trait Executor<P: Protocol> {
 
     /// Deliver one element to a site.
     fn feed(&mut self, site: SiteId, item: <P::Site as Site>::Item);
+
+    /// Deliver one element at schedule time `at` (in workload ticks,
+    /// non-decreasing). This is how `Workload::timed` schedules drive an
+    /// executor; what a tick *means* is executor-specific:
+    ///
+    /// * [`EventRuntime`] advances its virtual clock to `at`, delivering
+    ///   any in-flight messages due first — arrival gaps interact with
+    ///   message latency exactly as the schedule says (schedule times
+    ///   its clock already passed are delivered late, in order);
+    /// * [`ChannelRuntime`] converts ticks to wall-clock time and sleeps
+    ///   until the arrival is due (see [`ChannelRuntime::set_tick`]), so
+    ///   the same schedule paces real threads;
+    /// * the lock-step [`Runner`] has no clock at all — the default
+    ///   implementation ignores `at` and just feeds (the paper's model,
+    ///   where pacing cannot matter because delivery is instant).
+    fn feed_at(&mut self, at: u64, site: SiteId, item: <P::Site as Site>::Item) {
+        let _ = at;
+        self.feed(site, item);
+    }
 
     /// Deliver a batch of `(site, item)` pairs. Semantically identical
     /// to feeding them one by one in order; executors override this with
@@ -130,6 +169,9 @@ impl<P: Protocol> Executor<P> for Runner<P> {
         Runner::feed(self, site, &item);
     }
 
+    // feed_at: the default (ignore `at`) is exact for the lock-step
+    // model — there is no clock against which pacing could be observed.
+
     fn feed_batch(&mut self, batch: Vec<(SiteId, <P::Site as Site>::Item)>) {
         Runner::feed_batch(self, &batch);
     }
@@ -166,6 +208,10 @@ impl<P: Protocol> Executor<P> for EventRuntime<P> {
 
     fn feed(&mut self, site: SiteId, item: <P::Site as Site>::Item) {
         EventRuntime::feed(self, site, item);
+    }
+
+    fn feed_at(&mut self, at: u64, site: SiteId, item: <P::Site as Site>::Item) {
+        EventRuntime::feed_at(self, at, site, item);
     }
 
     // feed_batch: the trait's default per-element loop is already right
@@ -213,6 +259,10 @@ where
         ChannelRuntime::feed(self, site, item);
     }
 
+    fn feed_at(&mut self, at: u64, site: SiteId, item: <P::Site as Site>::Item) {
+        ChannelRuntime::feed_at(self, at, site, item);
+    }
+
     fn feed_batch(&mut self, batch: Vec<(SiteId, <P::Site as Site>::Item)>) {
         ChannelRuntime::feed_batch(self, batch);
     }
@@ -243,21 +293,24 @@ where
     }
 }
 
-/// Executor + delivery-policy selector: the one config enum experiment
-/// binaries and integration tests use to pick an execution scenario.
+/// Executor + delivery-policy selector: which runtime runs the protocol.
 ///
 /// Parses from compact specs (case-sensitive, all integers base-10):
 ///
 /// | spec | meaning |
 /// |---|---|
-/// | `lockstep` (or `runner`) | [`ExecConfig::LockStep`] |
+/// | `lockstep` (or `runner`) | [`ExecMode::LockStep`] |
 /// | `event` (or `event:instant`) | event-scheduled, instant delivery |
 /// | `event:fixed:D` | fixed `D`-tick latency |
 /// | `event:random:MIN:MAX` | seeded uniform delay in `[MIN, MAX]` |
 /// | `event:reorder:W` | adversarial reorder, window `W` |
 /// | `channel` | thread-per-site channel runtime |
+///
+/// An [`ExecConfig`] pairs a mode with the optional sliding-window half
+/// of a scenario; code that never deals with windows can keep passing a
+/// bare mode around.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ExecConfig {
+pub enum ExecMode {
     /// The lock-step [`Runner`]: instant delivery, exact accounting.
     LockStep,
     /// The deterministic [`EventRuntime`] under a delivery policy.
@@ -266,7 +319,7 @@ pub enum ExecConfig {
     Channel,
 }
 
-impl ExecConfig {
+impl ExecMode {
     /// Build the selected executor for a protocol instance.
     pub fn build<P: Protocol>(self, protocol: &P, master_seed: u64) -> AnyExec<P>
     where
@@ -277,33 +330,33 @@ impl ExecConfig {
         <P::Site as Site>::Down: Send + 'static,
     {
         match self {
-            ExecConfig::LockStep => AnyExec::LockStep(Runner::new(protocol, master_seed)),
-            ExecConfig::Event(policy) => {
+            ExecMode::LockStep => AnyExec::LockStep(Runner::new(protocol, master_seed)),
+            ExecMode::Event(policy) => {
                 AnyExec::Event(EventRuntime::with_policy(protocol, master_seed, policy))
             }
-            ExecConfig::Channel => AnyExec::Channel(ChannelRuntime::new(protocol, master_seed)),
+            ExecMode::Channel => AnyExec::Channel(ChannelRuntime::new(protocol, master_seed)),
         }
     }
 }
 
-impl std::fmt::Display for ExecConfig {
+impl std::fmt::Display for ExecMode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ExecConfig::LockStep => write!(f, "lockstep"),
-            ExecConfig::Event(DeliveryPolicy::Instant) => write!(f, "event:instant"),
-            ExecConfig::Event(DeliveryPolicy::FixedLatency(d)) => write!(f, "event:fixed:{d}"),
-            ExecConfig::Event(DeliveryPolicy::RandomDelay { min, max }) => {
+            ExecMode::LockStep => write!(f, "lockstep"),
+            ExecMode::Event(DeliveryPolicy::Instant) => write!(f, "event:instant"),
+            ExecMode::Event(DeliveryPolicy::FixedLatency(d)) => write!(f, "event:fixed:{d}"),
+            ExecMode::Event(DeliveryPolicy::RandomDelay { min, max }) => {
                 write!(f, "event:random:{min}:{max}")
             }
-            ExecConfig::Event(DeliveryPolicy::AdversarialReorder { window }) => {
+            ExecMode::Event(DeliveryPolicy::AdversarialReorder { window }) => {
                 write!(f, "event:reorder:{window}")
             }
-            ExecConfig::Channel => write!(f, "channel"),
+            ExecMode::Channel => write!(f, "channel"),
         }
     }
 }
 
-impl std::str::FromStr for ExecConfig {
+impl std::str::FromStr for ExecMode {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Self, String> {
@@ -313,12 +366,10 @@ impl std::str::FromStr for ExecConfig {
                 .map_err(|_| format!("exec spec {s:?}: {p:?} is not an integer"))
         };
         match parts.as_slice() {
-            ["lockstep"] | ["runner"] => Ok(ExecConfig::LockStep),
-            ["channel"] => Ok(ExecConfig::Channel),
-            ["event"] | ["event", "instant"] => Ok(ExecConfig::Event(DeliveryPolicy::Instant)),
-            ["event", "fixed", d] => {
-                Ok(ExecConfig::Event(DeliveryPolicy::FixedLatency(num(d)?)))
-            }
+            ["lockstep"] | ["runner"] => Ok(ExecMode::LockStep),
+            ["channel"] => Ok(ExecMode::Channel),
+            ["event"] | ["event", "instant"] => Ok(ExecMode::Event(DeliveryPolicy::Instant)),
+            ["event", "fixed", d] => Ok(ExecMode::Event(DeliveryPolicy::FixedLatency(num(d)?))),
             ["event", "random", min, max] => {
                 let (min, max) = (num(min)?, num(max)?);
                 if min > max {
@@ -327,16 +378,14 @@ impl std::str::FromStr for ExecConfig {
                 if max == u64::MAX {
                     return Err(format!("exec spec {s:?}: max delay too large"));
                 }
-                Ok(ExecConfig::Event(DeliveryPolicy::RandomDelay { min, max }))
+                Ok(ExecMode::Event(DeliveryPolicy::RandomDelay { min, max }))
             }
             ["event", "reorder", w] => {
                 let window = num(w)?;
                 if window == 0 {
                     return Err(format!("exec spec {s:?}: window must be ≥ 1"));
                 }
-                Ok(ExecConfig::Event(DeliveryPolicy::AdversarialReorder {
-                    window,
-                }))
+                Ok(ExecMode::Event(DeliveryPolicy::AdversarialReorder { window }))
             }
             _ => Err(format!(
                 "unknown exec spec {s:?} (expected lockstep | channel | \
@@ -347,7 +396,125 @@ impl std::str::FromStr for ExecConfig {
     }
 }
 
-/// Enum dispatch over the three executors, built by [`ExecConfig::build`].
+/// One execution *scenario*: an [`ExecMode`] plus an optional sliding
+/// window — the one config value experiment binaries and integration
+/// tests use to pick what to run.
+///
+/// Parses from `<mode>[+window:W]`, where `<mode>` is any [`ExecMode`]
+/// spec: `lockstep`, `channel+window:65536`, `event:fixed:8+window:4096`.
+/// `W ≥ 2` (a window of one element tracks nothing). When `window` is
+/// set, the run functions in `dtrack-bench` wrap the protocol in
+/// `dtrack_core::window::Windowed` and report sliding-window answers;
+/// when it is `None` they track the whole stream, exactly as before.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Which executor (and delivery policy) runs the protocol.
+    pub mode: ExecMode,
+    /// Sliding-window size `W` in elements; `None` = whole stream.
+    pub window: Option<u64>,
+}
+
+impl ExecConfig {
+    /// Whole-stream scenario on the lock-step [`Runner`].
+    pub const fn lockstep() -> Self {
+        Self {
+            mode: ExecMode::LockStep,
+            window: None,
+        }
+    }
+
+    /// Whole-stream scenario on the [`EventRuntime`] under `policy`.
+    pub const fn event(policy: DeliveryPolicy) -> Self {
+        Self {
+            mode: ExecMode::Event(policy),
+            window: None,
+        }
+    }
+
+    /// Whole-stream scenario on the thread-per-site [`ChannelRuntime`].
+    pub const fn channel() -> Self {
+        Self {
+            mode: ExecMode::Channel,
+            window: None,
+        }
+    }
+
+    /// The same scenario restricted to the last `w` elements.
+    pub const fn windowed(mut self, w: u64) -> Self {
+        self.window = Some(w);
+        self
+    }
+
+    /// Build the selected executor for a **whole-stream** protocol run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is a windowed scenario: the window wraps the
+    /// protocol (`dtrack_core::window::Windowed`), not the executor, so
+    /// generic code cannot apply it here without changing the protocol
+    /// type. Wrap the protocol yourself and build via [`ExecMode::build`]
+    /// (or use the `dtrack-bench` run functions, which do exactly that).
+    pub fn build<P: Protocol>(self, protocol: &P, master_seed: u64) -> AnyExec<P>
+    where
+        P::Site: Send + 'static,
+        P::Coord: Send + 'static,
+        <P::Site as Site>::Item: Send + 'static,
+        <P::Site as Site>::Up: Send + 'static,
+        <P::Site as Site>::Down: Send + 'static,
+    {
+        assert!(
+            self.window.is_none(),
+            "ExecConfig::build cannot apply a window:W scenario — wrap the \
+             protocol in dtrack_core::window::Windowed and build with \
+             ExecMode::build (the dtrack-bench run functions do this)"
+        );
+        self.mode.build(protocol, master_seed)
+    }
+}
+
+impl From<ExecMode> for ExecConfig {
+    fn from(mode: ExecMode) -> Self {
+        Self { mode, window: None }
+    }
+}
+
+impl std::fmt::Display for ExecConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.window {
+            None => write!(f, "{}", self.mode),
+            Some(w) => write!(f, "{}+window:{w}", self.mode),
+        }
+    }
+}
+
+impl std::str::FromStr for ExecConfig {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        let (mode, window) = match s.split_once('+') {
+            None => (s, None),
+            Some((mode, suffix)) => {
+                let w = suffix
+                    .strip_prefix("window:")
+                    .ok_or_else(|| {
+                        format!("scenario {s:?}: expected +window:W, got +{suffix}")
+                    })?
+                    .parse::<u64>()
+                    .map_err(|_| format!("scenario {s:?}: window size is not an integer"))?;
+                if w < 2 {
+                    return Err(format!("scenario {s:?}: window must be ≥ 2"));
+                }
+                (mode, Some(w))
+            }
+        };
+        Ok(Self {
+            mode: mode.parse()?,
+            window,
+        })
+    }
+}
+
+/// Enum dispatch over the three executors, built by [`ExecMode::build`].
 ///
 /// The `Send + 'static` bounds come from the [`ChannelRuntime`] variant
 /// (its sites and messages cross thread boundaries); every protocol in
@@ -394,6 +561,10 @@ where
         dispatch!(self, ex => Executor::<P>::feed(ex, site, item))
     }
 
+    fn feed_at(&mut self, at: u64, site: SiteId, item: <P::Site as Site>::Item) {
+        dispatch!(self, ex => Executor::<P>::feed_at(ex, at, site, item))
+    }
+
     fn feed_batch(&mut self, batch: Vec<(SiteId, <P::Site as Site>::Item)>) {
         dispatch!(self, ex => Executor::<P>::feed_batch(ex, batch))
     }
@@ -428,24 +599,48 @@ mod tests {
     use super::*;
 
     #[test]
-    fn exec_config_parses_every_spec() {
-        let cases: Vec<(&str, ExecConfig)> = vec![
-            ("lockstep", ExecConfig::LockStep),
-            ("runner", ExecConfig::LockStep),
-            ("channel", ExecConfig::Channel),
-            ("event", ExecConfig::Event(DeliveryPolicy::Instant)),
-            ("event:instant", ExecConfig::Event(DeliveryPolicy::Instant)),
+    fn exec_mode_parses_every_spec() {
+        let cases: Vec<(&str, ExecMode)> = vec![
+            ("lockstep", ExecMode::LockStep),
+            ("runner", ExecMode::LockStep),
+            ("channel", ExecMode::Channel),
+            ("event", ExecMode::Event(DeliveryPolicy::Instant)),
+            ("event:instant", ExecMode::Event(DeliveryPolicy::Instant)),
             (
                 "event:fixed:12",
-                ExecConfig::Event(DeliveryPolicy::FixedLatency(12)),
+                ExecMode::Event(DeliveryPolicy::FixedLatency(12)),
             ),
             (
                 "event:random:1:32",
-                ExecConfig::Event(DeliveryPolicy::RandomDelay { min: 1, max: 32 }),
+                ExecMode::Event(DeliveryPolicy::RandomDelay { min: 1, max: 32 }),
             ),
             (
                 "event:reorder:16",
-                ExecConfig::Event(DeliveryPolicy::AdversarialReorder { window: 16 }),
+                ExecMode::Event(DeliveryPolicy::AdversarialReorder { window: 16 }),
+            ),
+        ];
+        for (spec, want) in cases {
+            assert_eq!(spec.parse::<ExecMode>().unwrap(), want, "{spec}");
+            // Mode specs are also whole-stream scenarios.
+            let cfg: ExecConfig = spec.parse().unwrap();
+            assert_eq!(cfg, ExecConfig::from(want), "{spec}");
+        }
+    }
+
+    #[test]
+    fn scenario_parses_window_suffix() {
+        let cases: Vec<(&str, ExecConfig)> = vec![
+            (
+                "lockstep+window:4096",
+                ExecConfig::lockstep().windowed(4096),
+            ),
+            (
+                "channel+window:65536",
+                ExecConfig::channel().windowed(65536),
+            ),
+            (
+                "event:fixed:8+window:100",
+                ExecConfig::event(DeliveryPolicy::FixedLatency(8)).windowed(100),
             ),
         ];
         for (spec, want) in cases {
@@ -454,7 +649,7 @@ mod tests {
     }
 
     #[test]
-    fn exec_config_rejects_malformed_specs() {
+    fn malformed_specs_are_rejected() {
         for bad in [
             "",
             "evnt",
@@ -464,6 +659,18 @@ mod tests {
             "event:random:0:18446744073709551615",
             "event:reorder:0",
             "lockstep:extra",
+        ] {
+            assert!(bad.parse::<ExecMode>().is_err(), "{bad:?} should fail");
+            assert!(bad.parse::<ExecConfig>().is_err(), "{bad:?} should fail");
+        }
+        for bad in [
+            "lockstep+window",
+            "lockstep+window:",
+            "lockstep+window:x",
+            "lockstep+window:0",
+            "lockstep+window:1",
+            "lockstep+win:9",
+            "+window:9",
         ] {
             assert!(bad.parse::<ExecConfig>().is_err(), "{bad:?} should fail");
         }
@@ -478,9 +685,48 @@ mod tests {
             "event:fixed:7",
             "event:random:0:9",
             "event:reorder:4",
+            "lockstep+window:4096",
+            "event:random:1:32+window:1000",
+            "channel+window:2",
         ] {
             let cfg: ExecConfig = spec.parse().unwrap();
             assert_eq!(cfg.to_string().parse::<ExecConfig>().unwrap(), cfg);
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "window:W")]
+    fn windowed_build_panics_instead_of_ignoring_the_window() {
+        use crate::net::{Net, Outbox};
+        use crate::protocol::Coordinator;
+        struct NopSite;
+        impl Site for NopSite {
+            type Item = u64;
+            type Up = u64;
+            type Down = u64;
+            fn on_item(&mut self, _: &u64, _: &mut Outbox<u64>) {}
+            fn on_message(&mut self, _: &u64, _: &mut Outbox<u64>) {}
+            fn space_words(&self) -> u64 {
+                1
+            }
+        }
+        struct NopCoord;
+        impl Coordinator for NopCoord {
+            type Up = u64;
+            type Down = u64;
+            fn on_message(&mut self, _: SiteId, _: &u64, _: &mut Net<u64>) {}
+        }
+        struct Nop;
+        impl Protocol for Nop {
+            type Site = NopSite;
+            type Coord = NopCoord;
+            fn k(&self) -> usize {
+                1
+            }
+            fn build(&self, _: u64) -> (Vec<NopSite>, NopCoord) {
+                (vec![NopSite], NopCoord)
+            }
+        }
+        let _ = ExecConfig::lockstep().windowed(16).build(&Nop, 0);
     }
 }

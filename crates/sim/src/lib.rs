@@ -55,7 +55,7 @@ pub mod runner;
 pub mod runtime;
 pub mod stats;
 
-pub use exec::{AnyExec, DeliveryPolicy, EventRuntime, ExecConfig, Executor};
+pub use exec::{AnyExec, DeliveryPolicy, EventRuntime, ExecConfig, ExecMode, Executor};
 pub use message::Words;
 pub use net::{Dest, Net, Outbox};
 pub use protocol::{Coordinator, Protocol, Site, SiteId};

@@ -204,7 +204,7 @@ mod tests {
         type Down = u64;
         fn on_item(&mut self, _item: &u64, out: &mut Outbox<u64>) {
             self.count += 1;
-            if self.count % self.every == 0 {
+            if self.count.is_multiple_of(self.every) {
                 out.send(self.count);
             }
         }
@@ -230,7 +230,7 @@ mod tests {
                 return; // ack; do not re-broadcast
             }
             self.ups += 1;
-            if self.ups % self.per_broadcast == 0 {
+            if self.ups.is_multiple_of(self.per_broadcast) {
                 net.broadcast(self.ups);
             }
         }

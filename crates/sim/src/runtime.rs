@@ -10,6 +10,7 @@
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use crossbeam_channel::{bounded, unbounded, Sender};
 
@@ -95,6 +96,11 @@ where
     in_flight: Arc<AtomicI64>,
     /// Per-site peak space, self-reported by the site threads.
     space_peaks: Arc<Vec<AtomicU64>>,
+    /// Wall-clock duration of one schedule tick for [`ChannelRuntime::feed_at`].
+    tick: Duration,
+    /// Wall-clock instant of schedule tick 0, anchored lazily by the
+    /// first `feed_at` call.
+    pace_anchor: Option<Instant>,
 }
 
 impl<P: Protocol> ChannelRuntime<P>
@@ -241,7 +247,17 @@ where
             stats,
             in_flight,
             space_peaks,
+            tick: Duration::from_micros(1),
+            pace_anchor: None,
         }
+    }
+
+    /// Set the wall-clock duration of one schedule tick used by
+    /// [`ChannelRuntime::feed_at`] (default 1 µs). Call before the first
+    /// `feed_at`; changing it mid-schedule re-anchors nothing and merely
+    /// rescales future gaps.
+    pub fn set_tick(&mut self, tick: Duration) {
+        self.tick = tick;
     }
 
     /// Number of sites.
@@ -254,6 +270,30 @@ where
     pub fn feed(&self, site: SiteId, item: <P::Site as Site>::Item) {
         self.stats.elements.fetch_add(1, Ordering::SeqCst);
         let _ = self.site_txs[site].send(SiteMsg::Item(item));
+    }
+
+    /// Wall-clock-paced ingest: sleep until schedule tick `at` is due,
+    /// then deliver the element — the adapter that lets the *timed*
+    /// schedules of `dtrack_workload` (`Workload::timed`, bursty /
+    /// Poisson pacing) drive real threads instead of ingesting as fast
+    /// as the channels allow.
+    ///
+    /// The first call anchors tick 0 at the current wall-clock instant;
+    /// tick `at` is due `at ×` [`ChannelRuntime::set_tick`] later. Ticks
+    /// already in the past (e.g. a burst of same-tick arrivals, or a
+    /// schedule replayed faster than the OS can sleep) are delivered
+    /// immediately, so a schedule's *order* is always preserved and only
+    /// its pacing is best-effort — this is the nondeterministic executor.
+    pub fn feed_at(&mut self, at: u64, site: SiteId, item: <P::Site as Site>::Item) {
+        let anchor = *self.pace_anchor.get_or_insert_with(Instant::now);
+        // Saturate instead of wrapping: u64::MAX ticks is "never", and a
+        // saturated deadline simply means "as late as we can express".
+        let due = anchor + Duration::from_nanos(self.tick.as_nanos().saturating_mul(at as u128).min(u64::MAX as u128) as u64);
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        self.feed(site, item);
     }
 
     /// Batched ingest fast path: elements are grouped by destination site
@@ -432,6 +472,24 @@ mod tests {
         let stats = rt.shutdown();
         assert_eq!(stats.elements, 10_000);
         assert_eq!(stats.up_msgs, 10_000);
+    }
+
+    #[test]
+    fn feed_at_paces_wall_clock_and_preserves_order() {
+        let mut rt = ChannelRuntime::new(&Echo { k: 2 }, 0);
+        rt.set_tick(Duration::from_millis(1));
+        let t0 = Instant::now();
+        // A same-tick burst followed by an arrival 10 ticks later.
+        for (at, v) in [(0u64, 1u64), (0, 2), (0, 3), (10, 4)] {
+            rt.feed_at(at, (v % 2) as usize, v);
+        }
+        assert!(
+            t0.elapsed() >= Duration::from_millis(10),
+            "feed_at returned before the 10-tick arrival was due"
+        );
+        rt.quiesce();
+        assert_eq!(rt.with_coord(|c| c.sum), 10);
+        assert_eq!(rt.stats().elements, 4);
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //! * [`stream`] — glue: an [`stream::Arrival`] iterator combining an item
 //!   generator with an assignment policy, plus timed schedules
 //!   ([`stream::TimedArrival`], [`stream::Pacing`]) that place the same
-//!   arrivals on an explicit timeline for the event-scheduled executor.
+//!   arrivals on an explicit timeline for the executors' `feed_at`.
+//! * [`scenarios`] — named presets for the sliding-window experiments:
+//!   drifting hot sets, their bursty timed variants, and climbing-value
+//!   streams with a closed-form windowed rank truth.
 //!
 //! ## Example
 //!
@@ -33,6 +36,7 @@ pub mod adversarial;
 pub mod assign;
 pub mod items;
 pub mod phased;
+pub mod scenarios;
 pub mod stream;
 
 pub use adversarial::{MuCase, MuDistribution, SubroundInstance};

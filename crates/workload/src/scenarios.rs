@@ -1,0 +1,153 @@
+//! Named workload scenarios for sliding-window experiments.
+//!
+//! Whole-stream tracking is insensitive to *when* things happen — only
+//! the multiset of elements matters. Sliding-window tracking is the
+//! opposite: what was hot an hour ago should have left the answer. The
+//! presets here produce exactly the regimes that separate a windowed
+//! tracker from a whole-stream one:
+//!
+//! * [`drifting`] — the zipf hot set rotates phase by phase, so the
+//!   *recent* heavy hitters differ from the *all-time* heavy hitters
+//!   (which smear across phases);
+//! * [`bursty_drifting`] — the same drifting arrivals on a bursty timed
+//!   schedule ([`Pacing::Bursty`]), the adversarial regime for delayed
+//!   delivery: whole bursts are in flight before any epoch seal lands;
+//! * [`climbing`] — element values equal arrival times, so windowed
+//!   rank/quantile answers are known in closed form (the window holds
+//!   exactly the last `W` values).
+//!
+//! ## Example
+//!
+//! ```
+//! use dtrack_workload::scenarios;
+//!
+//! let phases = 4;
+//! let arrivals = scenarios::drifting(8, 20_000, phases, 7).collect_vec();
+//! assert_eq!(arrivals.len(), 20_000);
+//! // Early and late hot items differ — that's the point.
+//! ```
+
+use crate::assign::UniformSites;
+use crate::items::ItemGen;
+use crate::phased::DriftingItems;
+use crate::stream::{Pacing, Schedule, Workload};
+
+/// Item domain of the drifting scenarios.
+const DRIFT_DOMAIN: u64 = 10_000;
+/// Zipf skew of the drifting scenarios.
+const DRIFT_SKEW: f64 = 1.2;
+/// Hot-set rotation stride between phases (distinct hot items per
+/// phase as long as `phases · DRIFT_STRIDE < DRIFT_DOMAIN`).
+const DRIFT_STRIDE: u64 = 97;
+
+/// Drifting-hot-set workload: `n` zipf arrivals over `k` uniform sites
+/// whose hottest item rotates `phases` times over the stream.
+///
+/// A whole-stream frequency tracker reports *every* phase's hot item as
+/// heavy; a windowed tracker (window ≤ one phase) reports only the
+/// current phase's. `phases` is clamped to ≥ 1.
+pub fn drifting(k: usize, n: u64, phases: u64, seed: u64) -> Workload<DriftingItems, UniformSites> {
+    let phase_len = (n / phases.max(1)).max(1);
+    Workload::new(
+        DriftingItems::new(DRIFT_DOMAIN, DRIFT_SKEW, phase_len, DRIFT_STRIDE),
+        UniformSites::new(k),
+        n,
+        seed,
+    )
+}
+
+/// The hottest item during phase `p` of a [`drifting`] scenario — the
+/// ground truth windowed queries should converge to late in that phase.
+pub fn drifting_hot_item(p: u64) -> u64 {
+    (p * DRIFT_STRIDE) % DRIFT_DOMAIN
+}
+
+/// [`drifting`] placed on a bursty timeline: bursts of `burst`
+/// same-tick arrivals, `idle` ticks apart.
+///
+/// Under a delayed-delivery executor, a whole burst enters the system
+/// before any seal/round feedback lands — the stress case for the
+/// windowed adapter's epoch boundaries.
+pub fn bursty_drifting(
+    k: usize,
+    n: u64,
+    phases: u64,
+    burst: u64,
+    idle: u64,
+    seed: u64,
+) -> Schedule<DriftingItems, UniformSites> {
+    drifting(k, n, phases, seed).timed(Pacing::Bursty { burst, idle })
+}
+
+/// Climbing values: element value = arrival index, uniformly assigned
+/// to `k` sites. Duplicate-free (rank protocols assume distinct
+/// elements), and the exact sliding-window rank function is known in
+/// closed form: after `n` arrivals, the window holds values
+/// `n−W … n−1`, so `rank_W(x) = clamp(x − (n − W), 0, W)`.
+pub fn climbing(k: usize, n: u64, seed: u64) -> Workload<ClimbingItems, UniformSites> {
+    Workload::new(ClimbingItems::new(), UniformSites::new(k), n, seed)
+}
+
+/// Item generator for [`climbing`]: 0, 1, 2, …
+#[derive(Debug, Clone, Default)]
+pub struct ClimbingItems {
+    next: u64,
+}
+
+impl ClimbingItems {
+    /// Start at 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ItemGen for ClimbingItems {
+    fn next_item(&mut self, _rng: &mut rand::rngs::SmallRng) -> u64 {
+        let v = self.next;
+        self.next += 1;
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn drifting_hot_item_rotates_per_phase() {
+        let (k, n, phases) = (4, 40_000u64, 4u64);
+        let arrivals = drifting(k, n, phases, 3).collect_vec();
+        assert_eq!(arrivals.len(), n as usize);
+        let phase_len = (n / phases) as usize;
+        for p in 0..phases {
+            let mut counts: HashMap<u64, u32> = HashMap::new();
+            for a in &arrivals[p as usize * phase_len..(p as usize + 1) * phase_len] {
+                *counts.entry(a.item).or_insert(0) += 1;
+            }
+            let top = counts.iter().max_by_key(|(_, &c)| c).map(|(&i, _)| i);
+            assert_eq!(top, Some(drifting_hot_item(p)), "phase {p}");
+        }
+    }
+
+    #[test]
+    fn bursty_drifting_keeps_arrivals_and_bursts() {
+        let sched = bursty_drifting(4, 900, 3, 30, 100, 5).collect_vec();
+        assert_eq!(sched.len(), 900);
+        // 30 same-tick arrivals per burst.
+        assert!(sched[..30].iter().all(|t| t.at == 0));
+        assert_eq!(sched[30].at, 100);
+        // Same arrivals as the untimed scenario.
+        let plain = drifting(4, 900, 3, 5).collect_vec();
+        for (t, p) in sched.iter().zip(&plain) {
+            assert_eq!((t.site, t.item), (p.site, p.item));
+        }
+    }
+
+    #[test]
+    fn climbing_values_equal_arrival_index() {
+        let v = climbing(8, 1_000, 1).collect_vec();
+        assert!(v.iter().enumerate().all(|(i, a)| a.item == i as u64));
+        assert!(v.iter().all(|a| a.site < 8));
+    }
+}

@@ -71,7 +71,7 @@ impl Pacing {
             Pacing::Unit => 1,
             Pacing::Fixed(gap) => gap,
             Pacing::Bursty { burst, idle } => {
-                if i % burst.max(1) == 0 {
+                if i.is_multiple_of(burst.max(1)) {
                     idle.max(1)
                 } else {
                     0

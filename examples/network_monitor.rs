@@ -1,64 +1,135 @@
 //! Network monitoring scenario: 32 edge routers each see a stream of
 //! flow identifiers; the NOC wants the heavy-hitter flows (frequency
-//! ≥ 1% of all traffic) continuously, with minimal control-plane
-//! traffic — the motivating application of frequency tracking (§1, §3).
+//! ≥ 1% of traffic) continuously, with minimal control-plane traffic —
+//! the motivating application of frequency tracking (§1, §3).
 //!
-//! Run: `cargo run --release --example network_monitor`
+//! The flow popularity *drifts*: the hot flows of the first half of the
+//! trace die off and new ones take over. A whole-stream tracker keeps
+//! reporting yesterday's elephants; a `+window:W` scenario reports only
+//! the flows that are heavy in the last `W` packets.
+//!
+//! Run: `cargo run --release --example network_monitor [EXEC]`
+//! e.g. `… -- channel`, `… -- lockstep+window:250000`
 
-use dtrack::core::frequency::RandomizedFrequency;
+use dtrack::core::frequency::{RandFreqCoord, RandomizedFrequency};
+use dtrack::core::window::{WinCoord, Windowed};
 use dtrack::core::TrackingConfig;
-use dtrack::sim::Runner;
+use dtrack::sim::{ExecConfig, Executor};
 use dtrack::sketch::exact::ExactCounts;
-use dtrack::workload::{UniformSites, Workload, ZipfItems};
+use dtrack::workload::scenarios;
 
 fn main() {
+    let exec: ExecConfig = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().unwrap_or_else(|e| panic!("{e}")))
+        .unwrap_or_else(ExecConfig::lockstep);
     let k = 32; // routers
     let eps = 0.005; // 0.5% of total traffic
     let n = 2_000_000u64; // packets
+    let phases = 4; // the hot set rotates 4× over the trace
 
     let proto = RandomizedFrequency::new(TrackingConfig::new(k, eps));
-    let mut runner = Runner::new(&proto, 7);
+    let traffic = scenarios::drifting(k, n, phases, 99);
 
-    // Zipfian flow popularity — a few elephant flows, a long mouse tail.
-    let traffic = Workload::new(ZipfItems::new(100_000, 1.2), UniformSites::new(k), n, 99);
-    let mut exact = ExactCounts::new();
-    for pkt in traffic {
-        runner.feed(pkt.site, &pkt.item);
-        exact.observe(pkt.item);
-    }
+    // Exact per-flow counts: whole stream and (if windowed) the tail.
+    let w = exec.window.unwrap_or(n);
+    let mut exact_whole = ExactCounts::new();
+    let mut exact_window = ExactCounts::new();
+    let batch: Vec<(usize, u64)> = traffic
+        .enumerate()
+        .map(|(i, pkt)| {
+            exact_whole.observe(pkt.item);
+            if i as u64 >= n.saturating_sub(w) {
+                exact_window.observe(pkt.item);
+            }
+            (pkt.site, pkt.item)
+        })
+        .collect();
 
-    let threshold = 0.01 * n as f64;
-    let reported = runner.coord().heavy_hitters(threshold - eps * n as f64);
+    let threshold = 0.01 * w as f64;
+    let report_at = threshold - eps * w as f64;
+    let exact = if exec.window.is_some() {
+        &exact_window
+    } else {
+        &exact_whole
+    };
     let truth = exact.heavy_hitters(threshold as u64);
+    let truth_flows: Vec<u64> = truth.iter().map(|&(f, _)| f).collect();
 
-    println!("flows with ≥1% of {n} packets (true heavy hitters): {}", truth.len());
-    println!("{:<10} {:>12} {:>12} {:>9}", "flow", "true pkts", "estimate", "err/n(%)");
-    for &(flow, f) in &truth {
-        let est = runner.coord().estimate_frequency(flow);
+    // (reported heavy hitters, per-true-flow direct estimates, stats, space).
+    let (reported, estimates, stats, peak) = if let Some(win) = exec.window {
+        let mut ex = exec.mode.build(&Windowed::new(proto, win), 7);
+        ex.feed_batch(batch);
+        ex.quiesce();
+        let (hh, ests) = ex.query(move |c: &WinCoord<RandomizedFrequency>| {
+            let ests: Vec<f64> = truth_flows
+                .iter()
+                .map(|&f| c.windowed_frequency(f))
+                .collect();
+            (c.windowed_heavy_hitters(report_at), ests)
+        });
+        (hh, ests, ex.stats(), ex.space().max_peak())
+    } else {
+        let mut ex = exec.mode.build(&proto, 7);
+        ex.feed_batch(batch);
+        ex.quiesce();
+        let (hh, ests) = ex.query(move |c: &RandFreqCoord| {
+            let ests: Vec<f64> = truth_flows
+                .iter()
+                .map(|&f| c.estimate_frequency(f))
+                .collect();
+            (c.heavy_hitters(report_at), ests)
+        });
+        (hh, ests, ex.stats(), ex.space().max_peak())
+    };
+
+    println!("scenario: {exec} — hot flows rotate {phases}× over {n} packets");
+    println!(
+        "flows with ≥1% of the last {w} packets (true heavy hitters): {}",
+        truth.len()
+    );
+    println!(
+        "{:<10} {:>12} {:>12} {:>9}",
+        "flow", "true pkts", "estimate", "err/W(%)"
+    );
+    for (&(flow, f), &est) in truth.iter().zip(&estimates) {
         println!(
             "{:<10} {:>12} {:>12.0} {:>8.3}%",
             flow,
             f,
             est,
-            (est - f as f64).abs() / n as f64 * 100.0
+            (est - f as f64).abs() / w as f64 * 100.0
         );
     }
     let missed = truth
         .iter()
         .filter(|(f, _)| !reported.iter().any(|(r, _)| r == f))
         .count();
-    println!("\nreported candidates ≥ (1% − ε): {} (missed true: {missed})", reported.len());
+    println!(
+        "\nreported candidates ≥ (1% − ε): {} (missed true: {missed})",
+        reported.len()
+    );
+    if exec.window.is_some() {
+        let stale: Vec<u64> = exact_whole
+            .heavy_hitters((0.01 * n as f64) as u64)
+            .iter()
+            .map(|&(f, _)| f)
+            .filter(|f| !truth.iter().any(|(t, _)| t == f))
+            .collect();
+        println!(
+            "all-time heavy flows no longer heavy in the window (correctly aged out): {stale:?}"
+        );
+    }
 
-    let stats = runner.stats();
     println!(
         "\ncontrol-plane cost: {} messages, {} words ({:.4} words/packet)",
         stats.total_msgs(),
         stats.total_words(),
-        stats.words_per_element()
+        stats.total_words() as f64 / n as f64
     );
     println!(
         "router memory     : {} words peak (1/(ε√k) = {:.0})",
-        runner.space().max_peak(),
+        peak,
         1.0 / (eps * (k as f64).sqrt())
     );
 }

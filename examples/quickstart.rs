@@ -1,56 +1,105 @@
 //! Quickstart: track a distributed count with √k-factor less
-//! communication than the deterministic optimum.
+//! communication than the deterministic optimum — on any executor in
+//! the scenario matrix, whole-stream or sliding-window.
 //!
-//! Run: `cargo run --release --example quickstart`
+//! Run: `cargo run --release --example quickstart [EXEC]`
+//!
+//! `EXEC` is an `ExecConfig` scenario spec (default `lockstep`):
+//! `lockstep | channel | event[:instant] | event:fixed:D |
+//! event:random:MIN:MAX | event:reorder:W`, optionally suffixed
+//! `+window:W` to track only the last `W` elements, e.g.
+//!
+//! ```text
+//! cargo run --release --example quickstart -- event:random:1:32
+//! cargo run --release --example quickstart -- lockstep+window:100000
+//! ```
 
 use dtrack::core::count::{DeterministicCount, RandomizedCount};
+use dtrack::core::window::{WinCoord, Windowed};
 use dtrack::core::TrackingConfig;
-use dtrack::sim::Runner;
+use dtrack::sim::{ExecConfig, Executor};
 
 fn main() {
+    let exec: ExecConfig = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().unwrap_or_else(|e| panic!("{e}")))
+        .unwrap_or_else(ExecConfig::lockstep);
     let k = 64; // sites
     let eps = 0.01; // 1% error target
     let n = 1_000_000u64;
     let cfg = TrackingConfig::new(k, eps);
+    let batch: Vec<(usize, u64)> = (0..n).map(|t| ((t % k as u64) as usize, t)).collect();
 
-    // --- the paper's randomized protocol (Theorem 2.1) ---
-    let mut rand_runner = Runner::new(&RandomizedCount::new(cfg), 42);
-    // --- the optimal deterministic protocol, for comparison ---
-    let mut det_runner = Runner::new(&DeterministicCount::new(cfg), 42);
+    // (estimate, truth, msgs, words, space) per protocol, whole-stream
+    // or windowed depending on the scenario.
+    let run = |randomized: bool| -> (f64, f64, u64, u64, u64) {
+        macro_rules! drive {
+            ($proto:expr, $query:expr) => {{
+                let mut ex = exec.mode.build(&$proto, 42);
+                ex.feed_batch(batch.clone());
+                ex.quiesce();
+                let est: f64 = ex.query($query);
+                let stats = ex.stats();
+                (est, stats.total_msgs(), stats.total_words(), ex.space().max_peak())
+            }};
+        }
+        match (randomized, exec.window) {
+            (true, None) => {
+                let (est, m, w, s) = drive!(RandomizedCount::new(cfg), |c: &dtrack::core::count::RandCountCoord| c.estimate());
+                (est, n as f64, m, w, s)
+            }
+            (false, None) => {
+                let (est, m, w, s) = drive!(DeterministicCount::new(cfg), |c: &dtrack::core::count::DetCountCoord| c.estimate());
+                (est, n as f64, m, w, s)
+            }
+            (true, Some(win)) => {
+                let (est, m, w, s) = drive!(
+                    Windowed::new(RandomizedCount::new(cfg), win),
+                    |c: &WinCoord<RandomizedCount>| c.windowed_count()
+                );
+                (est, n.min(win) as f64, m, w, s)
+            }
+            (false, Some(win)) => {
+                let (est, m, w, s) = drive!(
+                    Windowed::new(DeterministicCount::new(cfg), win),
+                    |c: &WinCoord<DeterministicCount>| c.windowed_count()
+                );
+                (est, n.min(win) as f64, m, w, s)
+            }
+        }
+    };
 
-    for t in 0..n {
-        let site = (t % k as u64) as usize;
-        rand_runner.feed(site, &t);
-        det_runner.feed(site, &t);
+    let (rand_est, truth, rand_msgs, rand_words, rand_space) = run(true);
+    let (det_est, _, det_msgs, det_words, det_space) = run(false);
+
+    println!("scenario              : {exec}");
+    match exec.window {
+        None => println!("true count            : {n}"),
+        Some(w) => println!("true windowed count   : {truth:.0} (last {w} of {n})"),
     }
-
-    let rand_est = rand_runner.coord().estimate();
-    let det_est = det_runner.coord().estimate();
-    println!("true count            : {n}");
     println!(
         "randomized estimate   : {rand_est:.0}  (error {:.3}%)",
-        (rand_est - n as f64).abs() / n as f64 * 100.0
+        (rand_est - truth).abs() / truth * 100.0
     );
     println!(
         "deterministic estimate: {det_est:.0}  (error {:.3}%)",
-        (det_est - n as f64).abs() / n as f64 * 100.0
+        (det_est - truth).abs() / truth * 100.0
     );
     println!();
     println!(
-        "randomized    : {:>8} msgs, {:>8} words, {} words/site peak",
-        rand_runner.stats().total_msgs(),
-        rand_runner.stats().total_words(),
-        rand_runner.space().max_peak()
+        "randomized    : {rand_msgs:>8} msgs, {rand_words:>8} words, {rand_space} words/site peak"
     );
     println!(
-        "deterministic : {:>8} msgs, {:>8} words, {} words/site peak",
-        det_runner.stats().total_msgs(),
-        det_runner.stats().total_words(),
-        det_runner.space().max_peak()
+        "deterministic : {det_msgs:>8} msgs, {det_words:>8} words, {det_space} words/site peak"
     );
     println!(
         "\nsavings: {:.1}× fewer messages (paper predicts ≈ √k = {:.0}× asymptotically)",
-        det_runner.stats().total_msgs() as f64 / rand_runner.stats().total_msgs() as f64,
+        det_msgs as f64 / rand_msgs as f64,
         (k as f64).sqrt()
     );
+    if exec.window.is_some() {
+        println!(
+            "(windowed runs pay epoch-restart overhead on top — see `exp_window` for the table)"
+        );
+    }
 }

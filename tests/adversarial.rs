@@ -21,7 +21,7 @@ fn count_accurate_on_mu_both_cases() {
     let mu = MuDistribution::new(k, n);
     // Instant event delivery ≡ lock-step (pinned by exec_equivalence),
     // so this also covers the Runner path at no extra cost.
-    let exec = ExecConfig::Event(DeliveryPolicy::Instant);
+    let exec = ExecConfig::event(DeliveryPolicy::Instant);
     for case in [MuCase::OneSite(5), MuCase::RoundRobinAll] {
         let arrivals = mu.arrivals(case);
         let mut ok = 0;
@@ -51,9 +51,9 @@ fn count_stays_sound_under_delayed_and_reordered_delivery() {
     let mu = MuDistribution::new(k, n);
     let arrivals = mu.arrivals(MuCase::RoundRobinAll);
     for exec in [
-        ExecConfig::Event(DeliveryPolicy::FixedLatency(16)),
-        ExecConfig::Event(DeliveryPolicy::RandomDelay { min: 1, max: 64 }),
-        ExecConfig::Event(DeliveryPolicy::AdversarialReorder { window: 32 }),
+        ExecConfig::event(DeliveryPolicy::FixedLatency(16)),
+        ExecConfig::event(DeliveryPolicy::RandomDelay { min: 1, max: 64 }),
+        ExecConfig::event(DeliveryPolicy::AdversarialReorder { window: 32 }),
     ] {
         let mut ok = 0;
         let reps = 10;
@@ -120,7 +120,7 @@ fn frequency_via_rank_reduction_end_to_end() {
     let proto = RandomizedRank::new(TrackingConfig::new(k, eps));
     let mut r = Runner::new(&proto, 21);
     let mut tb: Vec<TieBreaker> = (0..k).map(|i| TieBreaker::new(i, k)).collect();
-    let mut truth = vec![0f64; 4];
+    let mut truth = [0f64; 4];
     for t in 0..n {
         let site = (t % k as u64) as usize;
         let item = (t % 4) as u32;

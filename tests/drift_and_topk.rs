@@ -20,10 +20,10 @@ fn frequency_tracks_a_drifting_hot_set() {
     let (k, eps, n) = (8, 0.02, 160_000u64);
     let cfg = TrackingConfig::new(k, eps);
     for (exec, slack) in [
-        (ExecConfig::LockStep, 2.0),
+        (ExecConfig::lockstep(), 2.0),
         // A drifting hot set with 8-tick-stale feedback: the restart
         // logic lags the drift, so allow an extra εn of error.
-        (ExecConfig::Event(DeliveryPolicy::FixedLatency(8)), 3.0),
+        (ExecConfig::event(DeliveryPolicy::FixedLatency(8)), 3.0),
     ] {
         // Hot set rotates 4 times during the run.
         let items = DriftingItems::new(1_000, 1.3, n / 4, 250);

@@ -1,0 +1,280 @@
+//! Integration tests for the sliding-window subsystem
+//! (`dtrack_core::window`): accuracy against the exact sliding-window
+//! truth (seed-averaged, per the ROADMAP's seed-sensitivity guidance),
+//! bit-exact equivalence across the deterministic executors, behavior
+//! on drifting workloads, and survival on the concurrent runtime.
+
+use dtrack::core::count::RandomizedCount;
+use dtrack::core::frequency::RandomizedFrequency;
+use dtrack::core::sampling::ContinuousSampling;
+use dtrack::core::window::{EpochProtocol, WinCoord, Windowed};
+use dtrack::core::TrackingConfig;
+use dtrack::sim::exec::{DeliveryPolicy, EventRuntime};
+use dtrack::sim::{ExecConfig, Executor, Protocol, Runner, Site};
+use dtrack::workload::scenarios;
+
+/// **Acceptance criterion**: `Windowed<RandomizedCount>` answers over
+/// the last `W` items are within the configured ε of an exact sliding
+/// counter, as a mean over ≥ 20 seeds (single-seed deviations are the
+/// protocol's own randomness; the mean isolates the adapter's bias).
+#[test]
+fn windowed_count_mean_error_within_epsilon_over_20_seeds() {
+    let (k, eps, n, w) = (8, 0.1, 30_000u64, 6_144u64);
+    let seeds = 20;
+    let mut total_err = 0.0;
+    for seed in 0..seeds {
+        let proto = Windowed::new(RandomizedCount::new(TrackingConfig::new(k, eps)), w);
+        let mut r = Runner::new(&proto, seed);
+        for t in 0..n {
+            r.feed((t % k as u64) as usize, &t);
+        }
+        // Exact sliding-window count after n ≥ W elements is exactly W.
+        total_err += (r.coord().windowed_count() - w as f64).abs() / w as f64;
+    }
+    let mean_err = total_err / seeds as f64;
+    assert!(
+        mean_err <= eps,
+        "mean windowed count error {mean_err:.4} exceeds eps {eps}"
+    );
+}
+
+/// The adapter is unbiased mid-stream too, not just at the end: check
+/// the mean error at several checkpoints (windows partially filled and
+/// fully rolled over).
+#[test]
+fn windowed_count_tracks_at_checkpoints() {
+    let (k, eps, n, w) = (4, 0.15, 20_000u64, 4_096u64);
+    let seeds = 20;
+    let checkpoints = [2_048u64, 8_192, 20_000];
+    let mut errs = [0.0f64; 3];
+    for seed in 0..seeds {
+        let proto = Windowed::new(RandomizedCount::new(TrackingConfig::new(k, eps)), w);
+        let mut r = Runner::new(&proto, 100 + seed);
+        let mut ci = 0;
+        for t in 0..n {
+            r.feed((t % k as u64) as usize, &t);
+            if ci < checkpoints.len() && t + 1 == checkpoints[ci] {
+                let truth = (t + 1).min(w) as f64;
+                errs[ci] += (r.coord().windowed_count() - truth).abs() / truth;
+                ci += 1;
+            }
+        }
+    }
+    for (cp, e) in checkpoints.iter().zip(errs) {
+        let mean = e / seeds as f64;
+        assert!(
+            mean <= 1.5 * eps,
+            "checkpoint {cp}: mean error {mean:.4} vs eps {eps}"
+        );
+    }
+}
+
+/// Drive `Runner` and instant-`EventRuntime` side by side on the same
+/// windowed protocol and require identical accounting, space, and
+/// windowed answers — the exec layer's equivalence guarantee must
+/// survive the window adapter's epoch machinery (seals, acks, rebuilt
+/// inner instances).
+fn assert_windowed_equivalent<P, Q>(name: &str, proto: &Windowed<P>, n: u64, queries: Q)
+where
+    P: EpochProtocol,
+    P::Site: Site<Item = u64>,
+    Q: Fn(&WinCoord<P>) -> Vec<f64>,
+{
+    let k = proto.k();
+    let mut runner = Runner::new(proto, 42);
+    let mut event = EventRuntime::new(proto, 42);
+    for t in 0..n {
+        let (site, item) = ((t % k as u64) as usize, t);
+        runner.feed(site, &item);
+        event.feed(site, item);
+    }
+    event.quiesce();
+    assert_eq!(runner.stats(), event.stats(), "{name}: CommStats differ");
+    for site in 0..k {
+        assert_eq!(
+            runner.space().peak(site),
+            event.space().peak(site),
+            "{name}: space peak differs at site {site}"
+        );
+    }
+    let qr = queries(runner.coord());
+    let qe = queries(event.coord());
+    assert_eq!(
+        qr.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        qe.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "{name}: windowed answers differ"
+    );
+    assert!(qr.iter().all(|v| v.is_finite()), "{name}: non-finite answer");
+}
+
+/// **Acceptance criterion**: bit-identical windowed answers across
+/// `Runner` and `EventRuntime` under instant delivery.
+#[test]
+fn windowed_count_equivalence_across_deterministic_executors() {
+    let proto = Windowed::new(RandomizedCount::new(TrackingConfig::new(8, 0.1)), 2_048);
+    assert_windowed_equivalent("windowed count", &proto, 12_000, |c| {
+        vec![
+            c.windowed_count(),
+            c.n_approx() as f64,
+            c.epoch() as f64,
+            c.bucket_count() as f64,
+        ]
+    });
+}
+
+#[test]
+fn windowed_sampling_equivalence_across_deterministic_executors() {
+    let proto =
+        Windowed::new(ContinuousSampling::new(TrackingConfig::new(8, 0.15)), 2_048);
+    assert_windowed_equivalent("windowed sampling", &proto, 12_000, |c| {
+        vec![
+            c.windowed_count(),
+            c.windowed_rank(u64::MAX / 2),
+            c.windowed_frequency(3),
+        ]
+    });
+}
+
+/// Same-seed replay under a seeded random-delay policy is bit-exact,
+/// and the windowed protocol survives delayed delivery (finite, sane
+/// answers after quiesce).
+#[test]
+fn windowed_random_delay_is_reproducible_and_sane() {
+    let proto = Windowed::new(RandomizedCount::new(TrackingConfig::new(4, 0.1)), 2_048);
+    let policy = DeliveryPolicy::RandomDelay { min: 1, max: 32 };
+    let run = |seed: u64| {
+        let mut e = EventRuntime::with_policy(&proto, seed, policy);
+        for t in 0..10_000u64 {
+            e.feed((t % 4) as usize, t);
+        }
+        e.quiesce();
+        (e.stats().clone(), e.coord().windowed_count())
+    };
+    let (stats, est) = run(7);
+    assert_eq!(run(7), (stats, est), "same seed must replay bit-for-bit");
+    assert!(est.is_finite());
+    assert!(
+        (est - 2_048.0).abs() <= 1_536.0,
+        "windowed estimate {est} far from 2048 under random delay"
+    );
+}
+
+/// On a drifting workload, the windowed heavy hitter is the *current*
+/// phase's hot item, and the previous phase's hot item has aged out —
+/// the qualitative behavior that separates windowed from whole-stream
+/// tracking.
+#[test]
+fn windowed_frequency_follows_drift() {
+    let (k, n, phases, w) = (8, 40_000u64, 4u64, 8_192u64);
+    let proto =
+        Windowed::new(RandomizedFrequency::new(TrackingConfig::new(k, 0.05)), w);
+    let mut r = Runner::new(&proto, 17);
+    for a in scenarios::drifting(k, n, phases, 3) {
+        r.feed(a.site, &a.item);
+    }
+    let current = scenarios::drifting_hot_item(phases - 1);
+    let previous = scenarios::drifting_hot_item(phases - 2);
+    let hh = r.coord().windowed_heavy_hitters(0.05 * w as f64);
+    assert!(
+        hh.first().map(|&(item, _)| item) == Some(current),
+        "top windowed heavy hitter should be the current phase's hot item {current}, got {hh:?}"
+    );
+    let f_cur = r.coord().windowed_frequency(current);
+    let f_prev = r.coord().windowed_frequency(previous);
+    assert!(
+        f_cur > 4.0 * f_prev.max(1.0),
+        "current hot {f_cur} should dwarf previous hot {f_prev}"
+    );
+}
+
+/// Resident state stays logarithmic in the stream length: epochs grow
+/// unboundedly, buckets do not, and expired history is really gone.
+#[test]
+fn windowed_buckets_stay_bounded_over_long_streams() {
+    let proto = Windowed::new(RandomizedCount::new(TrackingConfig::new(4, 0.2)), 1_024);
+    let mut r = Runner::new(&proto, 3);
+    let mut max_buckets = 0;
+    for t in 0..100_000u64 {
+        r.feed((t % 4) as usize, &t);
+        if t % 5_000 == 0 {
+            max_buckets = max_buckets.max(r.coord().bucket_count());
+        }
+    }
+    assert!(r.coord().epoch() > 2_000, "epoch {}", r.coord().epoch());
+    assert!(
+        max_buckets <= 28,
+        "bucket count {max_buckets} not logarithmic"
+    );
+    let est = r.coord().windowed_count();
+    assert!(
+        (est - 1_024.0).abs() < 512.0,
+        "after 100k elements the window must still read ≈1024, got {est}"
+    );
+}
+
+/// On the climbing-value workload the exact sliding-window rank is
+/// known in closed form — after `n` arrivals the window holds values
+/// `n−W … n−1`, so `rank_W(x) = clamp(x − (n − W), 0, W)` — giving an
+/// analytic accuracy check for windowed rank queries (seed-averaged).
+#[test]
+fn windowed_rank_matches_closed_form_on_climbing_values() {
+    let (k, eps, n, w) = (4, 0.1, 20_000u64, 4_096u64);
+    let seeds = 20;
+    let probes = [n - w + w / 4, n - w / 2, n - w / 10];
+    let mut errs = [0.0f64; 3];
+    for seed in 0..seeds {
+        let proto =
+            Windowed::new(ContinuousSampling::new(TrackingConfig::new(k, eps)), w);
+        let mut r = Runner::new(&proto, 300 + seed);
+        for a in scenarios::climbing(k, n, seed) {
+            r.feed(a.site, &a.item);
+        }
+        for (e, &x) in errs.iter_mut().zip(&probes) {
+            let truth = x.saturating_sub(n - w).min(w) as f64;
+            *e += (r.coord().windowed_rank(x) - truth).abs() / w as f64;
+        }
+    }
+    for (&x, e) in probes.iter().zip(errs) {
+        let mean = e / seeds as f64;
+        assert!(
+            mean <= 1.5 * eps,
+            "probe {x}: mean windowed rank error {mean:.4} vs eps {eps}"
+        );
+    }
+}
+
+/// The windowed protocol runs on the concurrent channel runtime without
+/// deadlock and answers sanely after quiesce (accuracy there is a
+/// robustness check, not a guarantee — see the window module docs).
+#[test]
+fn windowed_count_survives_the_channel_runtime() {
+    let exec = ExecConfig::channel().windowed(4_096);
+    let proto = Windowed::new(RandomizedCount::new(TrackingConfig::new(4, 0.1)), 4_096);
+    let mut ex = exec.mode.build(&proto, 1);
+    let batch: Vec<(usize, u64)> = (0..20_000u64).map(|t| ((t % 4) as usize, t)).collect();
+    ex.feed_batch(batch);
+    ex.quiesce();
+    let est: f64 = ex.query(|c: &WinCoord<RandomizedCount>| c.windowed_count());
+    assert!(est.is_finite() && est > 0.0, "estimate {est}");
+    assert!(ex.stats().total_msgs() > 0);
+}
+
+/// Timed schedules drive every executor through `Executor::feed_at`:
+/// the event runtime interprets ticks virtually, and the windowed
+/// answers still come out right on a bursty timeline.
+#[test]
+fn windowed_timed_schedule_drives_the_event_runtime() {
+    let (k, n, w) = (4, 20_000u64, 4_096u64);
+    let proto = Windowed::new(RandomizedCount::new(TrackingConfig::new(k, 0.1)), w);
+    let mut ex = EventRuntime::with_policy(&proto, 9, DeliveryPolicy::FixedLatency(3));
+    let schedule = scenarios::bursty_drifting(k, n, 2, 64, 16, 5);
+    for a in schedule {
+        Executor::<Windowed<RandomizedCount>>::feed_at(&mut ex, a.at, a.site, a.item);
+    }
+    ex.quiesce();
+    let est = ex.coord().windowed_count();
+    assert!(
+        (est - w as f64).abs() < 0.35 * w as f64,
+        "bursty windowed estimate {est} vs window {w}"
+    );
+}

@@ -166,7 +166,7 @@ pub mod collection {
         type Value = Vec<S::Value>;
 
         fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
-            let len = (&self.size).new_value(rng);
+            let len = self.size.new_value(rng);
             (0..len).map(|_| self.element.new_value(rng)).collect()
         }
     }
@@ -196,7 +196,7 @@ pub mod collection {
         type Value = HashSet<S::Value>;
 
         fn new_value(&self, rng: &mut TestRng) -> HashSet<S::Value> {
-            let target = (&self.size).new_value(rng);
+            let target = self.size.new_value(rng);
             let mut out = HashSet::with_capacity(target);
             // Cap attempts so tiny domains can't loop forever.
             let mut attempts = 0usize;
