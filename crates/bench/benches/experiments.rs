@@ -4,9 +4,7 @@
 //! run. The full-scale tables come from the `dtrack-bench` binaries.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dtrack_bench::measure::{
-    count_run, frequency_run, rank_run, CountAlgo, FreqAlgo, RankAlgo,
-};
+use dtrack_bench::measure::{count_run, frequency_run, rank_run, CountAlgo, FreqAlgo, RankAlgo};
 use dtrack_bounds::SamplingProblem;
 use dtrack_sim::{DeliveryPolicy, ExecConfig};
 

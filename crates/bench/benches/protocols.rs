@@ -128,5 +128,10 @@ fn bench_queries(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_protocols, bench_batched_ingest, bench_queries);
+criterion_group!(
+    benches,
+    bench_protocols,
+    bench_batched_ingest,
+    bench_queries
+);
 criterion_main!(benches);

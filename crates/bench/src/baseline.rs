@@ -5,21 +5,27 @@
 //! nothing used to catch a regression landing between two PRs. This
 //! module gives the `perf_baseline` binary its machinery:
 //!
-//! * [`measure_cells`] runs a small fixed matrix (the seven Table-1
+//! * [`measure_cells`] runs a small fixed matrix — the seven Table-1
 //!   protocol cells on their standard workloads plus one sliding-window
-//!   cell, lock-step executor) and records
-//!   the **median words** (deterministic given the seed set — an exact
-//!   regression signal for communication) and **median wall time** per
-//!   cell (noisy — compared with a generous factor, and the CI step is
-//!   non-blocking).
+//!   cell (lock-step executor), plus one windowed cell on the *channel*
+//!   runtime — and records the **median words** and **median wall time**
+//!   per cell.
+//! * Each [`Cell`] is `exact` or not. Lock-step words are deterministic
+//!   given the seed set, so the comparator treats any drift as a **hard**
+//!   regression. The channel cell's words depend on thread interleaving;
+//!   its drift (like all wall-time drift) is **advisory** — printed, but
+//!   never failing the build.
 //! * [`to_json`] / [`parse_json`] serialize the baseline without any
 //!   external dependency: the format is a flat, versioned JSON document
 //!   written and read only by this module.
-//! * [`compare`] diffs a current run against the stored baseline.
+//! * [`compare`] diffs a current run against the stored baseline into
+//!   hard and advisory findings.
 //!
 //! Workflow: `cargo run --release -p dtrack-bench --bin perf_baseline`
-//! rewrites `BENCH_baseline.json`; `… --bin perf_baseline -- --check`
-//! exits non-zero if any cell regressed.
+//! rewrites `BENCH_baseline.json`; `… -- --bootstrap` regenerates only
+//! the machine-dependent wall-times in place (CI does this on the runner
+//! so its timing comparisons are same-machine); `… -- --check` exits
+//! non-zero on hard findings only.
 
 use std::time::Instant;
 
@@ -58,10 +64,15 @@ impl Params {
 pub struct Cell {
     /// Stable identifier, e.g. `count/randomized`.
     pub id: String,
-    /// Median total words over the seed set (deterministic per seed).
+    /// Median total words over the seed set.
     pub words: u64,
     /// Median wall time in milliseconds (machine-dependent).
     pub millis: f64,
+    /// Whether `words` is deterministic given the seed set (true for
+    /// every lock-step cell). Exact cells fail the check on any word
+    /// drift; inexact cells (the channel-runtime cell) are compared with
+    /// a tolerance and reported advisorily.
+    pub exact: bool,
 }
 
 /// Median of a small vector (by partial order; NaN-free inputs).
@@ -89,39 +100,59 @@ pub fn measure_cells(p: Params) -> Vec<Cell> {
         (med_u64(words), med_f64(millis))
     };
 
-    type CellFn<'a> = (&'a str, Box<dyn Fn(u64) -> u64>);
+    type CellFn<'a> = (&'a str, bool, Box<dyn Fn(u64) -> u64>);
     let (n, k, eps) = (p.n, p.k, p.eps);
+    const EXACT: bool = true;
     let cells: Vec<CellFn> = vec![
         (
             "count/deterministic",
-            Box::new(move |s| count_run(exec, CountAlgo::Deterministic, k, eps, n, s).0.words),
+            EXACT,
+            Box::new(move |s| {
+                count_run(exec, CountAlgo::Deterministic, k, eps, n, s)
+                    .0
+                    .words
+            }),
         ),
         (
             "count/randomized",
+            EXACT,
             Box::new(move |s| count_run(exec, CountAlgo::Randomized, k, eps, n, s).0.words),
         ),
         (
             "count/sampling",
+            EXACT,
             Box::new(move |s| count_run(exec, CountAlgo::Sampling, k, eps, n, s).0.words),
         ),
         (
             "frequency/deterministic",
+            EXACT,
             Box::new(move |s| {
-                frequency_run(exec, FreqAlgo::Deterministic, k, eps, n, s).0.words
+                frequency_run(exec, FreqAlgo::Deterministic, k, eps, n, s)
+                    .0
+                    .words
             }),
         ),
         (
             "frequency/randomized",
+            EXACT,
             Box::new(move |s| {
-                frequency_run(exec, FreqAlgo::Randomized, k, eps, n, s).0.words
+                frequency_run(exec, FreqAlgo::Randomized, k, eps, n, s)
+                    .0
+                    .words
             }),
         ),
         (
             "rank/deterministic",
-            Box::new(move |s| rank_run(exec, RankAlgo::Deterministic, k, eps, n, s).0.words),
+            EXACT,
+            Box::new(move |s| {
+                rank_run(exec, RankAlgo::Deterministic, k, eps, n, s)
+                    .0
+                    .words
+            }),
         ),
         (
             "rank/randomized",
+            EXACT,
             Box::new(move |s| rank_run(exec, RankAlgo::Randomized, k, eps, n, s).0.words),
         ),
         // Sliding-window scenario: the randomized count protocol under
@@ -130,22 +161,45 @@ pub fn measure_cells(p: Params) -> Vec<Cell> {
         // window subsystem's communication behavior.
         (
             "count/windowed",
+            EXACT,
             Box::new(move |s| {
                 count_run(exec.windowed(n / 4), CountAlgo::Randomized, k, eps, n, s)
                     .0
                     .words
             }),
         ),
+        // The same windowed scenario on the thread-per-site channel
+        // runtime — the measurement-grade concurrent path. Thread
+        // interleaving makes its word count non-deterministic, so the
+        // cell is advisory: it guards against order-of-magnitude
+        // communication blowups (e.g. a seal storm), not single words.
+        (
+            "window/channel",
+            !EXACT,
+            Box::new(move |s| {
+                count_run(
+                    ExecConfig::channel().windowed(n / 4),
+                    CountAlgo::Randomized,
+                    k,
+                    eps,
+                    n,
+                    s,
+                )
+                .0
+                .words
+            }),
+        ),
     ];
 
     cells
         .into_iter()
-        .map(|(id, f)| {
+        .map(|(id, exact, f)| {
             let (words, millis) = timed(&*f);
             Cell {
                 id: id.to_string(),
                 words,
                 millis,
+                exact,
             }
         })
         .collect()
@@ -163,10 +217,11 @@ pub fn to_json(p: Params, cells: &[Cell]) -> String {
     s.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"id\": \"{}\", \"words\": {}, \"millis\": {:.3}}}{}\n",
+            "    {{\"id\": \"{}\", \"words\": {}, \"millis\": {:.3}, \"exact\": {}}}{}\n",
             c.id,
             c.words,
             c.millis,
+            c.exact,
             if i + 1 < cells.len() { "," } else { "" }
         ));
     }
@@ -198,7 +253,9 @@ fn unquote(s: &str) -> Result<&str, String> {
 
 /// Parse a document produced by [`to_json`]. This is deliberately *not*
 /// a general JSON parser — it accepts exactly the flat schema this
-/// module writes (and errors loudly on anything else).
+/// module writes (and errors loudly on anything else). The `exact` cell
+/// field defaults to `true` when absent, so pre-`exact` baselines still
+/// parse (their cells were all lock-step).
 pub fn parse_json(s: &str) -> Result<(Params, Vec<Cell>), String> {
     let version: u32 = field(s, "version")?
         .parse()
@@ -209,10 +266,18 @@ pub fn parse_json(s: &str) -> Result<(Params, Vec<Cell>), String> {
     let pstart = s
         .find("\"params\"")
         .ok_or_else(|| "missing params".to_string())?;
-    let pobj = &s[pstart..s[pstart..].find('}').map(|i| pstart + i + 1).unwrap_or(s.len())];
+    let pobj = &s[pstart
+        ..s[pstart..]
+            .find('}')
+            .map(|i| pstart + i + 1)
+            .unwrap_or(s.len())];
     let params = Params {
-        n: field(pobj, "n")?.parse().map_err(|e| format!("bad n: {e}"))?,
-        k: field(pobj, "k")?.parse().map_err(|e| format!("bad k: {e}"))?,
+        n: field(pobj, "n")?
+            .parse()
+            .map_err(|e| format!("bad n: {e}"))?,
+        k: field(pobj, "k")?
+            .parse()
+            .map_err(|e| format!("bad k: {e}"))?,
         eps: field(pobj, "eps")?
             .parse()
             .map_err(|e| format!("bad eps: {e}"))?,
@@ -240,6 +305,10 @@ pub fn parse_json(s: &str) -> Result<(Params, Vec<Cell>), String> {
             millis: field(obj, "millis")?
                 .parse()
                 .map_err(|e| format!("bad millis: {e}"))?,
+            exact: match field(obj, "exact") {
+                Ok(v) => v.parse().map_err(|e| format!("bad exact: {e}"))?,
+                Err(_) => true,
+            },
         });
         rest = &rest[close + 1..];
     }
@@ -249,41 +318,72 @@ pub fn parse_json(s: &str) -> Result<(Params, Vec<Cell>), String> {
     Ok((params, cells))
 }
 
+/// Outcome of [`compare`]: findings that must fail the build vs.
+/// findings that are informational.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct Comparison {
+    /// Deterministic signals — word drift on an exact cell, a missing or
+    /// unknown cell. CI fails on any of these.
+    pub hard: Vec<String>,
+    /// Noisy signals — wall-time drift anywhere, word drift on inexact
+    /// (thread-timed) cells. Printed, never failing.
+    pub advisory: Vec<String>,
+}
+
+impl Comparison {
+    /// Whether the comparison found nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.hard.is_empty() && self.advisory.is_empty()
+    }
+}
+
 /// Compare a current run against the baseline.
 ///
-/// * `words` beyond ±`word_tol` (relative) is reported — words are
-///   deterministic given the seed set, so any drift is a real behavior
-///   change (more communication = regression, less = improvement worth
-///   re-baselining).
-/// * `millis` beyond `time_factor`× the baseline is reported — wall time
-///   is machine-dependent, so only large factors are meaningful.
-///
-/// Returns human-readable findings; empty means within tolerance.
+/// * **Exact cells** (lock-step): `words` are deterministic given the
+///   seed set, so *any* drift is a hard finding — more communication is
+///   a regression, less is an improvement worth re-baselining; either
+///   way the baseline must be regenerated deliberately.
+/// * **Inexact cells** (channel runtime): words drift with thread
+///   timing; beyond ±`loose_word_tol` (relative) they are reported
+///   advisorily.
+/// * `millis` beyond `time_factor`× the baseline is always advisory —
+///   wall time is machine- and load-dependent even after a same-machine
+///   bootstrap.
 pub fn compare(
     baseline: &[Cell],
     current: &[Cell],
-    word_tol: f64,
+    loose_word_tol: f64,
     time_factor: f64,
-) -> Vec<String> {
-    let mut findings = Vec::new();
+) -> Comparison {
+    let mut out = Comparison::default();
     for b in baseline {
         let Some(c) = current.iter().find(|c| c.id == b.id) else {
-            findings.push(format!("{}: cell missing from current run", b.id));
+            out.hard
+                .push(format!("{}: cell missing from current run", b.id));
             continue;
         };
         let drift = (c.words as f64 - b.words as f64) / (b.words as f64).max(1.0);
-        if drift.abs() > word_tol {
-            findings.push(format!(
-                "{}: words {} -> {} ({:+.1}%, tolerance ±{:.0}%)",
+        if b.exact && c.words != b.words {
+            out.hard.push(format!(
+                "{}: words {} -> {} ({:+.2}%, exact cell — any drift is a \
+                 behavior change)",
+                b.id,
+                b.words,
+                c.words,
+                drift * 1e2
+            ));
+        } else if !b.exact && drift.abs() > loose_word_tol {
+            out.advisory.push(format!(
+                "{}: words {} -> {} ({:+.1}%, inexact cell, tolerance ±{:.0}%)",
                 b.id,
                 b.words,
                 c.words,
                 drift * 1e2,
-                word_tol * 1e2
+                loose_word_tol * 1e2
             ));
         }
         if c.millis > b.millis * time_factor {
-            findings.push(format!(
+            out.advisory.push(format!(
                 "{}: wall time {:.2}ms -> {:.2}ms (> {:.1}x baseline)",
                 b.id, b.millis, c.millis, time_factor
             ));
@@ -291,13 +391,34 @@ pub fn compare(
     }
     for c in current {
         if !baseline.iter().any(|b| b.id == c.id) {
-            findings.push(format!(
+            out.hard.push(format!(
                 "{}: new cell not in baseline (re-run without --check)",
                 c.id
             ));
         }
     }
-    findings
+    out
+}
+
+/// Produce the bootstrap of `stored` for this machine: keep the stored
+/// (committed) words and exactness — they are the cross-machine signal —
+/// but replace every wall-time with the one just measured here, so a
+/// subsequent [`compare`] judges timing against *this* machine's speed
+/// rather than whichever machine wrote the baseline.
+///
+/// Cells measured now but absent from the stored baseline are
+/// deliberately **not** added: the bootstrapped file must stay
+/// cell-for-cell identical to the committed one so that `--check`'s
+/// "new cell not in baseline" hard finding still fires — appending them
+/// here would quietly launder an un-baselined cell past CI.
+pub fn bootstrap(stored: &[Cell], measured: &[Cell]) -> Vec<Cell> {
+    let mut out: Vec<Cell> = stored.to_vec();
+    for cell in &mut out {
+        if let Some(m) = measured.iter().find(|m| m.id == cell.id) {
+            cell.millis = m.millis;
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -310,11 +431,19 @@ mod tests {
                 id: "count/randomized".into(),
                 words: 1234,
                 millis: 5.125,
+                exact: true,
             },
             Cell {
                 id: "rank/deterministic".into(),
                 words: 99,
                 millis: 0.75,
+                exact: true,
+            },
+            Cell {
+                id: "window/channel".into(),
+                words: 5000,
+                millis: 2.5,
+                exact: false,
             },
         ]
     }
@@ -329,6 +458,15 @@ mod tests {
     }
 
     #[test]
+    fn parse_defaults_exact_for_legacy_cells() {
+        let legacy = "{\n  \"version\": 1,\n  \"params\": {\"n\": 10, \"k\": 2, \
+                      \"eps\": 0.1, \"seeds\": 1},\n  \"cells\": [\n    \
+                      {\"id\": \"count/randomized\", \"words\": 7, \"millis\": 1.0}\n  ]\n}\n";
+        let (_, cells) = parse_json(legacy).unwrap();
+        assert!(cells[0].exact, "legacy cells are all lock-step → exact");
+    }
+
+    #[test]
     fn parse_rejects_garbage() {
         assert!(parse_json("").is_err());
         assert!(parse_json("{\"version\": 2}").is_err());
@@ -336,20 +474,31 @@ mod tests {
     }
 
     #[test]
-    fn compare_flags_word_drift_and_slowdowns() {
+    fn compare_splits_hard_and_advisory_findings() {
         let base = sample_cells();
         let mut cur = sample_cells();
-        assert!(compare(&base, &cur, 0.02, 3.0).is_empty());
-        cur[0].words = 2000; // +62%
-        cur[1].millis = 10.0; // 13x
-        let findings = compare(&base, &cur, 0.02, 3.0);
-        assert_eq!(findings.len(), 2, "{findings:?}");
-        assert!(findings[0].contains("count/randomized"));
-        assert!(findings[1].contains("wall time"));
+        assert!(compare(&base, &cur, 0.25, 3.0).is_empty());
+        cur[0].words = 1235; // exact cell: off by one word → hard
+        cur[1].millis = 10.0; // 13x → advisory
+        cur[2].words = 7000; // inexact cell: +40% > ±25% → advisory
+        let c = compare(&base, &cur, 0.25, 3.0);
+        assert_eq!(c.hard.len(), 1, "{c:?}");
+        assert!(c.hard[0].contains("count/randomized"));
+        assert_eq!(c.advisory.len(), 2, "{c:?}");
+        assert!(c.advisory.iter().any(|f| f.contains("wall time")));
+        assert!(c.advisory.iter().any(|f| f.contains("window/channel")));
     }
 
     #[test]
-    fn compare_flags_missing_and_new_cells() {
+    fn compare_tolerates_inexact_jitter() {
+        let base = sample_cells();
+        let mut cur = sample_cells();
+        cur[2].words = 5500; // +10% on the inexact cell: within ±25%
+        assert!(compare(&base, &cur, 0.25, 3.0).is_empty());
+    }
+
+    #[test]
+    fn compare_flags_missing_and_new_cells_as_hard() {
         let base = sample_cells();
         let cur = vec![
             base[0].clone(),
@@ -357,15 +506,45 @@ mod tests {
                 id: "novel/cell".into(),
                 words: 1,
                 millis: 1.0,
+                exact: true,
             },
         ];
-        let findings = compare(&base, &cur, 0.02, 3.0);
-        assert!(findings.iter().any(|f| f.contains("missing")));
-        assert!(findings.iter().any(|f| f.contains("not in baseline")));
+        let c = compare(&base, &cur, 0.25, 3.0);
+        assert!(c.hard.iter().any(|f| f.contains("missing")));
+        assert!(c.hard.iter().any(|f| f.contains("not in baseline")));
     }
 
     #[test]
-    fn measured_words_are_deterministic() {
+    fn bootstrap_keeps_words_and_refreshes_millis() {
+        let stored = sample_cells();
+        let mut measured = sample_cells();
+        measured[0].words = 9999; // must NOT leak into the bootstrap
+        measured[0].millis = 42.0; // must replace the stored timing
+        measured.push(Cell {
+            id: "brand/new".into(),
+            words: 5,
+            millis: 0.5,
+            exact: true,
+        });
+        let b = bootstrap(&stored, &measured);
+        let first = b.iter().find(|c| c.id == "count/randomized").unwrap();
+        assert_eq!(first.words, 1234, "stored words survive bootstrap");
+        assert_eq!(first.millis, 42.0, "millis refreshed from this machine");
+        // An un-baselined cell must NOT be smuggled into the bootstrapped
+        // file — `--check` has to keep flagging it as a hard finding.
+        assert!(
+            !b.iter().any(|c| c.id == "brand/new"),
+            "bootstrap must not append cells missing from the baseline"
+        );
+        let c = compare(&b, &measured, 0.25, 1_000.0);
+        assert!(
+            c.hard.iter().any(|f| f.contains("brand/new")),
+            "post-bootstrap check still hard-flags the new cell: {c:?}"
+        );
+    }
+
+    #[test]
+    fn measured_words_are_deterministic_for_exact_cells() {
         let p = Params {
             n: 4_000,
             k: 4,
@@ -374,10 +553,17 @@ mod tests {
         };
         let a = measure_cells(p);
         let b = measure_cells(p);
-        assert_eq!(a.len(), 8);
+        assert_eq!(a.len(), 9);
+        assert_eq!(a.iter().filter(|c| !c.exact).count(), 1);
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.id, y.id);
-            assert_eq!(x.words, y.words, "{}", x.id);
+            if x.exact {
+                assert_eq!(x.words, y.words, "{}", x.id);
+            } else {
+                // Thread-timed cell: same order of magnitude, not equal.
+                let ratio = x.words as f64 / y.words.max(1) as f64;
+                assert!((0.2..5.0).contains(&ratio), "{}: {ratio}", x.id);
+            }
         }
     }
 }

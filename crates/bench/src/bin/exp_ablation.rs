@@ -55,15 +55,17 @@ fn ablate_count_estimator(exec: ExecConfig, n: u64, seeds: u64) {
         let mut ex = exec.build(&RandomizedCount::new(cfg), seed);
         let batch: Vec<(usize, u64)> = (0..n)
             .map(|t| {
-                let site =
-                    if t % 100 == 0 { 1 + (t as usize / 100) % (k - 1) } else { 0 };
+                let site = if t % 100 == 0 {
+                    1 + (t as usize / 100) % (k - 1)
+                } else {
+                    0
+                };
                 (site, t)
             })
             .collect();
         ex.feed_batch(batch);
         ex.quiesce();
-        let (est, est_naive) = ex
-            .query(|c: &RandCountCoord| (c.estimate(), c.estimate_naive()));
+        let (est, est_naive) = ex.query(|c: &RandCountCoord| (c.estimate(), c.estimate_naive()));
         two_case += est - n as f64;
         naive += est_naive - n as f64;
     }
@@ -93,7 +95,9 @@ fn ablate_frequency_estimator(exec: ExecConfig, n: u64, seeds: u64) {
     for seed in 0..seeds {
         let mut ex = exec.build(&RandomizedFrequency::new(cfg), seed);
         ex.feed_batch(
-            (0..n).map(|t| ((t % k as u64) as usize, t % domain)).collect(),
+            (0..n)
+                .map(|t| ((t % k as u64) as usize, t % domain))
+                .collect(),
         );
         ex.quiesce();
         let truth = n as f64 / domain as f64;
@@ -188,13 +192,9 @@ fn ablate_rank_tree(exec: ExecConfig, n: u64, seeds: u64) {
     let mut words = 0u64;
     for seed in 0..seeds {
         let mut ex = exec.build(&RandomizedRank::new(cfg), seed);
-        ex.feed_batch(
-            data.iter().enumerate().map(|(t, v)| (t % k, *v)).collect(),
-        );
+        ex.feed_batch(data.iter().enumerate().map(|(t, v)| (t % k, *v)).collect());
         ex.quiesce();
-        tree_se += (ex.query(move |c: &RandRankCoord| c.estimate_rank(x))
-            - truth)
-            .powi(2);
+        tree_se += (ex.query(move |c: &RandRankCoord| c.estimate_rank(x)) - truth).powi(2);
         words = ex.stats().total_words();
     }
     // Samples only, at the protocol's own final-round rate.

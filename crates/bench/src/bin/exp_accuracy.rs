@@ -6,8 +6,8 @@
 
 use dtrack_bench::cli::{arg, banner, exec_arg};
 use dtrack_bench::measure::{
-    count_boosted_max_error, count_run, frequency_run, frequency_single_probe_error,
-    rank_run, CountAlgo, FreqAlgo, RankAlgo,
+    count_boosted_max_error, count_run, frequency_run, frequency_single_probe_error, rank_run,
+    CountAlgo, FreqAlgo, RankAlgo,
 };
 use dtrack_bench::table::Table;
 
@@ -28,16 +28,9 @@ fn main() {
         &format!("N={n}, k={k}, eps={eps}, seeds={seeds}, exec={exec}"),
     );
 
-    let mut t = Table::new([
-        "problem",
-        "err/eps·n p50",
-        "p90",
-        "p99",
-        "P[err<=eps·n]",
-    ]);
+    let mut t = Table::new(["problem", "err/eps·n p50", "p90", "p99", "P[err<=eps·n]"]);
     let mut push = |name: &str, errs: Vec<f64>| {
-        let frac_ok =
-            errs.iter().filter(|&&e| e <= eps).count() as f64 / errs.len() as f64;
+        let frac_ok = errs.iter().filter(|&&e| e <= eps).count() as f64 / errs.len() as f64;
         let (p50, p90, p99) = quantiles(errs);
         t.row([
             name.to_string(),
@@ -86,8 +79,7 @@ fn main() {
     let checkpoints: Vec<u64> = (1..=100).map(|i| i * (n / 100)).collect();
     let mut t2 = Table::new(["copies", "seed", "max err/(eps·n) over run"]);
     for seed in 0..seeds.min(5) {
-        let worst =
-            count_boosted_max_error(exec, k, eps, n, copies, seed, &checkpoints);
+        let worst = count_boosted_max_error(exec, k, eps, n, copies, seed, &checkpoints);
         t2.row([
             copies.to_string(),
             seed.to_string(),

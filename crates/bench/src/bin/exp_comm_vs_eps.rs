@@ -22,7 +22,9 @@ fn main() {
         &format!("N={n}, k={k}, eps in {epss:?}, seeds={seeds}, exec={exec}"),
     );
 
-    let mut t = Table::new(["eps", "cnt-det", "cnt-NEW", "freq-det", "freq-NEW", "sampling"]);
+    let mut t = Table::new([
+        "eps", "cnt-det", "cnt-NEW", "freq-det", "freq-NEW", "sampling",
+    ]);
     let mut series: Vec<Vec<f64>> = vec![Vec::new(); 5];
     let med = |f: &dyn Fn(u64) -> u64| -> f64 {
         let mut v: Vec<u64> = (0..seeds).map(f).collect();
@@ -31,10 +33,22 @@ fn main() {
     };
     for &eps in &epss {
         let vals = [
-            med(&|s| count_run(exec, CountAlgo::Deterministic, k, eps, n, s).0.words),
+            med(&|s| {
+                count_run(exec, CountAlgo::Deterministic, k, eps, n, s)
+                    .0
+                    .words
+            }),
             med(&|s| count_run(exec, CountAlgo::Randomized, k, eps, n, s).0.words),
-            med(&|s| frequency_run(exec, FreqAlgo::Deterministic, k, eps, n, s).0.words),
-            med(&|s| frequency_run(exec, FreqAlgo::Randomized, k, eps, n, s).0.words),
+            med(&|s| {
+                frequency_run(exec, FreqAlgo::Deterministic, k, eps, n, s)
+                    .0
+                    .words
+            }),
+            med(&|s| {
+                frequency_run(exec, FreqAlgo::Randomized, k, eps, n, s)
+                    .0
+                    .words
+            }),
             med(&|s| count_run(exec, CountAlgo::Sampling, k, eps, n, s).0.words),
         ];
         for (i, v) in vals.iter().enumerate() {

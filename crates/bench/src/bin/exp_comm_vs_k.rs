@@ -11,9 +11,7 @@
 
 use dtrack_bench::cli::{arg, banner, exec_arg};
 use dtrack_bench::fit::loglog_slope;
-use dtrack_bench::measure::{
-    count_run, frequency_run, rank_run, CountAlgo, FreqAlgo, RankAlgo,
-};
+use dtrack_bench::measure::{count_run, frequency_run, rank_run, CountAlgo, FreqAlgo, RankAlgo};
 use dtrack_bench::table::{fmt_num, Table};
 
 fn main() {
@@ -29,7 +27,9 @@ fn main() {
         &format!("N={n} (rank {rank_n}), eps={eps} (rank {rank_eps}), k in {ks:?}, seeds={seeds}, exec={exec}"),
     );
 
-    let mut t = Table::new(["k", "cnt-det", "cnt-NEW", "freq-det", "freq-NEW", "rank-det", "rank-NEW"]);
+    let mut t = Table::new([
+        "k", "cnt-det", "cnt-NEW", "freq-det", "freq-NEW", "rank-det", "rank-NEW",
+    ]);
     let mut series: Vec<Vec<f64>> = vec![Vec::new(); 6];
     let med = |f: &dyn Fn(u64) -> u64| -> f64 {
         let mut v: Vec<u64> = (0..seeds).map(f).collect();
@@ -38,12 +38,32 @@ fn main() {
     };
     for &k in &ks {
         let vals = [
-            med(&|s| count_run(exec, CountAlgo::Deterministic, k, eps, n, s).0.words),
+            med(&|s| {
+                count_run(exec, CountAlgo::Deterministic, k, eps, n, s)
+                    .0
+                    .words
+            }),
             med(&|s| count_run(exec, CountAlgo::Randomized, k, eps, n, s).0.words),
-            med(&|s| frequency_run(exec, FreqAlgo::Deterministic, k, eps, n, s).0.words),
-            med(&|s| frequency_run(exec, FreqAlgo::Randomized, k, eps, n, s).0.words),
-            med(&|s| rank_run(exec, RankAlgo::Deterministic, k, rank_eps, rank_n, s).0.words),
-            med(&|s| rank_run(exec, RankAlgo::Randomized, k, rank_eps, rank_n, s).0.words),
+            med(&|s| {
+                frequency_run(exec, FreqAlgo::Deterministic, k, eps, n, s)
+                    .0
+                    .words
+            }),
+            med(&|s| {
+                frequency_run(exec, FreqAlgo::Randomized, k, eps, n, s)
+                    .0
+                    .words
+            }),
+            med(&|s| {
+                rank_run(exec, RankAlgo::Deterministic, k, rank_eps, rank_n, s)
+                    .0
+                    .words
+            }),
+            med(&|s| {
+                rank_run(exec, RankAlgo::Randomized, k, rank_eps, rank_n, s)
+                    .0
+                    .words
+            }),
         ];
         for (i, v) in vals.iter().enumerate() {
             series[i].push(*v);
@@ -56,7 +76,9 @@ fn main() {
 
     println!();
     let xs: Vec<f64> = ks.iter().map(|&k| k as f64).collect();
-    let names = ["cnt-det", "cnt-NEW", "freq-det", "freq-NEW", "rank-det", "rank-NEW"];
+    let names = [
+        "cnt-det", "cnt-NEW", "freq-det", "freq-NEW", "rank-det", "rank-NEW",
+    ];
     let mut st = Table::new(["series", "fitted k-exponent", "paper predicts"]);
     let preds = ["1.0", "0.5", "1.0", "0.5", "1.0", "0.5"];
     for (i, name) in names.iter().enumerate() {

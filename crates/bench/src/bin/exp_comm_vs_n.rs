@@ -36,7 +36,11 @@ fn main() {
     let mut ratios = Vec::new();
     for &n in &ns {
         let c = med(&|s| count_run(exec, CountAlgo::Randomized, k, eps, n, s).0.words);
-        let f = med(&|s| frequency_run(exec, FreqAlgo::Randomized, k, eps, n, s).0.words);
+        let f = med(&|s| {
+            frequency_run(exec, FreqAlgo::Randomized, k, eps, n, s)
+                .0
+                .words
+        });
         let l = (n as f64).log2();
         ratios.push(c / l);
         t.row([

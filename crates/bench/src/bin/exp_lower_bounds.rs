@@ -56,7 +56,10 @@ fn main() {
     println!();
 
     // -- Part 2: the 1-bit problem --
-    println!("-- Lemma 2.2 / Thm 2.3: the 1-bit problem over k = {k4} sites --", k4 = 4 * k);
+    println!(
+        "-- Lemma 2.2 / Thm 2.3: the 1-bit problem over k = {k4} sites --",
+        k4 = 4 * k
+    );
     let inst = OneBitInstance::new(4 * k as u64);
     let mut t2 = Table::new(["protocol (q0, q1, z)", "avg msgs", "failure"]);
     let configs: [(f64, f64, u64, &str); 5] = [
@@ -80,7 +83,13 @@ fn main() {
 
     // -- Part 3: Theorem 2.4's hard instance vs our upper bound --
     println!("-- Thm 2.4: randomized count-tracking on the subround instance --");
-    let mut t3 = Table::new(["k", "subrounds", "total msgs", "msgs/subround", "msgs/subround/k"]);
+    let mut t3 = Table::new([
+        "k",
+        "subrounds",
+        "total msgs",
+        "msgs/subround",
+        "msgs/subround/k",
+    ]);
     for &kk in &[16usize, 64, 256] {
         let eps = 0.05;
         let inst = SubroundInstance::new(kk, eps, 12);

@@ -7,9 +7,7 @@
 //! Usage: `exp_space [N] [SEEDS] [EXEC]`
 
 use dtrack_bench::cli::{arg, banner, exec_arg};
-use dtrack_bench::measure::{
-    count_run, frequency_run, rank_run, CountAlgo, FreqAlgo, RankAlgo,
-};
+use dtrack_bench::measure::{count_run, frequency_run, rank_run, CountAlgo, FreqAlgo, RankAlgo};
 use dtrack_bench::table::{fmt_num, Table};
 
 fn main() {
@@ -29,16 +27,39 @@ fn main() {
     };
 
     println!("-- frequency space vs k (eps = 0.01): NEW should shrink ~1/√k --");
-    let mut t = Table::new(["k", "freq-NEW", "1/(eps*sqrt(k))", "freq-det", "cnt-NEW", "sampling"]);
+    let mut t = Table::new([
+        "k",
+        "freq-NEW",
+        "1/(eps*sqrt(k))",
+        "freq-det",
+        "cnt-NEW",
+        "sampling",
+    ]);
     for &k in &[4usize, 16, 64, 256] {
         let eps = 0.01;
         t.row([
             k.to_string(),
-            fmt_num(med(&|s| frequency_run(exec, FreqAlgo::Randomized, k, eps, n, s).0.max_space)),
+            fmt_num(med(&|s| {
+                frequency_run(exec, FreqAlgo::Randomized, k, eps, n, s)
+                    .0
+                    .max_space
+            })),
             fmt_num(1.0 / (eps * (k as f64).sqrt())),
-            fmt_num(med(&|s| frequency_run(exec, FreqAlgo::Deterministic, k, eps, n, s).0.max_space)),
-            fmt_num(med(&|s| count_run(exec, CountAlgo::Randomized, k, eps, n, s).0.max_space)),
-            fmt_num(med(&|s| count_run(exec, CountAlgo::Sampling, k, eps, n, s).0.max_space)),
+            fmt_num(med(&|s| {
+                frequency_run(exec, FreqAlgo::Deterministic, k, eps, n, s)
+                    .0
+                    .max_space
+            })),
+            fmt_num(med(&|s| {
+                count_run(exec, CountAlgo::Randomized, k, eps, n, s)
+                    .0
+                    .max_space
+            })),
+            fmt_num(med(&|s| {
+                count_run(exec, CountAlgo::Sampling, k, eps, n, s)
+                    .0
+                    .max_space
+            })),
         ]);
     }
     t.print();
@@ -51,10 +72,26 @@ fn main() {
         let reps = eps.max(0.02);
         t2.row([
             format!("{eps}"),
-            fmt_num(med(&|s| frequency_run(exec, FreqAlgo::Randomized, k, eps, n, s).0.max_space)),
-            fmt_num(med(&|s| frequency_run(exec, FreqAlgo::Deterministic, k, eps, n, s).0.max_space)),
-            fmt_num(med(&|s| rank_run(exec, RankAlgo::Randomized, k, reps, rank_n, s).0.max_space)),
-            fmt_num(med(&|s| rank_run(exec, RankAlgo::Deterministic, k, reps, rank_n, s).0.max_space)),
+            fmt_num(med(&|s| {
+                frequency_run(exec, FreqAlgo::Randomized, k, eps, n, s)
+                    .0
+                    .max_space
+            })),
+            fmt_num(med(&|s| {
+                frequency_run(exec, FreqAlgo::Deterministic, k, eps, n, s)
+                    .0
+                    .max_space
+            })),
+            fmt_num(med(&|s| {
+                rank_run(exec, RankAlgo::Randomized, k, reps, rank_n, s)
+                    .0
+                    .max_space
+            })),
+            fmt_num(med(&|s| {
+                rank_run(exec, RankAlgo::Deterministic, k, reps, rank_n, s)
+                    .0
+                    .max_space
+            })),
         ]);
     }
     t2.print();

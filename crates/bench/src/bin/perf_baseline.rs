@@ -1,29 +1,49 @@
-//! Perf-regression gate: write or check `BENCH_baseline.json`.
+//! Perf-regression gate: write, bootstrap, or check `BENCH_baseline.json`.
 //!
 //! * `perf_baseline` — run the fixed protocol/workload matrix and
-//!   (re)write the baseline file.
-//! * `perf_baseline --check` — re-run the matrix and compare against the
-//!   stored baseline: exits 1 if any cell's words drifted beyond ±2% or
-//!   wall time exceeded 3× (CI wires this as a non-blocking step).
+//!   (re)write the baseline file wholesale (words + wall-times). Do this
+//!   deliberately when a words change is intended.
+//! * `perf_baseline --bootstrap` — re-measure on *this* machine and
+//!   rewrite only the wall-times in place, keeping the committed words
+//!   (the cross-machine signal) untouched. CI runs this once per job so
+//!   the subsequent check's timing comparisons are same-machine instead
+//!   of against whichever machine wrote the baseline.
+//! * `perf_baseline --check` — re-run the matrix and compare: **word
+//!   drift on an exact (lock-step) cell fails the build** (exit 1 — words
+//!   there are deterministic given the seed set, so any drift is a real
+//!   behavior change); wall-time drift and word drift on the
+//!   thread-timed `window/channel` cell are printed advisorily and never
+//!   fail.
 //!
 //! The baseline path defaults to `BENCH_baseline.json` in the current
 //! directory; override with the `BENCH_BASELINE` environment variable.
 //! Run under `--release` — debug timings would be meaningless against a
 //! release baseline (the check compares, it cannot tell why).
 
-use dtrack_bench::baseline::{compare, measure_cells, parse_json, to_json, Params};
+use dtrack_bench::baseline::{bootstrap, compare, measure_cells, parse_json, to_json, Params};
 use dtrack_bench::cli::banner;
 
 fn main() {
     let check = std::env::args().any(|a| a == "--check");
-    let path = std::env::var("BENCH_BASELINE")
-        .unwrap_or_else(|_| "BENCH_baseline.json".to_string());
+    let boot = std::env::args().any(|a| a == "--bootstrap");
+    if check && boot {
+        eprintln!("error: --check and --bootstrap are mutually exclusive");
+        std::process::exit(2);
+    }
+    let path =
+        std::env::var("BENCH_BASELINE").unwrap_or_else(|_| "BENCH_baseline.json".to_string());
     let params = Params::default_ci();
     banner(
         "PERF — protocol/workload perf baseline",
         &format!(
             "mode={}, file={path}, N={}, k={}, eps={}, seeds={}",
-            if check { "check" } else { "write" },
+            if check {
+                "check"
+            } else if boot {
+                "bootstrap"
+            } else {
+                "write"
+            },
             params.n,
             params.k,
             params.eps,
@@ -33,11 +53,17 @@ fn main() {
 
     let cells = measure_cells(params);
     for c in &cells {
-        println!("{:28} {:>10} words  {:>9.2} ms", c.id, c.words, c.millis);
+        println!(
+            "{:28} {:>10} words{} {:>9.2} ms",
+            c.id,
+            c.words,
+            if c.exact { " " } else { "~" },
+            c.millis
+        );
     }
     println!();
 
-    if !check {
+    if !check && !boot {
         std::fs::write(&path, to_json(params, &cells))
             .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         println!("baseline written to {path}");
@@ -54,12 +80,32 @@ fn main() {
              {params:?}; comparing anyway"
         );
     }
-    let findings = compare(&stored_cells, &cells, 0.02, 3.0);
-    if findings.is_empty() {
-        println!("OK: all {} cells within tolerance", cells.len());
+
+    if boot {
+        let booted = bootstrap(&stored_cells, &cells);
+        std::fs::write(&path, to_json(stored_params, &booted))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!(
+            "bootstrapped {path}: kept committed words, refreshed wall-times \
+             for this machine"
+        );
+        return;
+    }
+
+    let cmp = compare(&stored_cells, &cells, 0.25, 3.0);
+    for f in &cmp.advisory {
+        println!("  advisory: {f}");
+    }
+    if cmp.hard.is_empty() {
+        println!(
+            "OK: all {} cells within tolerance ({} advisory note{})",
+            cells.len(),
+            cmp.advisory.len(),
+            if cmp.advisory.len() == 1 { "" } else { "s" }
+        );
     } else {
-        println!("REGRESSIONS ({}):", findings.len());
-        for f in &findings {
+        println!("REGRESSIONS ({}):", cmp.hard.len());
+        for f in &cmp.hard {
             println!("  {f}");
         }
         std::process::exit(1);

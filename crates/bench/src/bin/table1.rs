@@ -17,9 +17,7 @@
 //! (`EXEC` picks the executor + delivery policy, e.g. `event:random:1:32`)
 
 use dtrack_bench::cli::{arg, banner, exec_arg};
-use dtrack_bench::measure::{
-    count_run, frequency_run, rank_run, CountAlgo, FreqAlgo, RankAlgo,
-};
+use dtrack_bench::measure::{count_run, frequency_run, rank_run, CountAlgo, FreqAlgo, RankAlgo};
 use dtrack_bench::table::{fmt_num, Table};
 
 fn main() {
@@ -35,7 +33,13 @@ fn main() {
     );
 
     let mut t = Table::new([
-        "problem", "algorithm", "space(words)", "msgs", "words", "words/elem", "max err/n",
+        "problem",
+        "algorithm",
+        "space(words)",
+        "msgs",
+        "words",
+        "words/elem",
+        "max err/n",
     ]);
 
     let med = |f: &dyn Fn(u64) -> (dtrack_bench::CommSpace, f64)| {

@@ -65,7 +65,11 @@ pub fn fmt_num(x: f64) -> String {
     if x == 0.0 {
         "0".into()
     } else if x.abs() >= 1e7 {
-        format!("{:.2}e{}", x / 10f64.powi(x.abs().log10() as i32), x.abs().log10() as i32)
+        format!(
+            "{:.2}e{}",
+            x / 10f64.powi(x.abs().log10() as i32),
+            x.abs().log10() as i32
+        )
     } else if x.abs() >= 100.0 {
         format!("{:.0}", x)
     } else if x.abs() >= 1.0 {

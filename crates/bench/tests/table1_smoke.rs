@@ -26,10 +26,8 @@ fn median_words(f: impl Fn(u64) -> (CommSpace, f64)) -> (u64, f64) {
 #[test]
 fn randomized_count_beats_deterministic_words() {
     let exec = ExecConfig::lockstep();
-    let (rand, rand_err) =
-        median_words(|s| count_run(exec, CountAlgo::Randomized, K, EPS, N, s));
-    let (det, det_err) =
-        median_words(|s| count_run(exec, CountAlgo::Deterministic, K, EPS, N, s));
+    let (rand, rand_err) = median_words(|s| count_run(exec, CountAlgo::Randomized, K, EPS, N, s));
+    let (det, det_err) = median_words(|s| count_run(exec, CountAlgo::Deterministic, K, EPS, N, s));
     assert!(
         rand < det,
         "√k ordering violated: randomized {rand} ≥ deterministic {det}"
@@ -54,10 +52,8 @@ fn randomized_frequency_beats_deterministic_words() {
 #[test]
 fn randomized_rank_beats_deterministic_words() {
     let exec = ExecConfig::lockstep();
-    let (rand, rand_err) =
-        median_words(|s| rank_run(exec, RankAlgo::Randomized, K, EPS, N, s));
-    let (det, det_err) =
-        median_words(|s| rank_run(exec, RankAlgo::Deterministic, K, EPS, N, s));
+    let (rand, rand_err) = median_words(|s| rank_run(exec, RankAlgo::Randomized, K, EPS, N, s));
+    let (det, det_err) = median_words(|s| rank_run(exec, RankAlgo::Deterministic, K, EPS, N, s));
     assert!(
         rand < det,
         "√k ordering violated: randomized {rand} ≥ deterministic {det}"
@@ -70,10 +66,8 @@ fn sampling_words_are_roughly_k_independent() {
     // The [9] baseline costs O(1/ε²·logN) words regardless of k: growing
     // k by 16× must not grow its cost by more than a small factor.
     let exec = ExecConfig::lockstep();
-    let (small_k, _) =
-        median_words(|s| count_run(exec, CountAlgo::Sampling, 4, EPS, N, s));
-    let (large_k, _) =
-        median_words(|s| count_run(exec, CountAlgo::Sampling, K, EPS, N, s));
+    let (small_k, _) = median_words(|s| count_run(exec, CountAlgo::Sampling, 4, EPS, N, s));
+    let (large_k, _) = median_words(|s| count_run(exec, CountAlgo::Sampling, K, EPS, N, s));
     let ratio = large_k as f64 / small_k.max(1) as f64;
     assert!(
         ratio < 3.0,

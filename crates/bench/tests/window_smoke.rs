@@ -6,10 +6,8 @@
 //! extra words (epoch restarts + heartbeats), and the windowed error is
 //! measured against the sliding truth (finite, sane).
 
-use dtrack_bench::measure::{
-    count_run, frequency_run, rank_run, CountAlgo, FreqAlgo, RankAlgo,
-};
-use dtrack_sim::{DeliveryPolicy, ExecConfig, ExecMode};
+use dtrack_bench::measure::{count_run, frequency_run, rank_run, CountAlgo, FreqAlgo, RankAlgo};
+use dtrack_sim::{DeliveryPolicy, ExecConfig};
 
 const K: usize = 8;
 const EPS: f64 = 0.1;
@@ -29,14 +27,7 @@ fn execs() -> [ExecConfig; 3] {
 fn windowed_count_emits_on_all_three_executors() {
     for exec in execs() {
         let (whole, whole_err) = count_run(exec, CountAlgo::Randomized, K, EPS, N, SEED);
-        let (win, win_err) = count_run(
-            exec.windowed(W),
-            CountAlgo::Randomized,
-            K,
-            EPS,
-            N,
-            SEED,
-        );
+        let (win, win_err) = count_run(exec.windowed(W), CountAlgo::Randomized, K, EPS, N, SEED);
         assert!(whole.words > 0 && win.words > 0, "{exec}");
         assert!(
             win.words > whole.words,
@@ -45,24 +36,18 @@ fn windowed_count_emits_on_all_three_executors() {
             whole.words
         );
         assert!(whole_err.is_finite() && win_err.is_finite(), "{exec}");
-        // Deterministic executors meet a real accuracy bar; the channel
-        // runtime is sanity-only (thread timing can stretch buckets).
-        let tol = if exec.mode == ExecMode::Channel { 4.0 } else { 0.5 };
-        assert!(win_err < tol, "{exec} windowed err {win_err}");
+        // One accuracy bar for all three executors: the channel
+        // runtime's transport fairness (out-of-band seal delivery +
+        // per-site credit cap) keeps its windowed answers as tight as
+        // the deterministic paths' — see `dtrack_sim::runtime`.
+        assert!(win_err < 0.5, "{exec} windowed err {win_err}");
     }
 }
 
 #[test]
 fn windowed_frequency_and_rank_emit_on_the_deterministic_executors() {
     for exec in execs().into_iter().take(2) {
-        let (fcs, ferr) = frequency_run(
-            exec.windowed(W),
-            FreqAlgo::Deterministic,
-            K,
-            EPS,
-            N,
-            SEED,
-        );
+        let (fcs, ferr) = frequency_run(exec.windowed(W), FreqAlgo::Deterministic, K, EPS, N, SEED);
         assert!(fcs.words > 0 && ferr < 0.25, "{exec} freq err {ferr}");
         let (rcs, rerr) = rank_run(exec.windowed(W), RankAlgo::Sampling, K, EPS, N, SEED);
         assert!(rcs.words > 0 && rerr < 0.25, "{exec} rank err {rerr}");
@@ -92,5 +77,9 @@ fn lockstep_and_event_windowed_runs_agree_bit_for_bit() {
     );
     assert_eq!(a.0.words, b.0.words);
     assert_eq!(a.0.msgs, b.0.msgs);
-    assert_eq!(a.1.to_bits(), b.1.to_bits(), "windowed answers must be bit-identical");
+    assert_eq!(
+        a.1.to_bits(),
+        b.1.to_bits(),
+        "windowed answers must be bit-identical"
+    );
 }

@@ -61,11 +61,11 @@ mod tests {
         let (n, k, z) = (1000u64, 300u64, 100u64);
         let mut rng = SmallRng::seed_from_u64(2);
         let trials = 20_000;
-        let samples: Vec<f64> =
-            (0..trials).map(|_| sample(&mut rng, n, k, z) as f64).collect();
+        let samples: Vec<f64> = (0..trials)
+            .map(|_| sample(&mut rng, n, k, z) as f64)
+            .collect();
         let m = samples.iter().sum::<f64>() / trials as f64;
-        let v = samples.iter().map(|x| (x - m).powi(2)).sum::<f64>()
-            / (trials - 1) as f64;
+        let v = samples.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (trials - 1) as f64;
         let tm = mean(n, k, z);
         let tv = variance(n, k, z);
         assert!((m - tm).abs() < 0.15, "mean {m} vs {tm}");

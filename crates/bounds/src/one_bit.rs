@@ -94,14 +94,7 @@ impl OneBitInstance {
     }
 
     /// Average failure rate and message count of a configuration.
-    pub fn evaluate(
-        &self,
-        q0: f64,
-        q1: f64,
-        z: u64,
-        trials: u32,
-        seed: u64,
-    ) -> (f64, f64) {
+    pub fn evaluate(&self, q0: f64, q1: f64, z: u64, trials: u32, seed: u64) -> (f64, f64) {
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut failures = 0u32;
         let mut msgs = 0u64;
@@ -112,10 +105,7 @@ impl OneBitInstance {
             }
             msgs += o.messages;
         }
-        (
-            failures as f64 / trials as f64,
-            msgs as f64 / trials as f64,
-        )
+        (failures as f64 / trials as f64, msgs as f64 / trials as f64)
     }
 }
 
@@ -155,14 +145,9 @@ mod tests {
     fn cheap_configurations_fail() {
         // Any configuration with o(k) messages has failure ≳ 0.3.
         let inst = OneBitInstance::new(10_000);
-        for &(q0, q1, z) in
-            &[(0.0, 0.0, 100u64), (0.01, 0.01, 0), (0.0, 0.02, 50)]
-        {
+        for &(q0, q1, z) in &[(0.0, 0.0, 100u64), (0.01, 0.01, 0), (0.0, 0.02, 50)] {
             let (fail, msgs) = inst.evaluate(q0, q1, z, 1500, 3);
-            assert!(
-                msgs < 1_500.0,
-                "config ({q0},{q1},{z}) not cheap: {msgs}"
-            );
+            assert!(msgs < 1_500.0, "config ({q0},{q1},{z}) not cheap: {msgs}");
             assert!(
                 fail > 0.25,
                 "cheap config ({q0},{q1},{z}) succeeded: fail {fail}, msgs {msgs}"

@@ -79,7 +79,7 @@ impl OneWayThresholds {
     /// Total messages under case (b) of µ (round-robin, `n/k` elements
     /// per site): each site fires every threshold ≤ n/k.
     pub fn messages_round_robin(&self, n: u64) -> u64 {
-        let per_site = self.thresholds(n / self.k) .count() as u64;
+        let per_site = self.thresholds(n / self.k).count() as u64;
         per_site * self.k
     }
 

@@ -51,6 +51,12 @@ impl<P: Protocol> Replicated<P> {
         assert!(copies >= 1);
         Self { inner, copies }
     }
+
+    /// Seed of copy `c`'s inner instance, derived so that the copies'
+    /// randomness streams are independent.
+    fn copy_seed(master_seed: u64, c: usize) -> u64 {
+        dtrack_sim::rng::splitmix64(master_seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
 }
 
 /// Site state: one sub-site per copy.
@@ -111,12 +117,7 @@ impl<C: Coordinator> Coordinator for ReplicatedCoord<C> {
     type Up = (u64, C::Up);
     type Down = (u64, C::Down);
 
-    fn on_message(
-        &mut self,
-        from: SiteId,
-        msg: &(u64, C::Up),
-        net: &mut Net<(u64, C::Down)>,
-    ) {
+    fn on_message(&mut self, from: SiteId, msg: &(u64, C::Up), net: &mut Net<(u64, C::Down)>) {
         let (c, up) = msg;
         let ci = *c as usize;
         self.subs[ci].on_message(from, up, &mut self.scratch);
@@ -145,10 +146,7 @@ where
         let mut per_copy_sites: Vec<Vec<P::Site>> = Vec::with_capacity(self.copies);
         let mut coords = Vec::with_capacity(self.copies);
         for c in 0..self.copies {
-            let seed = dtrack_sim::rng::splitmix64(
-                master_seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-            );
-            let (sites, coord) = self.inner.build(seed);
+            let (sites, coord) = self.inner.build(Self::copy_seed(master_seed, c));
             per_copy_sites.push(sites);
             coords.push(coord);
         }
@@ -172,6 +170,28 @@ where
                 scratch: Net::new(),
             },
         )
+    }
+
+    /// O(copies), not O(copies·k): builds site `me`'s sub-site of every
+    /// copy through the inner protocol's own per-site constructor.
+    fn build_site(&self, master_seed: u64, me: SiteId) -> Self::Site {
+        let subs = (0..self.copies)
+            .map(|c| self.inner.build_site(Self::copy_seed(master_seed, c), me))
+            .collect();
+        ReplicatedSite {
+            subs,
+            scratch: Outbox::new(),
+        }
+    }
+
+    fn build_coord(&self, master_seed: u64) -> Self::Coord {
+        let subs = (0..self.copies)
+            .map(|c| self.inner.build_coord(Self::copy_seed(master_seed, c)))
+            .collect();
+        ReplicatedCoord {
+            subs,
+            scratch: Net::new(),
+        }
     }
 }
 
@@ -202,10 +222,7 @@ mod tests {
         // The headline claim: with the median of m copies, the estimate is
         // within εn at EVERY time instant of the run.
         let (k, eps, n, m) = (8, 0.15, 40_000u64, 9);
-        let proto = Replicated::new(
-            RandomizedCount::new(TrackingConfig::new(k, eps)),
-            m,
-        );
+        let proto = Replicated::new(RandomizedCount::new(TrackingConfig::new(k, eps)), m);
         let mut r = Runner::new(&proto, 12345);
         let mut violations = 0u32;
         for t in 0..n {
@@ -239,25 +256,23 @@ mod tests {
             }
             r.stats().total_msgs() as f64
         };
-        assert!(tripled > 2.0 * single && tripled < 4.5 * single,
-            "single {single} tripled {tripled}");
+        assert!(
+            tripled > 2.0 * single && tripled < 4.5 * single,
+            "single {single} tripled {tripled}"
+        );
     }
 
     #[test]
     fn copy_estimates_are_independent() {
         let (k, eps, n) = (8, 0.1, 30_000u64);
-        let proto =
-            Replicated::new(RandomizedCount::new(TrackingConfig::new(k, eps)), 5);
+        let proto = Replicated::new(RandomizedCount::new(TrackingConfig::new(k, eps)), 5);
         let mut r = Runner::new(&proto, 99);
         for t in 0..n {
             r.feed((t % k as u64) as usize, &t);
         }
         let ests: Vec<f64> = r.coord().copies().iter().map(|c| c.estimate()).collect();
         // With p < 1 the copies should not all coincide exactly.
-        let distinct = ests
-            .iter()
-            .filter(|&&e| (e - ests[0]).abs() > 1e-9)
-            .count();
+        let distinct = ests.iter().filter(|&&e| (e - ests[0]).abs() > 1e-9).count();
         assert!(distinct >= 1, "copies look identical: {ests:?}");
     }
 }

@@ -21,7 +21,10 @@ pub struct CoarseSite {
 impl CoarseSite {
     /// Fresh site with zero counter.
     pub fn new() -> Self {
-        Self { ni: 0, next_report: 1 }
+        Self {
+            ni: 0,
+            next_report: 1,
+        }
     }
 
     /// Local element count.
@@ -147,7 +150,11 @@ mod tests {
         let mut broadcasts = 0;
         for t in 0..200_000u64 {
             // Skewed interleaving: site 0 gets half of everything.
-            let site = if t % 2 == 0 { 0 } else { (t % k as u64) as usize };
+            let site = if t % 2 == 0 {
+                0
+            } else {
+                (t % k as u64) as usize
+            };
             n += 1;
             if let Some(ni) = sites[site].on_item() {
                 if coord.on_report(site, ni).is_some() {

@@ -110,20 +110,26 @@ impl Protocol for DeterministicCount {
         self.cfg.k
     }
 
-    fn build(&self, _master_seed: u64) -> (Vec<DetCountSite>, DetCountCoord) {
+    fn build(&self, master_seed: u64) -> (Vec<DetCountSite>, DetCountCoord) {
         let sites = (0..self.cfg.k)
-            .map(|_| DetCountSite {
-                epsilon: self.cfg.epsilon,
-                ni: 0,
-                last_reported: 0,
-            })
+            .map(|i| self.build_site(master_seed, i))
             .collect();
-        (
-            sites,
-            DetCountCoord {
-                last: vec![0; self.cfg.k],
-            },
-        )
+        (sites, self.build_coord(master_seed))
+    }
+
+    /// O(1): sites are identical and seedless (epoch seals rely on this).
+    fn build_site(&self, _master_seed: u64, _me: SiteId) -> DetCountSite {
+        DetCountSite {
+            epsilon: self.cfg.epsilon,
+            ni: 0,
+            last_reported: 0,
+        }
+    }
+
+    fn build_coord(&self, _master_seed: u64) -> DetCountCoord {
+        DetCountCoord {
+            last: vec![0; self.cfg.k],
+        }
     }
 }
 
@@ -163,7 +169,10 @@ mod tests {
         // Per site: log_{1+ε}(n/k) ≈ ln(n/k)/ε ≈ 87 messages.
         let per_site = ((n / k as u64) as f64).ln() / eps;
         assert!(msgs > 0.5 * k as f64 * per_site, "msgs {msgs}");
-        assert!(msgs < 2.0 * k as f64 * per_site + 2.0 * k as f64, "msgs {msgs}");
+        assert!(
+            msgs < 2.0 * k as f64 * per_site + 2.0 * k as f64,
+            "msgs {msgs}"
+        );
         // Strictly one-way.
         assert_eq!(r.stats().down_msgs, 0);
     }

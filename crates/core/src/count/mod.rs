@@ -9,5 +9,5 @@
 mod deterministic;
 mod randomized;
 
-pub use deterministic::{DeterministicCount, DetCountCoord, DetCountSite};
+pub use deterministic::{DetCountCoord, DetCountSite, DeterministicCount};
 pub use randomized::{CountDown, CountUp, RandCountCoord, RandCountSite, RandomizedCount};

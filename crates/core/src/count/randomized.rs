@@ -268,11 +268,19 @@ impl Protocol for RandomizedCount {
 
     fn build(&self, master_seed: u64) -> (Vec<RandCountSite>, RandCountCoord) {
         let sites = (0..self.cfg.k)
-            .map(|i| {
-                RandCountSite::new(self.cfg, self.rethin, site_seed(master_seed, i, 0))
-            })
+            .map(|i| self.build_site(master_seed, i))
             .collect();
-        (sites, RandCountCoord::new(self.cfg))
+        (sites, self.build_coord(master_seed))
+    }
+
+    /// O(1): sites draw from independent seed streams, so one can be
+    /// built without the other k−1 (epoch seals rely on this).
+    fn build_site(&self, master_seed: u64, me: SiteId) -> RandCountSite {
+        RandCountSite::new(self.cfg, self.rethin, site_seed(master_seed, me, 0))
+    }
+
+    fn build_coord(&self, _master_seed: u64) -> RandCountCoord {
+        RandCountCoord::new(self.cfg)
     }
 }
 
@@ -310,10 +318,7 @@ mod tests {
             .sum::<f64>()
             / reps as f64;
         // sd per run ≤ εn = 4500 → SE ≤ 581.
-        assert!(
-            (mean - n as f64).abs() < 2_000.0,
-            "mean {mean} truth {n}"
-        );
+        assert!((mean - n as f64).abs() < 2_000.0, "mean {mean} truth {n}");
     }
 
     #[test]
@@ -350,8 +355,8 @@ mod tests {
         );
         // And it stays within the theorem's shape (constant ~3 for the
         // √k/ε term, plus the additive O(k logN) coarse-tracking term).
-        let bound = 3.0 * (k as f64).sqrt() / eps * (n as f64).log2()
-            + 3.0 * k as f64 * (n as f64).log2();
+        let bound =
+            3.0 * (k as f64).sqrt() / eps * (n as f64).log2() + 3.0 * k as f64 * (n as f64).log2();
         assert!(rand_msgs < bound, "msgs {rand_msgs} bound {bound}");
     }
 

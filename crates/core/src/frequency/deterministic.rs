@@ -244,11 +244,20 @@ impl Protocol for DeterministicFrequency {
         self.cfg.k
     }
 
-    fn build(&self, _master_seed: u64) -> (Vec<DetFreqSite>, DetFreqCoord) {
+    fn build(&self, master_seed: u64) -> (Vec<DetFreqSite>, DetFreqCoord) {
         let sites = (0..self.cfg.k)
-            .map(|_| DetFreqSite::new(self.cfg))
+            .map(|i| self.build_site(master_seed, i))
             .collect();
-        (sites, DetFreqCoord::new(self.cfg))
+        (sites, self.build_coord(master_seed))
+    }
+
+    /// O(1): sites are identical and seedless (epoch seals rely on this).
+    fn build_site(&self, _master_seed: u64, _me: SiteId) -> DetFreqSite {
+        DetFreqSite::new(self.cfg)
+    }
+
+    fn build_coord(&self, _master_seed: u64) -> DetFreqCoord {
+        DetFreqCoord::new(self.cfg)
     }
 }
 

@@ -322,19 +322,11 @@ impl Coordinator for RandFreqCoord {
             }
             FreqUp::RoundAck(n_bar) => {
                 let new_p = self.cfg.p_for(*n_bar);
-                self.live[from].fold_into(
-                    &mut self.archive,
-                    &mut self.archive_naive,
-                    new_p,
-                );
+                self.live[from].fold_into(&mut self.archive, &mut self.archive_naive, new_p);
             }
             FreqUp::VirtualSplit => {
                 let p = self.live[from].p;
-                self.live[from].fold_into(
-                    &mut self.archive,
-                    &mut self.archive_naive,
-                    p,
-                );
+                self.live[from].fold_into(&mut self.archive, &mut self.archive_naive, p);
             }
             FreqUp::CounterNew(item) => {
                 self.live[from].counters.insert(*item, 1);
@@ -380,9 +372,19 @@ impl Protocol for RandomizedFrequency {
 
     fn build(&self, master_seed: u64) -> (Vec<RandFreqSite>, RandFreqCoord) {
         let sites = (0..self.cfg.k)
-            .map(|i| RandFreqSite::new(self.cfg, site_seed(master_seed, i, 1)))
+            .map(|i| self.build_site(master_seed, i))
             .collect();
-        (sites, RandFreqCoord::new(self.cfg))
+        (sites, self.build_coord(master_seed))
+    }
+
+    /// O(1): sites draw from independent seed streams, so one can be
+    /// built without the other k−1 (epoch seals rely on this).
+    fn build_site(&self, master_seed: u64, me: SiteId) -> RandFreqSite {
+        RandFreqSite::new(self.cfg, site_seed(master_seed, me, 1))
+    }
+
+    fn build_coord(&self, _master_seed: u64) -> RandFreqCoord {
+        RandFreqCoord::new(self.cfg)
     }
 }
 
@@ -477,10 +479,7 @@ mod tests {
         let bound = 1.0 / (eps * (k as f64).sqrt()); // = 80 words of counters
         let peak = r.space().max_peak() as f64;
         // Counters cost 2 words each plus constants; allow constant slack.
-        assert!(
-            peak < 20.0 * bound + 60.0,
-            "peak {peak}, 1/(ε√k) = {bound}"
-        );
+        assert!(peak < 20.0 * bound + 60.0, "peak {peak}, 1/(ε√k) = {bound}");
     }
 
     #[test]

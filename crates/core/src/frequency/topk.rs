@@ -32,15 +32,9 @@ impl TopK {
         // the true top-k items have frequency > 2εn.
         let mut all = coord.heavy_hitters(f64::NEG_INFINITY);
         all.truncate(10 * m + 64); // already sorted descending
-        let cut = all
-            .get(m.saturating_sub(1))
-            .map(|&(_, f)| f)
-            .unwrap_or(0.0);
+        let cut = all.get(m.saturating_sub(1)).map(|&(_, f)| f).unwrap_or(0.0);
         let band = 2.0 * epsilon_n;
-        let items: Vec<(u64, f64)> = all
-            .into_iter()
-            .filter(|&(_, f)| f >= cut - band)
-            .collect();
+        let items: Vec<(u64, f64)> = all.into_iter().filter(|&(_, f)| f >= cut - band).collect();
         Self { items, cut, band }
     }
 

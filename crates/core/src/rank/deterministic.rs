@@ -264,11 +264,20 @@ impl Protocol for DeterministicRank {
         self.cfg.k
     }
 
-    fn build(&self, _master_seed: u64) -> (Vec<DetRankSite>, DetRankCoord) {
+    fn build(&self, master_seed: u64) -> (Vec<DetRankSite>, DetRankCoord) {
         let sites = (0..self.cfg.k)
-            .map(|_| DetRankSite::new(self.cfg))
+            .map(|i| self.build_site(master_seed, i))
             .collect();
-        (sites, DetRankCoord::new(self.cfg))
+        (sites, self.build_coord(master_seed))
+    }
+
+    /// O(1): sites are identical and seedless (epoch seals rely on this).
+    fn build_site(&self, _master_seed: u64, _me: SiteId) -> DetRankSite {
+        DetRankSite::new(self.cfg)
+    }
+
+    fn build_coord(&self, _master_seed: u64) -> DetRankCoord {
+        DetRankCoord::new(self.cfg)
     }
 }
 

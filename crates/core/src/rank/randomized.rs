@@ -253,7 +253,11 @@ impl Site for RandRankSite {
     }
 
     fn space_words(&self) -> u64 {
-        self.sketches.iter().map(KllSketch::space_words).sum::<u64>() + 12
+        self.sketches
+            .iter()
+            .map(KllSketch::space_words)
+            .sum::<u64>()
+            + 12
     }
 }
 
@@ -359,11 +363,13 @@ impl RandRankCoord {
 
     fn view(&mut self, site: usize, chunk: u32) -> &mut ChunkView {
         let p = self.p;
-        self.chunks.entry((site, chunk)).or_insert_with(|| ChunkView {
-            p,
-            levels: Vec::new(),
-            tail: Vec::new(),
-        })
+        self.chunks
+            .entry((site, chunk))
+            .or_insert_with(|| ChunkView {
+                p,
+                levels: Vec::new(),
+                tail: Vec::new(),
+            })
     }
 
     /// The tracked estimate of `rank(x)` (unbiased; error `O(εn)`).
@@ -410,15 +416,13 @@ impl Coordinator for RandRankCoord {
         match msg {
             RankUp::Coarse(ni) => {
                 if let Some(n_bar) = self.coarse.on_report(from, *ni) {
-                    let x =
-                        C_P * self.cfg.sqrt_k() / (self.cfg.epsilon * n_bar.max(1) as f64);
+                    let x = C_P * self.cfg.sqrt_k() / (self.cfg.epsilon * n_bar.max(1) as f64);
                     self.p = x.min(1.0);
                     net.broadcast(RankDown::NewRound { n_bar });
                 }
             }
             RankUp::ChunkStart { chunk, n_bar } => {
-                let x = C_P * self.cfg.sqrt_k()
-                    / (self.cfg.epsilon * (*n_bar).max(1) as f64);
+                let x = C_P * self.cfg.sqrt_k() / (self.cfg.epsilon * (*n_bar).max(1) as f64);
                 let p = x.min(1.0);
                 self.chunks
                     .entry((from, *chunk))
@@ -482,9 +486,19 @@ impl Protocol for RandomizedRank {
 
     fn build(&self, master_seed: u64) -> (Vec<RandRankSite>, RandRankCoord) {
         let sites = (0..self.cfg.k)
-            .map(|i| RandRankSite::new(self.cfg, site_seed(master_seed, i, 2)))
+            .map(|i| self.build_site(master_seed, i))
             .collect();
-        (sites, RandRankCoord::new(self.cfg))
+        (sites, self.build_coord(master_seed))
+    }
+
+    /// O(1): sites draw from independent seed streams, so one can be
+    /// built without the other k−1 (epoch seals rely on this).
+    fn build_site(&self, master_seed: u64, me: SiteId) -> RandRankSite {
+        RandRankSite::new(self.cfg, site_seed(master_seed, me, 2))
+    }
+
+    fn build_coord(&self, _master_seed: u64) -> RandRankCoord {
+        RandRankCoord::new(self.cfg)
     }
 }
 
@@ -520,7 +534,7 @@ mod tests {
         let g = ChunkGeometry::for_round(&cfg, 1_600_000);
         assert_eq!(g.cap, 100_000);
         assert_eq!(g.block, 4_000); // εn̄/√k = 0.01·1.6e6/4
-        // #blocks = 25 → max_level 4.
+                                    // #blocks = 25 → max_level 4.
         assert_eq!(g.max_level, 4);
         assert!((g.h() - 4.0).abs() < 1e-9);
     }
@@ -584,10 +598,7 @@ mod tests {
     fn estimate_total_tracks_n() {
         let (r, _) = run(9, 0.2, 25_000, 7);
         let est = r.coord().estimate_total();
-        assert!(
-            (est - 25_000.0).abs() < 0.2 * 25_000.0,
-            "total est {est}"
-        );
+        assert!((est - 25_000.0).abs() < 0.2 * 25_000.0, "total est {est}");
     }
 
     #[test]

@@ -89,8 +89,7 @@ mod tests {
     fn tie_breakers_are_globally_unique() {
         let k = 4;
         let mut seen = std::collections::HashSet::new();
-        let mut breakers: Vec<TieBreaker> =
-            (0..k).map(|i| TieBreaker::new(i, k)).collect();
+        let mut breakers: Vec<TieBreaker> = (0..k).map(|i| TieBreaker::new(i, k)).collect();
         for _ in 0..1000 {
             for b in &mut breakers {
                 assert!(seen.insert(b.next_tie()));
@@ -106,11 +105,14 @@ mod tests {
         let mut total = 0.0;
         for seed in 0..reps {
             let mut r = Runner::new(&proto, seed);
-            let mut breakers: Vec<TieBreaker> =
-                (0..k).map(|i| TieBreaker::new(i, k)).collect();
+            let mut breakers: Vec<TieBreaker> = (0..k).map(|i| TieBreaker::new(i, k)).collect();
             for t in 0..n {
                 let site = (t % k as u64) as usize;
-                let item = if t % 4 == 0 { 7u32 } else { (1000 + t % 4096) as u32 };
+                let item = if t % 4 == 0 {
+                    7u32
+                } else {
+                    (1000 + t % 4096) as u32
+                };
                 let v = encode(item, breakers[site].next_tie());
                 r.feed(site, &v);
             }

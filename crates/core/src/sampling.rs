@@ -167,9 +167,7 @@ impl crate::window::EpochProtocol for ContinuousSampling {
 
     fn digest(coord: &SamplingCoord) -> Self::Digest {
         let w = coord.scale();
-        crate::window::WeightedValues::from_points(
-            coord.sample().map(|v| (v, w)).collect(),
-        )
+        crate::window::WeightedValues::from_points(coord.sample().map(|v| (v, w)).collect())
     }
 
     fn merge(a: Self::Digest, b: &Self::Digest) -> Self::Digest {
@@ -187,19 +185,26 @@ impl Protocol for ContinuousSampling {
 
     fn build(&self, master_seed: u64) -> (Vec<SamplingSite>, SamplingCoord) {
         let sites = (0..self.cfg.k)
-            .map(|i| SamplingSite {
-                level: 0,
-                rng: rng_from_seed(site_seed(master_seed, i, 3)),
-            })
+            .map(|i| self.build_site(master_seed, i))
             .collect();
-        (
-            sites,
-            SamplingCoord {
-                capacity: self.capacity(),
-                level: 0,
-                sample: Vec::new(),
-            },
-        )
+        (sites, self.build_coord(master_seed))
+    }
+
+    /// O(1): sites draw from independent seed streams, so one can be
+    /// built without the other k−1 (epoch seals rely on this).
+    fn build_site(&self, master_seed: u64, me: SiteId) -> SamplingSite {
+        SamplingSite {
+            level: 0,
+            rng: rng_from_seed(site_seed(master_seed, me, 3)),
+        }
+    }
+
+    fn build_coord(&self, _master_seed: u64) -> SamplingCoord {
+        SamplingCoord {
+            capacity: self.capacity(),
+            level: 0,
+            sample: Vec::new(),
+        }
     }
 }
 
@@ -261,7 +266,11 @@ mod tests {
         assert!(r.coord().sample.len() <= cap);
         assert!(r.coord().level() > 0);
         // After a raise the sample should not be degenerate either.
-        assert!(r.coord().sample.len() > cap / 8, "{}", r.coord().sample.len());
+        assert!(
+            r.coord().sample.len() > cap / 8,
+            "{}",
+            r.coord().sample.len()
+        );
     }
 
     #[test]

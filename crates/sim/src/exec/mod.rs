@@ -385,7 +385,9 @@ impl std::str::FromStr for ExecMode {
                 if window == 0 {
                     return Err(format!("exec spec {s:?}: window must be ≥ 1"));
                 }
-                Ok(ExecMode::Event(DeliveryPolicy::AdversarialReorder { window }))
+                Ok(ExecMode::Event(DeliveryPolicy::AdversarialReorder {
+                    window,
+                }))
             }
             _ => Err(format!(
                 "unknown exec spec {s:?} (expected lockstep | channel | \
@@ -496,9 +498,7 @@ impl std::str::FromStr for ExecConfig {
             Some((mode, suffix)) => {
                 let w = suffix
                     .strip_prefix("window:")
-                    .ok_or_else(|| {
-                        format!("scenario {s:?}: expected +window:W, got +{suffix}")
-                    })?
+                    .ok_or_else(|| format!("scenario {s:?}: expected +window:W, got +{suffix}"))?
                     .parse::<u64>()
                     .map_err(|_| format!("scenario {s:?}: window size is not an integer"))?;
                 if w < 2 {

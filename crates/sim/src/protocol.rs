@@ -58,10 +58,7 @@ pub trait Protocol {
     /// Site state machine type.
     type Site: Site;
     /// Coordinator state machine type, message-compatible with the sites.
-    type Coord: Coordinator<
-        Up = <Self::Site as Site>::Up,
-        Down = <Self::Site as Site>::Down,
-    >;
+    type Coord: Coordinator<Up = <Self::Site as Site>::Up, Down = <Self::Site as Site>::Down>;
 
     /// Number of sites `k`.
     fn k(&self) -> usize;
@@ -70,4 +67,41 @@ pub trait Protocol {
     /// determines all protocol randomness (each site derives an
     /// independent stream from it — see [`crate::rng::site_seed`]).
     fn build(&self, master_seed: u64) -> (Vec<Self::Site>, Self::Coord);
+
+    /// Construct site `me`'s state alone — **bit-identical** to the
+    /// corresponding element of [`Protocol::build`]`(master_seed).0`.
+    ///
+    /// Epoch-restarting adapters (`dtrack_core::window::Windowed`) rebuild
+    /// one site's inner instance at every epoch seal; going through
+    /// `build` there costs `O(k)` constructions per site and `O(k²)`
+    /// across the system per seal. Protocols whose sites are seeded
+    /// independently (all seven Table-1 protocols are — each site draws
+    /// from `site_seed(master_seed, i, …)`) override this with a direct
+    /// `O(1)` constructor.
+    ///
+    /// The default falls back to a full `build` and extracts site `me`,
+    /// which is always correct but keeps the quadratic cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me ≥ k()`.
+    fn build_site(&self, master_seed: u64, me: SiteId) -> Self::Site {
+        let (sites, _) = self.build(master_seed);
+        let k = sites.len();
+        sites
+            .into_iter()
+            .nth(me)
+            .unwrap_or_else(|| panic!("site index {me} out of range for k = {k}"))
+    }
+
+    /// Construct the coordinator's state alone — **bit-identical** to
+    /// [`Protocol::build`]`(master_seed).1`.
+    ///
+    /// The epoch-seal counterpart of [`Protocol::build_site`]: the
+    /// windowed coordinator opens a fresh inner coordinator per epoch and
+    /// must not pay for `k` discarded site constructions each time. The
+    /// default falls back to a full `build`.
+    fn build_coord(&self, master_seed: u64) -> Self::Coord {
+        self.build(master_seed).1
+    }
 }

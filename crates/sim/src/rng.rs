@@ -199,8 +199,7 @@ mod tests {
         let mut rng = rng_from_seed(6);
         let g = GeometricSkips::new(p, &mut rng);
         let n = 100_000;
-        let mean: f64 =
-            (0..n).map(|_| g.draw_gap(&mut rng) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| g.draw_gap(&mut rng) as f64).sum::<f64>() / n as f64;
         let expect = (1.0 - p) / p;
         assert!((mean - expect).abs() < 0.1, "mean {mean} expect {expect}");
     }

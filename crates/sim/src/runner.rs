@@ -157,8 +157,7 @@ impl<P: Protocol> Runner<P> {
             }
             // Deliver downs (unicast/broadcast) to the sites, gathering
             // any replies for the next round.
-            let downs: Vec<(Dest, <P::Site as Site>::Down)> =
-                self.net.drain().collect();
+            let downs: Vec<(Dest, <P::Site as Site>::Down)> = self.net.drain().collect();
             for (dest, down) in downs {
                 match dest {
                     Dest::Site(to) => {
@@ -175,8 +174,7 @@ impl<P: Protocol> Runner<P> {
                         self.stats.down_words += k * down.words();
                         for to in 0..self.sites.len() {
                             self.sites[to].on_message(&down, &mut self.outbox);
-                            self.space
-                                .observe(to, self.sites[to].space_words());
+                            self.space.observe(to, self.sites[to].space_words());
                             ups.extend(self.outbox.drain().map(|m| (to, m)));
                         }
                     }
@@ -286,8 +284,7 @@ mod tests {
         let mut batched = Runner::new(&p, 0);
         // Runs of 8 per site, wrapping over all 4 sites: exercises both
         // the same-site coalescing and the message-boundary drains.
-        let batch: Vec<(usize, u64)> =
-            (0..64u64).map(|i| (((i / 8) % 4) as usize, i)).collect();
+        let batch: Vec<(usize, u64)> = (0..64u64).map(|i| (((i / 8) % 4) as usize, i)).collect();
         for (s, v) in &batch {
             one.feed(*s, v);
         }

@@ -3,34 +3,85 @@
 //! One OS thread per site plus one coordinator thread, wired with
 //! crossbeam channels. Unlike [`crate::Runner`], communication here is
 //! *not* instant — messages are genuinely in flight while new elements
-//! arrive — so this runtime is used to test that the protocols degrade
-//! gracefully off the paper's idealized model. [`ChannelRuntime::quiesce`]
-//! restores a consistent cut for querying.
+//! arrive — so this runtime tests that the protocols degrade gracefully
+//! off the paper's idealized model. [`ChannelRuntime::quiesce`] restores
+//! a consistent cut for querying.
+//!
+//! ## Fairness: two delivery lanes + a per-site credit cap
+//!
+//! A naive thread-per-site transport lets a site race arbitrarily far
+//! ahead of the coordinator's view of it: coordinator messages queue
+//! *behind* thousands of buffered stream elements, and a site can absorb
+//! its whole backlog before the coordinator processes a single report.
+//! For whole-stream protocols that is harmless (they are robust to
+//! delivery lag), but it breaks epoch-based adapters — a windowed
+//! epoch's *content* could overrun its recorded heartbeat range. Two
+//! mechanisms, both transport-level (no protocol messages are added, so
+//! lock-step/event runs are bit-identical), bound the skew:
+//!
+//! * **Out-of-band control lane.** Coordinator → site messages travel on
+//!   a dedicated unbounded lane that the site drains *before every data
+//!   message* — a `Seal` (or any broadcast) jumps ahead of queued
+//!   elements instead of waiting behind them. Site → coordinator
+//!   messages flagged [`Words::urgent`] (windowed `Tick`/`SealAck`)
+//!   likewise travel on a priority lane drained before ordinary reports.
+//!   Each lane is FIFO, so control-plane order is preserved.
+//! * **Credit cap.** A site may have at most [`SITE_CREDIT`] sent-but-
+//!   unprocessed up-messages outstanding; at the cap it pauses *element*
+//!   processing (control messages still flow) until the coordinator
+//!   catches up. Since heartbeat-driven protocols send an up every
+//!   `tick_every` elements, this caps how many elements a site can
+//!   process between heartbeat acknowledgements — the coordinator's
+//!   reconstructed clock can lag a site by at most
+//!   `SITE_CREDIT × (elements per up)`.
+//!
+//! Deadlock freedom: the coordinator thread never blocks (both its
+//! outbound lanes are unbounded), a credit-paused site keeps draining
+//! its control lane, and producers blocked on a full (bounded) data lane
+//! are released as soon as the site resumes — every wait has a live
+//! counterpart.
 
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam_channel::{bounded, unbounded, Sender};
+use crossbeam_channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 
 use crate::message::Words;
 use crate::net::{Dest, Net, Outbox};
 use crate::protocol::{Coordinator, Protocol, Site, SiteId};
 use crate::stats::{CommStats, SpaceStats};
 
-/// Capacity of each site's inbound queue. Once a site falls this many
-/// messages behind, producers ([`ChannelRuntime::feed`] and the
-/// coordinator) block until it catches up — real backpressure, relied on
-/// by the batched ingest path so unbounded producer speed cannot exhaust
-/// memory. Sites themselves never block (the coordinator queue is
-/// unbounded), which rules out deadlock cycles.
+/// Capacity of each site's inbound *data* queue. Once a site falls this
+/// many elements behind, producers ([`ChannelRuntime::feed`] and
+/// [`ChannelRuntime::feed_batch`]) block until it catches up — real
+/// backpressure, relied on by the batched ingest path so unbounded
+/// producer speed cannot exhaust memory. Control messages bypass this
+/// queue entirely (see the module docs), which rules out deadlock
+/// cycles.
 const SITE_QUEUE_CAP: usize = 1024;
 
-/// Elements per [`SiteMsg::Batch`] chunk on the batched ingest path.
+/// Elements per [`SiteData::Batch`] chunk on the batched ingest path.
 /// Small enough that capacity-based backpressure still engages, large
 /// enough to amortize per-message channel overhead.
 const BATCH_CHUNK: usize = 256;
+
+/// Maximum sent-but-unprocessed up-messages a site may have outstanding
+/// before it pauses element processing (control messages keep flowing).
+///
+/// This is the transport's fairness credit: a site cannot run more than
+/// `SITE_CREDIT × (elements per up-message)` elements ahead of the
+/// coordinator's processed view of it. For the windowed adapter (one
+/// heartbeat per `tick_every` elements) that bounds how far a bucket's
+/// content can overrun its recorded heartbeat range even if the OS
+/// starves the coordinator thread.
+pub const SITE_CREDIT: u64 = 64;
+
+/// How long an idle thread blocks on one lane before polling its other
+/// lane. Only paid when a thread has nothing to do; the busy path never
+/// sleeps.
+const IDLE_POLL: Duration = Duration::from_micros(100);
 
 /// Lock-free mirror of [`CommStats`] shared by all threads.
 #[derive(Default)]
@@ -56,18 +107,75 @@ impl AtomicStats {
     }
 }
 
-enum SiteMsg<I, D> {
+/// Per-site fairness credit: outstanding up-messages, bounded by
+/// [`SITE_CREDIT`]. The site thread charges on send; the coordinator
+/// thread releases after processing and wakes any paused site.
+///
+/// The hot path (charge / release / exhausted — once per up-message or
+/// element) is a single atomic operation; the mutex + condvar exist
+/// only for the rare paused-at-cap wait, and the coordinator touches
+/// them only while `waiting` says a site is actually parked. A lost
+/// wakeup in the unguarded window is harmless: the wait is
+/// [`IDLE_POLL`]-bounded, so it degrades to one poll tick of latency,
+/// never a hang.
+#[derive(Default)]
+struct Credit {
+    outstanding: AtomicI64,
+    waiting: AtomicBool,
+    gate: Mutex<()>,
+    below_cap: Condvar,
+}
+
+impl Credit {
+    fn charge(&self) {
+        self.outstanding.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn release(&self) {
+        self.outstanding.fetch_sub(1, Ordering::SeqCst);
+        if self.waiting.load(Ordering::SeqCst) {
+            let _g = self.gate.lock().unwrap();
+            self.below_cap.notify_all();
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.outstanding.load(Ordering::SeqCst) >= SITE_CREDIT as i64
+    }
+
+    /// Wait (bounded) for the coordinator to drain below the cap. The
+    /// caller re-checks [`Credit::exhausted`] and its control lane in a
+    /// loop, so a timeout is merely a poll tick, not a correctness event.
+    fn wait_below_cap(&self) {
+        self.waiting.store(true, Ordering::SeqCst);
+        {
+            let g = self.gate.lock().unwrap();
+            if self.exhausted() {
+                let _ = self.below_cap.wait_timeout(g, IDLE_POLL).unwrap();
+            }
+        }
+        self.waiting.store(false, Ordering::SeqCst);
+    }
+}
+
+/// Data-lane messages: stream elements and the quiesce flush marker
+/// (which must queue *behind* elements so its ack proves they were
+/// processed).
+enum SiteData<I> {
     Item(I),
     /// A chunk of elements ingested in one channel send (fast path).
     Batch(Vec<I>),
-    Down(D),
     Flush(Sender<()>),
+}
+
+/// Control-lane messages: delivered out-of-band, ahead of queued data.
+enum SiteCtrl<D> {
+    Down(D),
     Stop,
 }
 
-type SiteSender<P> = Sender<
-    SiteMsg<<<P as Protocol>::Site as Site>::Item, <<P as Protocol>::Site as Site>::Down>,
->;
+type SiteDataSender<P> = Sender<SiteData<<<P as Protocol>::Site as Site>::Item>>;
+type SiteCtrlSender<P> = Sender<SiteCtrl<<<P as Protocol>::Site as Site>::Down>>;
 
 enum CoordMsg<U, C> {
     Up(SiteId, U),
@@ -76,8 +184,8 @@ enum CoordMsg<U, C> {
     Stop,
 }
 
-type CoordSender<P> =
-    Sender<CoordMsg<<<P as Protocol>::Site as Site>::Up, <P as Protocol>::Coord>>;
+type CoordSender<P> = Sender<CoordMsg<<<P as Protocol>::Site as Site>::Up, <P as Protocol>::Coord>>;
+type UrgentSender<P> = Sender<(SiteId, <<P as Protocol>::Site as Site>::Up)>;
 
 /// Concurrent executor: `k` site threads and one coordinator thread.
 pub struct ChannelRuntime<P: Protocol>
@@ -88,8 +196,12 @@ where
     <P::Site as Site>::Up: Send + 'static,
     <P::Site as Site>::Down: Send + 'static,
 {
-    site_txs: Vec<SiteSender<P>>,
+    data_txs: Vec<SiteDataSender<P>>,
+    ctrl_txs: Vec<SiteCtrlSender<P>>,
     coord_tx: CoordSender<P>,
+    /// Held (unused) so the urgent lane never reads as disconnected
+    /// while the runtime is alive.
+    _urgent_tx: UrgentSender<P>,
     handles: Vec<JoinHandle<()>>,
     stats: Arc<AtomicStats>,
     /// Messages sent but not yet processed (both directions).
@@ -101,6 +213,129 @@ where
     /// Wall-clock instant of schedule tick 0, anchored lazily by the
     /// first `feed_at` call.
     pace_anchor: Option<Instant>,
+}
+
+/// State owned by one site thread. Parameterized over the site and
+/// coordinator types directly (not the protocol) so spawning does not
+/// force a `'static` bound onto the protocol factory itself.
+struct SiteWorker<S: Site, C> {
+    id: SiteId,
+    site: S,
+    data_rx: Receiver<SiteData<S::Item>>,
+    ctrl_rx: Receiver<SiteCtrl<S::Down>>,
+    coord_tx: Sender<CoordMsg<S::Up, C>>,
+    urgent_tx: Sender<(SiteId, S::Up)>,
+    stats: Arc<AtomicStats>,
+    in_flight: Arc<AtomicI64>,
+    space_peaks: Arc<Vec<AtomicU64>>,
+    credit: Arc<Vec<Credit>>,
+    out: Outbox<S::Up>,
+}
+
+impl<S: Site, C> SiteWorker<S, C> {
+    /// Ship queued ups (urgent ones on the priority lane) and record the
+    /// space peak; called after every event that touches the site state.
+    fn flush(&mut self) {
+        self.space_peaks[self.id].fetch_max(self.site.space_words(), Ordering::SeqCst);
+        for up in self.out.drain() {
+            self.stats.up_msgs.fetch_add(1, Ordering::SeqCst);
+            self.stats.up_words.fetch_add(up.words(), Ordering::SeqCst);
+            self.in_flight.fetch_add(1, Ordering::SeqCst);
+            self.credit[self.id].charge();
+            if up.urgent() {
+                let _ = self.urgent_tx.send((self.id, up));
+            } else {
+                let _ = self.coord_tx.send(CoordMsg::Up(self.id, up));
+            }
+        }
+    }
+
+    /// Apply one control message. Returns `false` on `Stop`.
+    fn on_ctrl(&mut self, msg: SiteCtrl<S::Down>) -> bool {
+        match msg {
+            SiteCtrl::Down(d) => {
+                self.in_flight.fetch_sub(1, Ordering::SeqCst);
+                self.site.on_message(&d, &mut self.out);
+                self.flush();
+                true
+            }
+            SiteCtrl::Stop => false,
+        }
+    }
+
+    /// Drain every queued control message. Returns `false` on `Stop`.
+    fn drain_ctrl(&mut self) -> bool {
+        loop {
+            match self.ctrl_rx.try_recv() {
+                Ok(msg) => {
+                    if !self.on_ctrl(msg) {
+                        return false;
+                    }
+                }
+                Err(TryRecvError::Empty) => return true,
+                Err(TryRecvError::Disconnected) => return false,
+            }
+        }
+    }
+
+    /// Process one stream element, honoring control-lane priority and
+    /// the fairness credit. Returns `false` on `Stop`.
+    fn ingest(&mut self, item: S::Item) -> bool {
+        // Control first: a pending Seal/broadcast precedes this element.
+        if !self.drain_ctrl() {
+            return false;
+        }
+        // Fairness: pause (still serving control) until the coordinator
+        // has processed enough of our earlier ups.
+        while self.credit[self.id].exhausted() {
+            self.credit[self.id].wait_below_cap();
+            if !self.drain_ctrl() {
+                return false;
+            }
+        }
+        self.site.on_item(&item, &mut self.out);
+        self.flush();
+        true
+    }
+
+    fn run(mut self) {
+        loop {
+            if !self.drain_ctrl() {
+                return;
+            }
+            match self.data_rx.try_recv() {
+                Ok(SiteData::Item(item)) => {
+                    if !self.ingest(item) {
+                        return;
+                    }
+                }
+                Ok(SiteData::Batch(items)) => {
+                    for item in items {
+                        if !self.ingest(item) {
+                            return;
+                        }
+                    }
+                }
+                Ok(SiteData::Flush(ack)) => {
+                    let _ = ack.send(());
+                }
+                Err(TryRecvError::Empty) => {
+                    // Idle: block on the control lane (the data lane is
+                    // re-polled within IDLE_POLL).
+                    match self.ctrl_rx.recv_timeout(IDLE_POLL) {
+                        Ok(msg) => {
+                            if !self.on_ctrl(msg) {
+                                return;
+                            }
+                        }
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => return,
+                    }
+                }
+                Err(TryRecvError::Disconnected) => return,
+            }
+        }
+    }
 }
 
 impl<P: Protocol> ChannelRuntime<P>
@@ -117,132 +352,122 @@ where
         let k = sites.len();
         let stats = Arc::new(AtomicStats::default());
         let in_flight = Arc::new(AtomicI64::new(0));
-        let space_peaks =
-            Arc::new((0..k).map(|_| AtomicU64::new(0)).collect::<Vec<_>>());
+        let space_peaks = Arc::new((0..k).map(|_| AtomicU64::new(0)).collect::<Vec<_>>());
+        let credit = Arc::new((0..k).map(|_| Credit::default()).collect::<Vec<_>>());
 
-        let (coord_tx, coord_rx) =
-            unbounded::<CoordMsg<<P::Site as Site>::Up, P::Coord>>();
-        let mut site_txs = Vec::with_capacity(k);
+        let (coord_tx, coord_rx) = unbounded::<CoordMsg<<P::Site as Site>::Up, P::Coord>>();
+        let (urgent_tx, urgent_rx) = unbounded::<(SiteId, <P::Site as Site>::Up)>();
+        let mut data_txs = Vec::with_capacity(k);
+        let mut ctrl_txs = Vec::with_capacity(k);
         let mut site_rxs = Vec::with_capacity(k);
         for _ in 0..k {
-            // Bounded: producers block when a site falls behind. Safe
-            // because site threads themselves never block on a send (the
-            // coordinator queue is unbounded), so they always drain.
-            let (tx, rx) = bounded(SITE_QUEUE_CAP);
-            site_txs.push(tx);
-            site_rxs.push(rx);
+            // Data lane bounded: producers block when a site falls
+            // behind. Control lane unbounded: the coordinator must never
+            // block on a site (deadlock freedom, see module docs).
+            let (dtx, drx) = bounded(SITE_QUEUE_CAP);
+            let (ctx, crx) = unbounded();
+            data_txs.push(dtx);
+            ctrl_txs.push(ctx);
+            site_rxs.push((drx, crx));
         }
 
         let mut handles = Vec::with_capacity(k + 1);
 
         // Site threads.
-        for (id, (mut site, rx)) in
-            sites.into_iter().zip(site_rxs).enumerate()
-        {
-            let coord_tx = coord_tx.clone();
-            let stats = Arc::clone(&stats);
-            let in_flight = Arc::clone(&in_flight);
-            let space_peaks = Arc::clone(&space_peaks);
-            handles.push(std::thread::spawn(move || {
-                let mut out = Outbox::new();
-                // Ship queued ups and record the space peak; called after
-                // every event that touches the site state.
-                let flush = |site: &P::Site,
-                                 out: &mut Outbox<<P::Site as Site>::Up>| {
-                    space_peaks[id].fetch_max(site.space_words(), Ordering::SeqCst);
-                    for up in out.drain() {
-                        stats.up_msgs.fetch_add(1, Ordering::SeqCst);
-                        stats.up_words.fetch_add(up.words(), Ordering::SeqCst);
-                        in_flight.fetch_add(1, Ordering::SeqCst);
-                        let _ = coord_tx.send(CoordMsg::Up(id, up));
-                    }
-                };
-                for msg in rx.iter() {
-                    match msg {
-                        SiteMsg::Item(item) => {
-                            site.on_item(&item, &mut out);
-                            flush(&site, &mut out);
-                        }
-                        SiteMsg::Batch(items) => {
-                            for item in items {
-                                site.on_item(&item, &mut out);
-                                flush(&site, &mut out);
-                            }
-                        }
-                        SiteMsg::Down(d) => {
-                            in_flight.fetch_sub(1, Ordering::SeqCst);
-                            site.on_message(&d, &mut out);
-                            flush(&site, &mut out);
-                        }
-                        SiteMsg::Flush(ack) => {
-                            let _ = ack.send(());
-                        }
-                        SiteMsg::Stop => break,
-                    }
-                }
-            }));
+        for (id, (site, (data_rx, ctrl_rx))) in sites.into_iter().zip(site_rxs).enumerate() {
+            let worker: SiteWorker<P::Site, P::Coord> = SiteWorker {
+                id,
+                site,
+                data_rx,
+                ctrl_rx,
+                coord_tx: coord_tx.clone(),
+                urgent_tx: urgent_tx.clone(),
+                stats: Arc::clone(&stats),
+                in_flight: Arc::clone(&in_flight),
+                space_peaks: Arc::clone(&space_peaks),
+                credit: Arc::clone(&credit),
+                out: Outbox::new(),
+            };
+            handles.push(std::thread::spawn(move || worker.run()));
         }
 
         // Coordinator thread.
         {
-            let site_txs = site_txs.clone();
+            let ctrl_txs = ctrl_txs.clone();
             let stats = Arc::clone(&stats);
             let in_flight = Arc::clone(&in_flight);
+            let credit = Arc::clone(&credit);
             let mut coord = coord;
             handles.push(std::thread::spawn(move || {
                 let mut net = Net::new();
-                for msg in coord_rx.iter() {
-                    match msg {
-                        CoordMsg::Up(from, up) => {
-                            in_flight.fetch_sub(1, Ordering::SeqCst);
-                            coord.on_message(from, &up, &mut net);
-                        }
-                        CoordMsg::Flush(ack) => {
-                            let _ = ack.send(());
-                            continue;
-                        }
-                        CoordMsg::Query(f) => {
-                            f(&coord);
-                            continue;
-                        }
-                        CoordMsg::Stop => break,
-                    }
-                    let downs: Vec<(Dest, <P::Site as Site>::Down)> =
-                        net.drain().collect();
+                // Process one up and ship the resulting downs on the
+                // sites' control lanes (unbounded — never blocks).
+                let process_up = |coord: &mut P::Coord,
+                                  net: &mut Net<<P::Site as Site>::Down>,
+                                  from: SiteId,
+                                  up: <P::Site as Site>::Up| {
+                    in_flight.fetch_sub(1, Ordering::SeqCst);
+                    credit[from].release();
+                    coord.on_message(from, &up, net);
+                    let downs: Vec<(Dest, <P::Site as Site>::Down)> = net.drain().collect();
                     for (dest, d) in downs {
                         match dest {
                             Dest::Site(to) => {
                                 stats.down_msgs.fetch_add(1, Ordering::SeqCst);
-                                stats
-                                    .down_words
-                                    .fetch_add(d.words(), Ordering::SeqCst);
+                                stats.down_words.fetch_add(d.words(), Ordering::SeqCst);
                                 in_flight.fetch_add(1, Ordering::SeqCst);
-                                let _ = site_txs[to].send(SiteMsg::Down(d));
+                                let _ = ctrl_txs[to].send(SiteCtrl::Down(d));
                             }
                             Dest::Broadcast => {
-                                stats
-                                    .broadcast_events
-                                    .fetch_add(1, Ordering::SeqCst);
-                                let kk = site_txs.len() as u64;
+                                stats.broadcast_events.fetch_add(1, Ordering::SeqCst);
+                                let kk = ctrl_txs.len() as u64;
                                 stats.down_msgs.fetch_add(kk, Ordering::SeqCst);
-                                stats
-                                    .down_words
-                                    .fetch_add(kk * d.words(), Ordering::SeqCst);
-                                in_flight
-                                    .fetch_add(site_txs.len() as i64, Ordering::SeqCst);
-                                for tx in &site_txs {
-                                    let _ = tx.send(SiteMsg::Down(d.clone()));
+                                stats.down_words.fetch_add(kk * d.words(), Ordering::SeqCst);
+                                in_flight.fetch_add(ctrl_txs.len() as i64, Ordering::SeqCst);
+                                for tx in &ctrl_txs {
+                                    let _ = tx.send(SiteCtrl::Down(d.clone()));
                                 }
                             }
                         }
+                    }
+                };
+                loop {
+                    // Priority lane first: urgent ups (heartbeats, seal
+                    // acks) jump any backlog of ordinary reports.
+                    loop {
+                        match urgent_rx.try_recv() {
+                            Ok((from, up)) => process_up(&mut coord, &mut net, from, up),
+                            Err(TryRecvError::Empty) => break,
+                            Err(TryRecvError::Disconnected) => break,
+                        }
+                    }
+                    match coord_rx.try_recv() {
+                        Ok(CoordMsg::Up(from, up)) => process_up(&mut coord, &mut net, from, up),
+                        Ok(CoordMsg::Flush(ack)) => {
+                            let _ = ack.send(());
+                        }
+                        Ok(CoordMsg::Query(f)) => f(&coord),
+                        Ok(CoordMsg::Stop) => break,
+                        Err(TryRecvError::Empty) => {
+                            // Idle: block on the urgent lane (the normal
+                            // lane is re-polled within IDLE_POLL).
+                            match urgent_rx.recv_timeout(IDLE_POLL) {
+                                Ok((from, up)) => process_up(&mut coord, &mut net, from, up),
+                                Err(RecvTimeoutError::Timeout) => {}
+                                Err(RecvTimeoutError::Disconnected) => break,
+                            }
+                        }
+                        Err(TryRecvError::Disconnected) => break,
                     }
                 }
             }));
         }
 
         Self {
-            site_txs,
+            data_txs,
+            ctrl_txs,
             coord_tx,
+            _urgent_tx: urgent_tx,
             handles,
             stats,
             in_flight,
@@ -262,14 +487,14 @@ where
 
     /// Number of sites.
     pub fn k(&self) -> usize {
-        self.site_txs.len()
+        self.data_txs.len()
     }
 
     /// Asynchronously deliver an element to a site. Blocks only if the
-    /// site's queue is full (`SITE_QUEUE_CAP` messages behind).
+    /// site's queue is full (`SITE_QUEUE_CAP` elements behind).
     pub fn feed(&self, site: SiteId, item: <P::Site as Site>::Item) {
         self.stats.elements.fetch_add(1, Ordering::SeqCst);
-        let _ = self.site_txs[site].send(SiteMsg::Item(item));
+        let _ = self.data_txs[site].send(SiteData::Item(item));
     }
 
     /// Wall-clock-paced ingest: sleep until schedule tick `at` is due,
@@ -288,7 +513,13 @@ where
         let anchor = *self.pace_anchor.get_or_insert_with(Instant::now);
         // Saturate instead of wrapping: u64::MAX ticks is "never", and a
         // saturated deadline simply means "as late as we can express".
-        let due = anchor + Duration::from_nanos(self.tick.as_nanos().saturating_mul(at as u128).min(u64::MAX as u128) as u64);
+        let due = anchor
+            + Duration::from_nanos(
+                self.tick
+                    .as_nanos()
+                    .saturating_mul(at as u128)
+                    .min(u64::MAX as u128) as u64,
+            );
         let now = Instant::now();
         if due > now {
             std::thread::sleep(due - now);
@@ -300,11 +531,12 @@ where
     /// (preserving each site's arrival order) and shipped in
     /// `BATCH_CHUNK`-sized chunks, so channel synchronization is paid
     /// once per chunk instead of once per element. Bounded site queues
-    /// apply backpressure if producers outpace the sites.
+    /// apply backpressure if producers outpace the sites. (Sites still
+    /// check their control lane and fairness credit between *elements*,
+    /// so chunking never delays a seal or outruns the coordinator.)
     pub fn feed_batch(&self, batch: Vec<(SiteId, <P::Site as Site>::Item)>) {
-        let k = self.site_txs.len();
-        let mut per_site: Vec<Vec<<P::Site as Site>::Item>> =
-            (0..k).map(|_| Vec::new()).collect();
+        let k = self.data_txs.len();
+        let mut per_site: Vec<Vec<<P::Site as Site>::Item>> = (0..k).map(|_| Vec::new()).collect();
         for (site, item) in batch {
             let items = &mut per_site[site];
             items.push(item);
@@ -313,7 +545,7 @@ where
                 self.stats
                     .elements
                     .fetch_add(chunk.len() as u64, Ordering::SeqCst);
-                let _ = self.site_txs[site].send(SiteMsg::Batch(chunk));
+                let _ = self.data_txs[site].send(SiteData::Batch(chunk));
             }
         }
         for (site, items) in per_site.into_iter().enumerate() {
@@ -321,7 +553,7 @@ where
                 self.stats
                     .elements
                     .fetch_add(items.len() as u64, Ordering::SeqCst);
-                let _ = self.site_txs[site].send(SiteMsg::Batch(items));
+                let _ = self.data_txs[site].send(SiteData::Batch(items));
             }
         }
     }
@@ -350,12 +582,13 @@ where
         loop {
             sweeps += 1;
             // Flush sites so queued items/downs are processed and their ups
-            // are on the wire (counted in `in_flight`).
-            let (ack_tx, ack_rx) = bounded(self.site_txs.len());
-            for tx in &self.site_txs {
-                let _ = tx.send(SiteMsg::Flush(ack_tx.clone()));
+            // are on the wire (counted in `in_flight`). The marker rides
+            // the data lane, behind any still-queued elements.
+            let (ack_tx, ack_rx) = bounded(self.data_txs.len());
+            for tx in &self.data_txs {
+                let _ = tx.send(SiteData::Flush(ack_tx.clone()));
             }
-            for _ in &self.site_txs {
+            for _ in &self.data_txs {
                 let _ = ack_rx.recv();
             }
             // Flush the coordinator so those ups are processed and downs sent.
@@ -386,15 +619,36 @@ where
     }
 
     /// Stop all threads and join them, returning final statistics.
+    ///
+    /// Queued *elements* are processed before the sites exit (so the
+    /// returned statistics account for every fed element), but messages
+    /// still in flight at that point are dropped — call
+    /// [`ChannelRuntime::quiesce`] first when a fully settled cut
+    /// matters.
     pub fn shutdown(mut self) -> CommStats {
         self.do_shutdown();
         self.stats.snapshot()
     }
 
     fn do_shutdown(&mut self) {
-        for tx in &self.site_txs {
-            let _ = tx.send(SiteMsg::Stop);
+        // `Stop` travels the control lane, which overtakes queued data —
+        // sent cold, it would silently discard elements a caller already
+        // fed. Flush markers ride the data lane FIFO behind those
+        // elements, so awaiting the acks guarantees each site has
+        // drained before its `Stop` arrives.
+        let (ack_tx, ack_rx) = bounded(self.data_txs.len());
+        for tx in &self.data_txs {
+            let _ = tx.send(SiteData::Flush(ack_tx.clone()));
         }
+        // Drop our clone so a dead site (failed send) cannot leave the
+        // ack channel open-but-silent and hang the drain below.
+        drop(ack_tx);
+        while ack_rx.recv().is_ok() {}
+        for tx in &self.ctrl_txs {
+            let _ = tx.send(SiteCtrl::Stop);
+        }
+        // FIFO behind every up the sites produced above, so the
+        // coordinator finishes the backlog before exiting.
         let _ = self.coord_tx.send(CoordMsg::Stop);
         for h in self.handles.drain(..) {
             let _ = h.join();
@@ -462,8 +716,7 @@ mod tests {
     #[test]
     fn batched_ingest_matches_per_element_accounting() {
         let rt = ChannelRuntime::new(&Echo { k: 4 }, 0);
-        let batch: Vec<(usize, u64)> =
-            (0..10_000u64).map(|i| ((i % 4) as usize, i)).collect();
+        let batch: Vec<(usize, u64)> = (0..10_000u64).map(|i| ((i % 4) as usize, i)).collect();
         let expect: u64 = batch.iter().map(|&(_, v)| v).sum();
         rt.feed_batch(batch);
         rt.quiesce();
@@ -472,6 +725,20 @@ mod tests {
         let stats = rt.shutdown();
         assert_eq!(stats.elements, 10_000);
         assert_eq!(stats.up_msgs, 10_000);
+    }
+
+    #[test]
+    fn shutdown_without_quiesce_processes_queued_elements() {
+        // Stop rides the control lane (which overtakes data), so
+        // shutdown must drain the data lanes first — otherwise elements
+        // fed just before shutdown would vanish from the accounting.
+        let rt = ChannelRuntime::new(&Echo { k: 4 }, 0);
+        for i in 0..5_000u64 {
+            rt.feed((i % 4) as usize, i);
+        }
+        let stats = rt.shutdown(); // no quiesce on purpose
+        assert_eq!(stats.elements, 5_000);
+        assert_eq!(stats.up_msgs, 5_000, "queued elements were discarded");
     }
 
     #[test]
@@ -582,5 +849,171 @@ mod tests {
         assert_eq!(stats.broadcast_events, 1);
         assert_eq!(stats.down_msgs, 4);
         assert_eq!(stats.up_msgs, 5);
+    }
+
+    #[test]
+    fn urgent_ups_jump_the_report_backlog() {
+        // A site reports every item on the data-plane lane and sends one
+        // urgent marker after report 60 (below SITE_CREDIT, so the
+        // credit cap never pauses the site before the marker is out).
+        // The coordinator stalls 100ms on the FIRST report, during which
+        // the site queues the other 59 reports and the marker: FIFO
+        // delivery would process the marker after all 60 reports,
+        // priority delivery processes it as soon as the stall ends. The
+        // only way to miss the margin is the site thread taking > 100ms
+        // for ~60 trivial items — orders of magnitude of slack, where
+        // the earlier backlog-pinning design raced against the OS
+        // scheduler.
+        struct USite {
+            sent: u64,
+        }
+        #[derive(Clone)]
+        enum UUp {
+            Report,
+            Marker,
+        }
+        impl Words for UUp {
+            fn words(&self) -> u64 {
+                1
+            }
+            fn urgent(&self) -> bool {
+                matches!(self, UUp::Marker)
+            }
+        }
+        impl Site for USite {
+            type Item = u64;
+            type Up = UUp;
+            type Down = u64;
+            fn on_item(&mut self, _: &u64, out: &mut Outbox<UUp>) {
+                self.sent += 1;
+                out.send(UUp::Report);
+                if self.sent == 60 {
+                    out.send(UUp::Marker);
+                }
+            }
+            fn on_message(&mut self, _: &u64, _: &mut Outbox<UUp>) {}
+            fn space_words(&self) -> u64 {
+                1
+            }
+        }
+        struct UCoord {
+            reports_before_marker: Option<u64>,
+            reports: u64,
+        }
+        impl Coordinator for UCoord {
+            type Up = UUp;
+            type Down = u64;
+            fn on_message(&mut self, _: SiteId, m: &UUp, _: &mut Net<u64>) {
+                match m {
+                    UUp::Report => {
+                        self.reports += 1;
+                        // One long stall on the first report: while we
+                        // sleep, the site queues the remaining reports
+                        // (normal lane) and the marker (urgent lane).
+                        if self.reports == 1 {
+                            std::thread::sleep(Duration::from_millis(100));
+                        }
+                    }
+                    UUp::Marker => {
+                        self.reports_before_marker.get_or_insert(self.reports);
+                    }
+                }
+            }
+        }
+        struct U;
+        impl Protocol for U {
+            type Site = USite;
+            type Coord = UCoord;
+            fn k(&self) -> usize {
+                1
+            }
+            fn build(&self, _: u64) -> (Vec<USite>, UCoord) {
+                (
+                    vec![USite { sent: 0 }],
+                    UCoord {
+                        reports_before_marker: None,
+                        reports: 0,
+                    },
+                )
+            }
+        }
+        let rt = ChannelRuntime::new(&U, 0);
+        for i in 0..200u64 {
+            rt.feed(0, i);
+        }
+        rt.quiesce();
+        let (seen, total) = rt.with_coord(|c| (c.reports_before_marker, c.reports));
+        assert_eq!(total, 200);
+        let seen = seen.expect("marker processed");
+        // FIFO delivery would give exactly 60 (the marker behind every
+        // report sent before it); the priority lane delivers it right
+        // after the stall, having overtaken the queued backlog.
+        assert!(
+            seen < 30,
+            "urgent marker did not overtake the report backlog ({seen})"
+        );
+    }
+
+    #[test]
+    fn credit_cap_bounds_site_runahead() {
+        // One chatty site (an up per element) and a coordinator we can
+        // observe: at no point may the site's sent-count exceed the
+        // coordinator's processed-count by more than SITE_CREDIT.
+        use std::sync::atomic::AtomicU64 as A;
+        static SENT: A = A::new(0);
+        static PROCESSED: A = A::new(0);
+        static MAX_GAP: A = A::new(0);
+
+        struct CSite;
+        impl Site for CSite {
+            type Item = u64;
+            type Up = u64;
+            type Down = u64;
+            fn on_item(&mut self, item: &u64, out: &mut Outbox<u64>) {
+                let sent = SENT.fetch_add(1, Ordering::SeqCst) + 1;
+                let gap = sent.saturating_sub(PROCESSED.load(Ordering::SeqCst));
+                MAX_GAP.fetch_max(gap, Ordering::SeqCst);
+                out.send(*item);
+            }
+            fn on_message(&mut self, _: &u64, _: &mut Outbox<u64>) {}
+            fn space_words(&self) -> u64 {
+                1
+            }
+        }
+        struct CCoord;
+        impl Coordinator for CCoord {
+            type Up = u64;
+            type Down = u64;
+            fn on_message(&mut self, _: SiteId, _: &u64, _: &mut Net<u64>) {
+                PROCESSED.fetch_add(1, Ordering::SeqCst);
+                // An artificially slow coordinator: without the credit
+                // cap the site would race its whole queue ahead.
+                std::thread::sleep(Duration::from_micros(20));
+            }
+        }
+        struct C;
+        impl Protocol for C {
+            type Site = CSite;
+            type Coord = CCoord;
+            fn k(&self) -> usize {
+                1
+            }
+            fn build(&self, _: u64) -> (Vec<CSite>, CCoord) {
+                (vec![CSite], CCoord)
+            }
+        }
+        let rt = ChannelRuntime::new(&C, 0);
+        for i in 0..2_000u64 {
+            rt.feed(0, i);
+        }
+        rt.quiesce();
+        rt.shutdown();
+        // +1: the element being processed when the gap was sampled.
+        assert!(
+            MAX_GAP.load(Ordering::SeqCst) <= SITE_CREDIT + 1,
+            "site ran {} ups ahead of the coordinator (credit {})",
+            MAX_GAP.load(Ordering::SeqCst),
+            SITE_CREDIT
+        );
     }
 }

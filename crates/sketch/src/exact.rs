@@ -120,8 +120,8 @@ impl ExactRanks {
         if self.sorted.is_empty() {
             return None;
         }
-        let idx = ((phi.clamp(0.0, 1.0) * self.sorted.len() as f64) as usize)
-            .min(self.sorted.len() - 1);
+        let idx =
+            ((phi.clamp(0.0, 1.0) * self.sorted.len() as f64) as usize).min(self.sorted.len() - 1);
         Some(self.sorted[idx])
     }
 }

@@ -100,7 +100,8 @@ impl GkSummary {
         let mut pending_g = 0u64; // g mass of tuples merged into successor
         for i in 1..=last {
             let t = self.tuples[i];
-            if i < last && pending_g + t.g + self.tuples[i + 1].g + self.tuples[i + 1].delta <= budget
+            if i < last
+                && pending_g + t.g + self.tuples[i + 1].g + self.tuples[i + 1].delta <= budget
             {
                 // Merge t into its successor.
                 pending_g += t.g;

@@ -187,9 +187,7 @@ impl KllSketch {
         self.compactors
             .iter()
             .enumerate()
-            .map(|(l, items)| {
-                items.iter().filter(|&&u| u == v).count() as f64 * (1u64 << l) as f64
-            })
+            .map(|(l, items)| items.iter().filter(|&&u| u == v).count() as f64 * (1u64 << l) as f64)
             .sum()
     }
 }
@@ -212,9 +210,7 @@ impl KllSummary {
         self.levels
             .iter()
             .enumerate()
-            .map(|(l, items)| {
-                items.partition_point(|&v| v < x) as f64 * (1u64 << l) as f64
-            })
+            .map(|(l, items)| items.partition_point(|&v| v < x) as f64 * (1u64 << l) as f64)
             .sum()
     }
 
@@ -263,8 +259,7 @@ mod tests {
         // Mean over independent sketch seeds ≈ true rank.
         let (n, e, x) = (4_000u64, 0.05, 1_700u64);
         let reps = 400;
-        let mean: f64 =
-            (0..reps).map(|s| run_once(s, n, e, x)).sum::<f64>() / reps as f64;
+        let mean: f64 = (0..reps).map(|s| run_once(s, n, e, x)).sum::<f64>() / reps as f64;
         // sd per run ≤ e·n = 200 → SE of mean ≤ 10.
         assert!((mean - x as f64).abs() < 40.0, "mean {mean} truth {x}");
     }
@@ -275,8 +270,7 @@ mod tests {
         let reps = 300;
         let samples: Vec<f64> = (0..reps).map(|s| run_once(1000 + s, n, e, x)).collect();
         let mean = samples.iter().sum::<f64>() / reps as f64;
-        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
-            / (reps - 1) as f64;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (reps - 1) as f64;
         let bound = (e * n as f64).powi(2);
         assert!(var <= bound, "var {var} > bound {bound}");
     }
@@ -351,10 +345,7 @@ mod tests {
         }
         for &phi in &[0.1, 0.5, 0.9] {
             let q = s.quantile(phi).unwrap() as f64;
-            assert!(
-                (q - phi * 10_000.0).abs() < 400.0,
-                "phi {phi} → {q}"
-            );
+            assert!((q - phi * 10_000.0).abs() < 400.0, "phi {phi} → {q}");
         }
         assert_eq!(KllSketch::new(8, 0).quantile(0.5), None);
     }

@@ -119,7 +119,10 @@ mod tests {
             let f = exact.frequency(item);
             let e = lc.estimate(item);
             assert!(e <= f, "overestimate for {item}");
-            assert!(f.saturating_sub(e) <= bound, "item {item}: {f} - {e} > {bound}");
+            assert!(
+                f.saturating_sub(e) <= bound,
+                "item {item}: {f} - {e} > {bound}"
+            );
         }
     }
 

@@ -167,10 +167,7 @@ mod tests {
         }
         let mean = total / reps as f64;
         // SE of the mean ≈ sqrt(truth/p)/sqrt(reps) ≈ 1.6
-        assert!(
-            (mean - truth as f64).abs() < 8.0,
-            "mean {mean} vs {truth}"
-        );
+        assert!((mean - truth as f64).abs() < 8.0, "mean {mean} vs {truth}");
     }
 
     #[test]

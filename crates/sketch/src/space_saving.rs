@@ -197,10 +197,12 @@ mod tests {
             ss.observe(item);
             exact.observe(item);
         }
-        let true_hh: Vec<u64> =
-            exact.heavy_hitters(200).into_iter().map(|(i, _)| i).collect();
-        let est_hh: Vec<u64> =
-            ss.heavy_hitters(200).into_iter().map(|(i, _)| i).collect();
+        let true_hh: Vec<u64> = exact
+            .heavy_hitters(200)
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
+        let est_hh: Vec<u64> = ss.heavy_hitters(200).into_iter().map(|(i, _)| i).collect();
         for t in &true_hh {
             assert!(est_hh.contains(t), "missing true heavy hitter {t}");
         }

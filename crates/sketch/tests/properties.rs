@@ -1,9 +1,7 @@
 //! Property-based tests of the sketch guarantees on arbitrary streams.
 
 use dtrack_sketch::exact::{ExactCounts, ExactRanks};
-use dtrack_sketch::{
-    CountMin, GkSummary, KllSketch, LossyCounting, MisraGries, SpaceSaving,
-};
+use dtrack_sketch::{CountMin, GkSummary, KllSketch, LossyCounting, MisraGries, SpaceSaving};
 use proptest::prelude::*;
 
 proptest! {

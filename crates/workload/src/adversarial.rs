@@ -47,9 +47,7 @@ impl MuDistribution {
     /// running counter (count-tracking ignores them).
     pub fn arrivals(&self, case: MuCase) -> Vec<Arrival> {
         match case {
-            MuCase::OneSite(j) => (0..self.n)
-                .map(|t| Arrival { site: j, item: t })
-                .collect(),
+            MuCase::OneSite(j) => (0..self.n).map(|t| Arrival { site: j, item: t }).collect(),
             MuCase::RoundRobinAll => (0..self.n)
                 .map(|t| Arrival {
                     site: (t % self.k as u64) as usize,
@@ -189,10 +187,7 @@ mod tests {
     fn subrounds_choose_correct_site_counts() {
         let inst = SubroundInstance::new(100, 0.01, 3);
         let sched = inst.generate(1);
-        assert_eq!(
-            sched.len() as u64,
-            3 * inst.subrounds_per_round()
-        );
+        assert_eq!(sched.len() as u64, 3 * inst.subrounds_per_round());
         for sub in &sched {
             let expect = if sub.s_high { 60 } else { 40 };
             assert_eq!(sub.sites.len(), expect);

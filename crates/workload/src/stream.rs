@@ -136,8 +136,7 @@ impl<I: ItemGen, A: SiteAssign> Workload<I, A> {
     /// independent stream derived from the workload seed, so a timed
     /// schedule is as reproducible as the workload itself.
     pub fn timed(self, pacing: Pacing) -> Schedule<I, A> {
-        let pacing_rng =
-            SmallRng::seed_from_u64(self.seed ^ 0x71C3_D00F_5EED_7143);
+        let pacing_rng = SmallRng::seed_from_u64(self.seed ^ 0x71C3_D00F_5EED_7143);
         Schedule {
             inner: self,
             pacing,
@@ -226,20 +225,16 @@ mod tests {
 
     #[test]
     fn deterministic_for_fixed_seed() {
-        let a = Workload::new(UniformItems::new(50), RoundRobin::new(3), 200, 9)
-            .collect_vec();
-        let b = Workload::new(UniformItems::new(50), RoundRobin::new(3), 200, 9)
-            .collect_vec();
+        let a = Workload::new(UniformItems::new(50), RoundRobin::new(3), 200, 9).collect_vec();
+        let b = Workload::new(UniformItems::new(50), RoundRobin::new(3), 200, 9).collect_vec();
         assert_eq!(a, b);
-        let c = Workload::new(UniformItems::new(50), RoundRobin::new(3), 200, 10)
-            .collect_vec();
+        let c = Workload::new(UniformItems::new(50), RoundRobin::new(3), 200, 10).collect_vec();
         assert_ne!(a, c);
     }
 
     #[test]
     fn distinct_workload_has_no_duplicates() {
-        let v = Workload::new(DistinctSeq::new(3), RoundRobin::new(2), 10_000, 1)
-            .collect_vec();
+        let v = Workload::new(DistinctSeq::new(3), RoundRobin::new(2), 10_000, 1).collect_vec();
         let mut items: Vec<u64> = v.iter().map(|a| a.item).collect();
         items.sort_unstable();
         items.dedup();
@@ -253,7 +248,10 @@ mod tests {
         for pacing in [
             Pacing::Unit,
             Pacing::Fixed(7),
-            Pacing::Bursty { burst: 10, idle: 100 },
+            Pacing::Bursty {
+                burst: 10,
+                idle: 100,
+            },
             Pacing::Poisson { mean_gap: 5 },
         ] {
             let timed = make().timed(pacing).collect_vec();
@@ -308,8 +306,7 @@ mod tests {
 
     #[test]
     fn size_hint_is_exact() {
-        let mut w =
-            Workload::new(UniformItems::new(10), RoundRobin::new(2), 5, 1);
+        let mut w = Workload::new(UniformItems::new(10), RoundRobin::new(2), 5, 1);
         assert_eq!(w.size_hint(), (5, Some(5)));
         w.next();
         assert_eq!(w.size_hint(), (4, Some(4)));

@@ -86,7 +86,11 @@ fn main() {
     );
     for t in 0..n {
         // Adversarial: bursty skew toward site 0 with occasional spread.
-        let site = if t % 7 == 0 { (t % k as u64) as usize } else { 0 };
+        let site = if t % 7 == 0 {
+            (t % k as u64) as usize
+        } else {
+            0
+        };
         ex.feed(site, t);
         let est = if per_element {
             ex.coord()

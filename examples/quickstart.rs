@@ -40,16 +40,27 @@ fn main() {
                 ex.quiesce();
                 let est: f64 = ex.query($query);
                 let stats = ex.stats();
-                (est, stats.total_msgs(), stats.total_words(), ex.space().max_peak())
+                (
+                    est,
+                    stats.total_msgs(),
+                    stats.total_words(),
+                    ex.space().max_peak(),
+                )
             }};
         }
         match (randomized, exec.window) {
             (true, None) => {
-                let (est, m, w, s) = drive!(RandomizedCount::new(cfg), |c: &dtrack::core::count::RandCountCoord| c.estimate());
+                let (est, m, w, s) = drive!(
+                    RandomizedCount::new(cfg),
+                    |c: &dtrack::core::count::RandCountCoord| c.estimate()
+                );
                 (est, n as f64, m, w, s)
             }
             (false, None) => {
-                let (est, m, w, s) = drive!(DeterministicCount::new(cfg), |c: &dtrack::core::count::DetCountCoord| c.estimate());
+                let (est, m, w, s) = drive!(
+                    DeterministicCount::new(cfg),
+                    |c: &dtrack::core::count::DetCountCoord| c.estimate()
+                );
                 (est, n as f64, m, w, s)
             }
             (true, Some(win)) => {

@@ -31,8 +31,11 @@ fn main() {
     // Distinct readings (timestamp ⊕ jitter makes real sensor records
     // unique; DistinctSeq models that as a 64-bit bijection), on a
     // bursty timeline: 50 simultaneous readings every 25 ticks.
-    let schedule = Workload::new(DistinctSeq::new(5), UniformSites::new(k), n, 11)
-        .timed(Pacing::Bursty { burst: 50, idle: 25 });
+    let schedule =
+        Workload::new(DistinctSeq::new(5), UniformSites::new(k), n, 11).timed(Pacing::Bursty {
+            burst: 50,
+            idle: 25,
+        });
 
     let proto = RandomizedRank::new(TrackingConfig::new(k, eps));
     let mut all: Vec<u64> = Vec::with_capacity(n as usize);
@@ -110,9 +113,7 @@ fn report(all: &[u64], window: Option<u64>, t: u64, p50: u64, p95: u64, total: f
         (re - rt).abs() / sorted.len() as f64 * 100.0
     };
     match window {
-        Some(w) => println!(
-            "after {t:>7} readings, last {w} (n̂_W = {total:.0}):",
-        ),
+        Some(w) => println!("after {t:>7} readings, last {w} (n̂_W = {total:.0}):",),
         None => println!("after {t:>7} readings (n̂ = {total:.0}):"),
     }
     println!(

@@ -138,14 +138,14 @@ fn frequency_via_rank_reduction_end_to_end() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "slow in debug (median boosting × mu); runs in release CI")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow in debug (median boosting × mu); runs in release CI"
+)]
 fn boosted_tracker_correct_at_all_times_on_mu() {
     let (k, eps, n) = (8, 0.15, 60_000u64);
     let copies = copies_needed(0.05, eps, n).min(11);
-    let proto = Replicated::new(
-        RandomizedCount::new(TrackingConfig::new(k, eps)),
-        copies,
-    );
+    let proto = Replicated::new(RandomizedCount::new(TrackingConfig::new(k, eps)), copies);
     // Case (a) — the nastier case for count tracking.
     let mu = MuDistribution::new(k, n);
     let arrivals = mu.arrivals(MuCase::OneSite(2));

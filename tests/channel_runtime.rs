@@ -92,8 +92,7 @@ fn concurrent_feeding_from_multiple_producers() {
     use std::sync::Arc;
     let (k, n_per) = (8usize, 5_000u64);
     let proto = RandomizedCount::new(TrackingConfig::new(k, 0.1));
-    let rt: Arc<ChannelRuntime<RandomizedCount>> =
-        Arc::new(ChannelRuntime::new(&proto, 77));
+    let rt: Arc<ChannelRuntime<RandomizedCount>> = Arc::new(ChannelRuntime::new(&proto, 77));
     let mut handles = Vec::new();
     for p in 0..4u64 {
         let rt = Arc::clone(&rt);

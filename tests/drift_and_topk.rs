@@ -68,7 +68,10 @@ fn bursty_timed_schedule_through_the_event_queue() {
         n,
         11,
     )
-    .timed(Pacing::Bursty { burst: 64, idle: 100 });
+    .timed(Pacing::Bursty {
+        burst: 64,
+        idle: 100,
+    });
     let mut exact = ExactCounts::new();
     let mut rt = EventRuntime::with_policy(
         &RandomizedFrequency::new(cfg),
@@ -120,8 +123,7 @@ fn sequential_arrivals_theorem_3_2_shape() {
     // Frequency over a small domain.
     let mut freq = Runner::new(&RandomizedFrequency::new(cfg), 9);
     let arrivals =
-        Workload::new(DistinctSeq::new(3), Sequential::new(k, n / k as u64), n, 10)
-            .collect_vec();
+        Workload::new(DistinctSeq::new(3), Sequential::new(k, n / k as u64), n, 10).collect_vec();
     let mut exact = ExactCounts::new();
     for a in &arrivals {
         let item = a.item % 16; // fold distinct values onto 16 items

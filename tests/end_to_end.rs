@@ -95,8 +95,7 @@ fn frequency_randomized_beats_deterministic_communication() {
 fn rank_tracking_on_bursty_arrivals() {
     let (k, eps, n) = (9, 0.15, 120_000u64);
     let cfg = TrackingConfig::new(k, eps);
-    let arrivals =
-        Workload::new(DistinctSeq::new(7), Bursty::new(k, 0.001), n, 8).collect_vec();
+    let arrivals = Workload::new(DistinctSeq::new(7), Bursty::new(k, 0.001), n, 8).collect_vec();
     let mut exact = ExactRanks::new();
     let mut rand = Runner::new(&RandomizedRank::new(cfg), 9);
     let mut det = Runner::new(&DeterministicRank::new(cfg), 9);

@@ -242,8 +242,12 @@ fn feed_batch_equals_event_runtime_per_element() {
             "space peak differs at site {site}"
         );
     }
-    let qb: Vec<f64> = (0..10).map(|j| batched.coord().estimate_frequency(j)).collect();
-    let qe: Vec<f64> = (0..10).map(|j| event.coord().estimate_frequency(j)).collect();
+    let qb: Vec<f64> = (0..10)
+        .map(|j| batched.coord().estimate_frequency(j))
+        .collect();
+    let qe: Vec<f64> = (0..10)
+        .map(|j| event.coord().estimate_frequency(j))
+        .collect();
     assert_eq!(qb, qe);
 }
 

@@ -79,7 +79,10 @@ fn deterministic_rank_via_facade() {
         r.feed((t % K as u64) as usize, &t);
     }
     let est = r.coord().estimate_rank(N / 2);
-    assert!((est - (N / 2) as f64).abs() <= 0.2 * N as f64 + 1.0, "est {est}");
+    assert!(
+        (est - (N / 2) as f64).abs() <= 0.2 * N as f64 + 1.0,
+        "est {est}"
+    );
 }
 
 #[test]

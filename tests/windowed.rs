@@ -1,8 +1,10 @@
 //! Integration tests for the sliding-window subsystem
 //! (`dtrack_core::window`): accuracy against the exact sliding-window
-//! truth (seed-averaged, per the ROADMAP's seed-sensitivity guidance),
-//! bit-exact equivalence across the deterministic executors, behavior
-//! on drifting workloads, and survival on the concurrent runtime.
+//! truth (seed-averaged, per the ROADMAP's seed-sensitivity guidance) on
+//! the deterministic executors *and* the concurrent channel runtime
+//! (whose transport-level fairness mechanisms earn it the same ε bound),
+//! bit-exact equivalence across the deterministic executors, behavior on
+//! drifting workloads, and an O(k) epoch-seal construction guard.
 
 use dtrack::core::count::RandomizedCount;
 use dtrack::core::frequency::RandomizedFrequency;
@@ -104,7 +106,10 @@ where
         qe.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
         "{name}: windowed answers differ"
     );
-    assert!(qr.iter().all(|v| v.is_finite()), "{name}: non-finite answer");
+    assert!(
+        qr.iter().all(|v| v.is_finite()),
+        "{name}: non-finite answer"
+    );
 }
 
 /// **Acceptance criterion**: bit-identical windowed answers across
@@ -124,8 +129,7 @@ fn windowed_count_equivalence_across_deterministic_executors() {
 
 #[test]
 fn windowed_sampling_equivalence_across_deterministic_executors() {
-    let proto =
-        Windowed::new(ContinuousSampling::new(TrackingConfig::new(8, 0.15)), 2_048);
+    let proto = Windowed::new(ContinuousSampling::new(TrackingConfig::new(8, 0.15)), 2_048);
     assert_windowed_equivalent("windowed sampling", &proto, 12_000, |c| {
         vec![
             c.windowed_count(),
@@ -166,8 +170,7 @@ fn windowed_random_delay_is_reproducible_and_sane() {
 #[test]
 fn windowed_frequency_follows_drift() {
     let (k, n, phases, w) = (8, 40_000u64, 4u64, 8_192u64);
-    let proto =
-        Windowed::new(RandomizedFrequency::new(TrackingConfig::new(k, 0.05)), w);
+    let proto = Windowed::new(RandomizedFrequency::new(TrackingConfig::new(k, 0.05)), w);
     let mut r = Runner::new(&proto, 17);
     for a in scenarios::drifting(k, n, phases, 3) {
         r.feed(a.site, &a.item);
@@ -223,8 +226,7 @@ fn windowed_rank_matches_closed_form_on_climbing_values() {
     let probes = [n - w + w / 4, n - w / 2, n - w / 10];
     let mut errs = [0.0f64; 3];
     for seed in 0..seeds {
-        let proto =
-            Windowed::new(ContinuousSampling::new(TrackingConfig::new(k, eps)), w);
+        let proto = Windowed::new(ContinuousSampling::new(TrackingConfig::new(k, eps)), w);
         let mut r = Runner::new(&proto, 300 + seed);
         for a in scenarios::climbing(k, n, seed) {
             r.feed(a.site, &a.item);
@@ -243,20 +245,135 @@ fn windowed_rank_matches_closed_form_on_climbing_values() {
     }
 }
 
-/// The windowed protocol runs on the concurrent channel runtime without
-/// deadlock and answers sanely after quiesce (accuracy there is a
-/// robustness check, not a guarantee — see the window module docs).
+/// **Acceptance criterion**: the *channel* runtime — real threads, real
+/// in-flight messages — meets the same ε bound as the deterministic
+/// executors, as a mean over ≥ 20 seeds. This is the promotion the
+/// transport's fairness mechanisms buy (out-of-band seal/ack/heartbeat
+/// delivery plus the per-site credit cap; see `dtrack_sim::runtime`):
+/// before them, bucket contents could outrun their recorded heartbeat
+/// ranges and this assertion failed by integer factors.
+///
+/// Release-gated: 20 threaded runs are slow in debug; the release CI
+/// step covers it. A single-seed smoke below keeps debug coverage.
 #[test]
-fn windowed_count_survives_the_channel_runtime() {
-    let exec = ExecConfig::channel().windowed(4_096);
-    let proto = Windowed::new(RandomizedCount::new(TrackingConfig::new(4, 0.1)), 4_096);
+#[cfg_attr(debug_assertions, ignore = "20 threaded runs; covered by release CI")]
+fn windowed_count_channel_mean_error_within_epsilon_over_20_seeds() {
+    let (k, eps, n, w) = (8, 0.1, 30_000u64, 6_144u64);
+    let seeds = 20;
+    let mut total_err = 0.0;
+    for seed in 0..seeds {
+        let exec = ExecConfig::channel().windowed(w);
+        let proto = Windowed::new(RandomizedCount::new(TrackingConfig::new(k, eps)), w);
+        let mut ex = exec.mode.build(&proto, seed);
+        let batch: Vec<(usize, u64)> = (0..n).map(|t| ((t % k as u64) as usize, t)).collect();
+        ex.feed_batch(batch);
+        ex.quiesce();
+        let est: f64 = ex.query(|c: &WinCoord<RandomizedCount>| c.windowed_count());
+        total_err += (est - w as f64).abs() / w as f64;
+    }
+    let mean_err = total_err / seeds as f64;
+    assert!(
+        mean_err <= eps,
+        "mean windowed channel-runtime count error {mean_err:.4} exceeds eps {eps}"
+    );
+}
+
+/// Single-seed debug smoke of the same scenario: runs in the fast suite
+/// so a channel-runtime regression is caught before release CI.
+#[test]
+fn windowed_count_channel_single_seed_smoke() {
+    let w = 4_096u64;
+    let exec = ExecConfig::channel().windowed(w);
+    let proto = Windowed::new(RandomizedCount::new(TrackingConfig::new(4, 0.1)), w);
     let mut ex = exec.mode.build(&proto, 1);
     let batch: Vec<(usize, u64)> = (0..20_000u64).map(|t| ((t % 4) as usize, t)).collect();
     ex.feed_batch(batch);
     ex.quiesce();
     let est: f64 = ex.query(|c: &WinCoord<RandomizedCount>| c.windowed_count());
-    assert!(est.is_finite() && est > 0.0, "estimate {est}");
+    // Generous single-seed tolerance (the 20-seed mean above is the real
+    // bound); still far tighter than the pre-fairness behavior, where
+    // pro-rated answers could be off by integer factors.
+    assert!(
+        (est - w as f64).abs() < 0.5 * w as f64,
+        "single-seed channel windowed estimate {est} vs window {w}"
+    );
     assert!(ex.stats().total_msgs() > 0);
+}
+
+/// Regression guard for the O(k) epoch-seal path: every seal must build
+/// exactly one inner site instance per site (k total) and one inner
+/// coordinator — never a full `build` of all k sites per site. Counted
+/// through a test-only wrapper protocol whose constructor hooks
+/// increment atomic counters.
+#[test]
+fn epoch_seal_builds_exactly_one_site_instance_per_site() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static FULL_BUILDS: AtomicUsize = AtomicUsize::new(0);
+    static SITE_BUILDS: AtomicUsize = AtomicUsize::new(0);
+    static COORD_BUILDS: AtomicUsize = AtomicUsize::new(0);
+
+    #[derive(Clone, Copy)]
+    struct Counting {
+        inner: RandomizedCount,
+    }
+    impl Protocol for Counting {
+        type Site = <RandomizedCount as Protocol>::Site;
+        type Coord = <RandomizedCount as Protocol>::Coord;
+        fn k(&self) -> usize {
+            self.inner.k()
+        }
+        fn build(&self, master_seed: u64) -> (Vec<Self::Site>, Self::Coord) {
+            FULL_BUILDS.fetch_add(1, Ordering::SeqCst);
+            self.inner.build(master_seed)
+        }
+        fn build_site(&self, master_seed: u64, me: usize) -> Self::Site {
+            SITE_BUILDS.fetch_add(1, Ordering::SeqCst);
+            self.inner.build_site(master_seed, me)
+        }
+        fn build_coord(&self, master_seed: u64) -> Self::Coord {
+            COORD_BUILDS.fetch_add(1, Ordering::SeqCst);
+            self.inner.build_coord(master_seed)
+        }
+    }
+    impl EpochProtocol for Counting {
+        type Digest = <RandomizedCount as EpochProtocol>::Digest;
+        fn digest(coord: &Self::Coord) -> Self::Digest {
+            <RandomizedCount as EpochProtocol>::digest(coord)
+        }
+        fn merge(a: Self::Digest, b: &Self::Digest) -> Self::Digest {
+            <RandomizedCount as EpochProtocol>::merge(a, b)
+        }
+    }
+
+    let k = 4usize;
+    let proto = Windowed::new(
+        Counting {
+            inner: RandomizedCount::new(TrackingConfig::new(k, 0.1)),
+        },
+        1_024,
+    );
+    let mut r = Runner::new(&proto, 5);
+    for t in 0..20_000u64 {
+        r.feed((t % k as u64) as usize, &t);
+    }
+    let seals = r.coord().epoch() as usize;
+    assert!(seals > 100, "expected many seals, got {seals}");
+    // The windowed adapter must never perform a full k-site build of the
+    // inner protocol — not even for the initial epoch.
+    assert_eq!(FULL_BUILDS.load(Ordering::SeqCst), 0, "full builds");
+    // Initial epoch: one site instance per site, one coordinator. Every
+    // seal: exactly one site instance per site (k total, O(k) — not the
+    // old O(k²) discard pattern) and one fresh inner coordinator.
+    assert_eq!(
+        SITE_BUILDS.load(Ordering::SeqCst),
+        k * (seals + 1),
+        "site constructions across {seals} seals"
+    );
+    assert_eq!(
+        COORD_BUILDS.load(Ordering::SeqCst),
+        seals + 1,
+        "coordinator constructions across {seals} seals"
+    );
 }
 
 /// Timed schedules drive every executor through `Executor::feed_at`:

@@ -165,13 +165,8 @@ impl Criterion {
         self
     }
 
-    fn run_one<F>(
-        &mut self,
-        id: &str,
-        throughput: Option<Throughput>,
-        samples: usize,
-        mut f: F,
-    ) where
+    fn run_one<F>(&mut self, id: &str, throughput: Option<Throughput>, samples: usize, mut f: F)
+    where
         F: FnMut(&mut Bencher),
     {
         let mut b = Bencher {

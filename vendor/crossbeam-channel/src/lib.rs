@@ -4,8 +4,9 @@
 //! The build environment has no registry access, so this vendored crate
 //! provides the subset of the API that [`dtrack-sim`'s channel runtime]
 //! uses — [`unbounded`], [`bounded`], a cloneable [`Sender`], and a
-//! [`Receiver`] with `recv`/`try_recv`/`iter` — implemented on a
-//! `Mutex<VecDeque>` guarded by two condition variables.
+//! [`Receiver`] with `recv`/`try_recv`/`recv_timeout`/`iter` —
+//! implemented on a `Mutex<VecDeque>` guarded by two condition
+//! variables.
 //!
 //! Unlike the first-generation stand-in (which wrapped `std::sync::mpsc`
 //! and silently ignored capacity), [`bounded`] now enforces **real
@@ -35,6 +36,15 @@ pub struct RecvError;
 pub enum TryRecvError {
     /// The channel is currently empty but senders still exist.
     Empty,
+    /// All senders have disconnected and the channel is drained.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout; senders still exist.
+    Timeout,
     /// All senders have disconnected and the channel is drained.
     Disconnected,
 }
@@ -133,6 +143,33 @@ impl<T> Receiver<T> {
                 return Err(RecvError);
             }
             inner = self.chan.not_empty.wait(inner).unwrap();
+        }
+    }
+
+    /// Block until a message arrives, every sender is dropped, or
+    /// `timeout` elapses — whichever happens first.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut inner = self.chan.inner.lock().unwrap();
+        loop {
+            if let Some(v) = inner.queue.pop_front() {
+                drop(inner);
+                self.chan.not_full.notify_one();
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _timed_out) = self
+                .chan
+                .not_empty
+                .wait_timeout(inner, deadline - now)
+                .unwrap();
+            inner = guard;
         }
     }
 
@@ -259,6 +296,41 @@ mod tests {
         assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
         tx.send(9u8).unwrap();
         assert_eq!(rx.try_recv(), Ok(9));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded();
+        let t0 = std::time::Instant::now();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(20)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        tx.send(4u8).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(20)), Ok(4));
+    }
+
+    #[test]
+    fn recv_timeout_reports_disconnection() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn recv_timeout_wakes_on_cross_thread_send() {
+        let (tx, rx) = unbounded();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            tx.send(11u8).unwrap();
+        });
+        // Generous timeout: the send must wake us long before it expires.
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(11));
+        h.join().unwrap();
     }
 
     #[test]

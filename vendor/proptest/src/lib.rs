@@ -213,8 +213,7 @@ pub mod prelude {
     //! One-stop import for tests: `use proptest::prelude::*;`.
 
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig,
-        Strategy,
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
     };
 }
 
@@ -311,10 +310,7 @@ mod tests {
     fn vec_strategy_respects_length() {
         let mut rng = TestRng::for_case("t::vec", 0);
         for _ in 0..100 {
-            let v = Strategy::new_value(
-                &crate::collection::vec(0u64..50, 3..7),
-                &mut rng,
-            );
+            let v = Strategy::new_value(&crate::collection::vec(0u64..50, 3..7), &mut rng);
             assert!((3..7).contains(&v.len()));
             assert!(v.iter().all(|&x| x < 50));
         }
