@@ -20,7 +20,7 @@
 use dtrack_core::boost::{median, Replicated, ReplicatedCoord};
 use dtrack_core::count::{DetCountCoord, DeterministicCount, RandCountCoord, RandomizedCount};
 use dtrack_core::frequency::{
-    DetFreqCoord, DeterministicFrequency, RandFreqCoord, RandomizedFrequency,
+    DetFreqCoord, DeterministicFrequency, RandFreqCoord, RandomizedFrequency, UncorrectedFrequency,
 };
 use dtrack_core::rank::{DetRankCoord, DeterministicRank, RandRankCoord, RandomizedRank};
 use dtrack_core::sampling::{ContinuousSampling, SamplingCoord};
@@ -380,6 +380,81 @@ pub fn windowed_frequency_run(
         }
         FreqAlgo::Sampling => run!(ContinuousSampling::new(cfg), ContinuousSampling),
     }
+}
+
+/// Number of rare probe items in the [`windowed_frequency_bias`]
+/// workload (items `1..=WINDOWED_BIAS_DOMAIN`, each `w / (2 · domain)`
+/// times in any window of `w` arrivals).
+pub const WINDOWED_BIAS_DOMAIN: u64 = 16;
+
+/// The windowed-bias workload: element `t` is the hot item 0 on even
+/// positions (keeps the coarse count growing so `p` falls into the
+/// sampling regime within each epoch) and cycles the rare items
+/// `1..=WINDOWED_BIAS_DOMAIN` on odd positions — so every rare item
+/// occurs exactly `w / (2 · domain)` times in any aligned window of `w`
+/// arrivals, putting its per-site per-epoch count in the counter-miss
+/// regime where the eq. (2)/eq. (4) difference is largest.
+pub fn windowed_bias_item(t: u64) -> u64 {
+    if t.is_multiple_of(2) {
+        0
+    } else {
+        1 + (t / 2) % WINDOWED_BIAS_DOMAIN
+    }
+}
+
+/// Mean **signed** rare-item windowed frequency error, in elements per
+/// item — the windowed bias harness. Runs `Windowed<RandomizedFrequency>`
+/// over the [`windowed_bias_item`] workload and averages
+/// `f̂_W(j) − f_W(j)` over all rare probes and `seeds` seeds (signed, so
+/// unbiased noise cancels and only systematic bias survives — the same
+/// ablation discipline as `exp_ablation`'s whole-stream arm 2).
+///
+/// `corrected` selects the real protocol (epoch digests carry the
+/// per-item `−d/p` correction terms) or the
+/// [`UncorrectedFrequency`] ablation arm (digests flattened to the
+/// tracked table — no correction terms at all). Corrected digests center the
+/// mean at 0 within the window machinery's heartbeat slack
+/// (`granularity/2` elements, pro-rated by the item's rate);
+/// uncorrected digests sit measurably above it.
+pub fn windowed_frequency_bias(
+    mode: ExecMode,
+    corrected: bool,
+    k: usize,
+    eps: f64,
+    n: u64,
+    w: u64,
+    seeds: u64,
+) -> f64 {
+    let cfg = TrackingConfig::new(k, eps);
+    let domain = WINDOWED_BIAS_DOMAIN;
+    let truth = w as f64 / (2 * domain) as f64;
+    let batch: Vec<(usize, u64)> = (0..n)
+        .map(|t| ((t % k as u64) as usize, windowed_bias_item(t)))
+        .collect();
+    let mut signed = 0.0;
+    macro_rules! run {
+        ($inner:expr, $coord:ty) => {{
+            for seed in 0..seeds {
+                let proto = Windowed::new($inner, w);
+                let mut ex = mode.build(&proto, seed);
+                ex.feed_batch(batch.clone());
+                ex.quiesce();
+                for j in 1..=domain {
+                    let est: f64 = ex.query(move |c: &WinCoord<$coord>| c.windowed_frequency(j));
+                    signed += est - truth;
+                }
+            }
+        }};
+    }
+    if corrected {
+        run!(RandomizedFrequency::new(cfg), RandomizedFrequency);
+    } else {
+        run!(
+            RandomizedFrequency::new(cfg).ablation_uncorrected_digests(),
+            UncorrectedFrequency
+        );
+    }
+    signed / (seeds * domain) as f64
 }
 
 /// Per-query error on a single probe (the hottest zipf item): this is

@@ -222,8 +222,15 @@ impl Coordinator for DetFreqCoord {
 
 /// A closed epoch digests to its mirrored-counter table (every tracked
 /// item with its estimate); the sliding-window adapter sum-merges the
-/// tables across buckets. Untracked items digest to 0, which is exactly
-/// the whole-stream estimator's behavior here.
+/// tables across buckets.
+///
+/// The digest carries **explicitly zero correction state**
+/// ([`crate::window::ItemCounts::from_pairs`]): unlike the randomized
+/// protocol, this estimator has no sampling step and hence no eq. (4)
+/// absent branch — its Misra–Gries tables count tracked items exactly
+/// (to εn̄/(2k) granularity), and an untracked item truly estimates to 0
+/// in the whole-stream estimator as well. A `−d/p`-style term here
+/// would *introduce* bias, not remove it.
 impl crate::window::EpochProtocol for DeterministicFrequency {
     type Digest = crate::window::ItemCounts;
 

@@ -17,5 +17,7 @@ mod randomized;
 pub mod topk;
 
 pub use deterministic::{DetFreqCoord, DetFreqSite, DeterministicFrequency};
-pub use randomized::{FreqDown, FreqUp, RandFreqCoord, RandFreqSite, RandomizedFrequency};
+pub use randomized::{
+    FreqDown, FreqUp, RandFreqCoord, RandFreqSite, RandomizedFrequency, UncorrectedFrequency,
+};
 pub use topk::TopK;

@@ -208,28 +208,44 @@ impl LiveSegment {
     }
 
     /// Fold the whole segment into the archives and reset under `new_p`.
-    /// `archive` receives the unbiased eq. (4) contributions;
-    /// `archive_naive` the biased eq. (2) ones (kept for the ablation
-    /// experiment — the cost is one extra map update per counter).
+    /// `tracked` receives the counter-branch contributions of eq. (4)
+    /// (which double as the biased eq. (2) estimator for the ablation
+    /// arm); `corrections` receives the absent-branch `−d/p` terms for
+    /// items side-sampled but never countered. Keeping the two branches
+    /// in separate archives is what lets an epoch digest preserve the
+    /// estimator's structure instead of flattening it.
     fn fold_into(
         &mut self,
-        archive: &mut FastMap<u64, f64>,
-        archive_naive: &mut FastMap<u64, f64>,
+        tracked: &mut FastMap<u64, f64>,
+        corrections: &mut FastMap<u64, f64>,
         new_p: f64,
     ) {
         for (&item, &c_bar) in &self.counters {
-            let contribution = c_bar as f64 - 2.0 + 2.0 / self.p;
-            *archive.entry(item).or_insert(0.0) += contribution;
-            *archive_naive.entry(item).or_insert(0.0) += contribution;
+            *tracked.entry(item).or_insert(0.0) += c_bar as f64 - 2.0 + 2.0 / self.p;
         }
         for (&item, &d) in &self.samples {
             if !self.counters.contains_key(&item) {
-                *archive.entry(item).or_insert(0.0) -= d as f64 / self.p;
+                *corrections.entry(item).or_insert(0.0) -= d as f64 / self.p;
             }
         }
         self.counters.clear();
         self.samples.clear();
         self.p = new_p;
+    }
+
+    /// Append this (still-live) segment's digest contributions:
+    /// counter-branch pairs to `tracked`, absent-branch `−d/p` terms to
+    /// `corrections` — the same two-branch split as [`Self::fold_into`],
+    /// read non-destructively at epoch-seal time.
+    fn digest_into(&self, tracked: &mut Vec<(u64, f64)>, corrections: &mut Vec<(u64, f64)>) {
+        for (&item, &c_bar) in &self.counters {
+            tracked.push((item, c_bar as f64 - 2.0 + 2.0 / self.p));
+        }
+        for (&item, &d) in &self.samples {
+            if !self.counters.contains_key(&item) {
+                corrections.push((item, -(d as f64) / self.p));
+            }
+        }
     }
 }
 
@@ -241,10 +257,14 @@ pub struct RandFreqCoord {
     p: f64,
     /// Per real site: the currently live virtual segment.
     live: Vec<LiveSegment>,
-    /// Closed rounds and closed virtual segments, pre-aggregated.
-    archive: FastMap<u64, f64>,
-    /// Ablation mirror of `archive` under the biased eq. (2) estimator.
-    archive_naive: FastMap<u64, f64>,
+    /// Closed rounds and closed virtual segments: counter-branch
+    /// contributions of eq. (4), pre-aggregated per item. Alone, this is
+    /// the biased eq. (2) estimator — the ablation arm.
+    archive_tracked: FastMap<u64, f64>,
+    /// Closed rounds and closed virtual segments: absent-branch `−d/p`
+    /// correction mass per item, kept separate from `archive_tracked` so
+    /// epoch digests can carry the correction terms explicitly.
+    archive_corrections: FastMap<u64, f64>,
 }
 
 impl RandFreqCoord {
@@ -254,15 +274,16 @@ impl RandFreqCoord {
             coarse: CoarseCoord::new(cfg.k),
             p: 1.0,
             live: (0..cfg.k).map(|_| LiveSegment::new(1.0)).collect(),
-            archive: FastMap::default(),
-            archive_naive: FastMap::default(),
+            archive_tracked: FastMap::default(),
+            archive_corrections: FastMap::default(),
         }
     }
 
     /// The tracked estimate of `f_j` (may be slightly negative for rare
     /// items — the estimator is unbiased, not truncated).
     pub fn estimate_frequency(&self, item: u64) -> f64 {
-        let archived = self.archive.get(&item).copied().unwrap_or(0.0);
+        let archived = self.archive_tracked.get(&item).copied().unwrap_or(0.0)
+            + self.archive_corrections.get(&item).copied().unwrap_or(0.0);
         let live: f64 = self.live.iter().map(|seg| seg.estimate(item)).sum();
         archived + live
     }
@@ -271,16 +292,17 @@ impl RandFreqCoord {
     /// correction). Exposed only so `exp_ablation` can measure the bias
     /// the paper predicts; use [`Self::estimate_frequency`] otherwise.
     pub fn estimate_frequency_naive(&self, item: u64) -> f64 {
-        let archived = self.archive_naive.get(&item).copied().unwrap_or(0.0);
+        let archived = self.archive_tracked.get(&item).copied().unwrap_or(0.0);
         let live: f64 = self.live.iter().map(|seg| seg.estimate_naive(item)).sum();
         archived + live
     }
 
     /// Items whose estimate is ≥ `threshold` (candidate heavy hitters).
-    /// Scans the archive plus live counters — items never sampled anywhere
-    /// cannot be heavy (their estimate would be ≤ 0).
+    /// Scans the archives plus live counters — items never sampled
+    /// anywhere cannot be heavy (their estimate would be ≤ 0).
     pub fn heavy_hitters(&self, threshold: f64) -> Vec<(u64, f64)> {
-        let mut candidates: Vec<u64> = self.archive.keys().copied().collect();
+        let mut candidates: Vec<u64> = self.archive_tracked.keys().copied().collect();
+        candidates.extend(self.archive_corrections.keys().copied());
         for seg in &self.live {
             candidates.extend(seg.counters.keys().copied());
         }
@@ -322,11 +344,19 @@ impl Coordinator for RandFreqCoord {
             }
             FreqUp::RoundAck(n_bar) => {
                 let new_p = self.cfg.p_for(*n_bar);
-                self.live[from].fold_into(&mut self.archive, &mut self.archive_naive, new_p);
+                self.live[from].fold_into(
+                    &mut self.archive_tracked,
+                    &mut self.archive_corrections,
+                    new_p,
+                );
             }
             FreqUp::VirtualSplit => {
                 let p = self.live[from].p;
-                self.live[from].fold_into(&mut self.archive, &mut self.archive_naive, p);
+                self.live[from].fold_into(
+                    &mut self.archive_tracked,
+                    &mut self.archive_corrections,
+                    p,
+                );
             }
             FreqUp::CounterNew(item) => {
                 self.live[from].counters.insert(*item, 1);
@@ -341,20 +371,91 @@ impl Coordinator for RandFreqCoord {
     }
 }
 
-/// A closed epoch digests to the estimates of every item the estimator
-/// tracked a counter or sample for; the sliding-window adapter
-/// sum-merges those tables across buckets.
-///
-/// Items never sampled in an epoch digest to 0 rather than the
-/// whole-stream estimator's small negative `−d/p` correction (a
-/// per-item table cannot carry a correction for items it has never
-/// seen), so windowed estimates of rare items carry a slight extra
-/// positive bias — heavy hitters are unaffected.
+/// A closed epoch digests to the estimator's full two-branch structure:
+/// the counter-backed items with their eq. (4) estimates, *plus* the
+/// per-item `−d/p` correction terms of the absent branch — both the
+/// archived rounds' and the still-live segments' side-sample state at
+/// seal time. The digest therefore answers every item query with
+/// exactly the value [`RandFreqCoord::estimate_frequency`] would have
+/// returned at the moment of sealing, so closing an epoch introduces no
+/// bias: windowed rare-item estimates inherit the live estimator's
+/// unbiasedness (Lemma 3.1). The sliding-window adapter sum-merges both
+/// branches across buckets and pro-rates both for straddling buckets.
 impl crate::window::EpochProtocol for RandomizedFrequency {
     type Digest = crate::window::ItemCounts;
 
     fn digest(coord: &RandFreqCoord) -> Self::Digest {
-        crate::window::ItemCounts::from_pairs(coord.heavy_hitters(f64::NEG_INFINITY))
+        let mut tracked: Vec<(u64, f64)> = coord
+            .archive_tracked
+            .iter()
+            .map(|(&item, &v)| (item, v))
+            .collect();
+        let mut corrections: Vec<(u64, f64)> = coord
+            .archive_corrections
+            .iter()
+            .map(|(&item, &v)| (item, v))
+            .collect();
+        for seg in &coord.live {
+            seg.digest_into(&mut tracked, &mut corrections);
+        }
+        crate::window::ItemCounts::with_corrections(tracked, corrections)
+    }
+
+    fn merge(a: Self::Digest, b: &Self::Digest) -> Self::Digest {
+        a.merged(b)
+    }
+}
+
+/// **Ablation arm**: [`RandomizedFrequency`] with the epoch digests'
+/// `−d/p` correction branch dropped — closed epochs flatten to the
+/// counter-backed table only, the windowed analogue of the paper's
+/// biased eq. (2) estimator. (This is *harsher* than the pre-fix
+/// digests, which kept archived correction mass inside their flat table
+/// and dropped only the live segments' sample-only terms — measured
+/// ≈ +6 vs ≈ +60 elements/item on the bias harness; see CHANGES.md.) The
+/// wire protocol, sites, and coordinator are *identical* to the real
+/// protocol (same messages, same words, same RNG stream); only
+/// [`crate::window::EpochProtocol::digest`] differs. Exists solely so
+/// the windowed bias harness (`exp_ablation` arm 5, `exp_window`, the
+/// release-gated bias tests) can measure the positive rare-item bias
+/// the correction removes; never use it for answers.
+#[derive(Debug, Clone, Copy)]
+pub struct UncorrectedFrequency(RandomizedFrequency);
+
+impl RandomizedFrequency {
+    /// This protocol with uncorrected (tracked-table-only) epoch
+    /// digests, for the windowed bias ablation.
+    pub fn ablation_uncorrected_digests(self) -> UncorrectedFrequency {
+        UncorrectedFrequency(self)
+    }
+}
+
+impl Protocol for UncorrectedFrequency {
+    type Site = RandFreqSite;
+    type Coord = RandFreqCoord;
+
+    fn k(&self) -> usize {
+        self.0.k()
+    }
+
+    fn build(&self, master_seed: u64) -> (Vec<RandFreqSite>, RandFreqCoord) {
+        self.0.build(master_seed)
+    }
+
+    fn build_site(&self, master_seed: u64, me: SiteId) -> RandFreqSite {
+        self.0.build_site(master_seed, me)
+    }
+
+    fn build_coord(&self, master_seed: u64) -> RandFreqCoord {
+        self.0.build_coord(master_seed)
+    }
+}
+
+impl crate::window::EpochProtocol for UncorrectedFrequency {
+    type Digest = crate::window::ItemCounts;
+
+    fn digest(coord: &RandFreqCoord) -> Self::Digest {
+        <RandomizedFrequency as crate::window::EpochProtocol>::digest(coord).uncorrected()
     }
 
     fn merge(a: Self::Digest, b: &Self::Digest) -> Self::Digest {

@@ -7,6 +7,14 @@
 //! item whose estimate is within `2εn` of the m-th largest estimate —
 //! the reported set then contains every true top-m item, and everything
 //! reported has true frequency ≥ (true m-th frequency) − `4εn`.
+//!
+//! Top-k needs **no `−d/p` correction handling** of its own: the
+//! oracle's candidate scan already returns each item's full eq. (4)
+//! estimate (counter branch plus correction branch), and items carrying
+//! only correction mass estimate to ≤ 0 — they can never displace a
+//! true top-m item, whose estimate exceeds the cut band by assumption.
+//! The corrections matter for *rare-item point queries* (and hence for
+//! the windowed digest layer), not for the top of the order statistics.
 
 use crate::frequency::RandFreqCoord;
 

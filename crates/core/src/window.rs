@@ -58,6 +58,21 @@
 //!   transport's fairness guarantees (below) — identically zero on the
 //!   deterministic executors.
 //!
+//! Digesting itself adds **no estimator bias**: digests preserve the
+//! inner estimator's structure rather than flattening it. In
+//! particular, frequency digests ([`ItemCounts`]) carry the randomized
+//! estimator's per-epoch `−d/p` correction terms for items that were
+//! side-sampled but never countered, so a closed bucket answers every
+//! item query with exactly the value the live estimator would have
+//! given at seal time — rare items included. (Earlier revisions
+//! flattened each epoch to a single point table that dropped the live
+//! segments' sample-only `−d/p` terms at seal time, leaving windowed
+//! rare-item estimates with a small positive bias; the bias harness in
+//! `exp_ablation`/`exp_window` pins the corrected digests at mean
+//! signed rare-item error ≈ 0 and keeps a *fully* uncorrected ablation
+//! arm — all correction terms dropped, not just the live-segment ones —
+//! to show the worst-case damage.)
+//!
 //! With the default `granularity = W/32` the total stays within the
 //! configured `ε` on the standard workloads, as a mean over ≥ 20 seeds —
 //! pinned by the windowed accuracy tests for the lock-step and event
@@ -203,60 +218,154 @@ impl CountDigest for ScalarCount {
     }
 }
 
-/// Digest of a frequency-tracking epoch: the tracked items with their
-/// estimated counts, sorted by item.
+/// Digest of a frequency-tracking epoch, preserving the estimator's
+/// *two-branch structure* instead of flattening it to a point table:
 ///
-/// Items the inner protocol never countered estimate to 0 here — the
-/// small negative `−d/p` correction whole-stream estimators apply to
-/// absent items is not representable in a per-item table, so windowed
-/// frequency answers carry a slight extra positive bias on rare items.
+/// * `tracked` — the items the epoch's estimator backed with a counter,
+///   with their (eq. 4 counter-branch) estimates, sorted by item;
+/// * `corrections` — the per-epoch `−d/p` correction terms of the
+///   eq. (4) absent branch: one `(item, −d/p)` entry for every item that
+///   was side-sampled but never countered in the epoch, sorted by item.
+///
+/// A [`FrequencyDigest::frequency`] query sums both branches, so the
+/// digest reproduces the whole-stream estimator's answer for *every*
+/// item — including the small negative correction for rare items —
+/// which is what keeps windowed frequency estimates unbiased (the paper
+/// warns the uncorrected estimator's bias "might be as large as
+/// Θ(εn/√k)"). Items in neither branch answer 0, exactly as the live
+/// estimator does for items it never sampled.
+///
+/// The correction state is carried **per item** rather than as a single
+/// pooled scalar: a pooled aggregate would be unbiased only averaged
+/// over some assumed query distribution, while per-item terms make each
+/// individual query unbiased. The pooled mass is still exposed as
+/// [`ItemCounts::absent_correction`] for diagnostics and bias tests.
+///
+/// Both branches merge additively across adjacent epochs (an item may
+/// be tracked in one epoch and only-corrected in another; the
+/// concatenated stream's estimator is the sum of the per-epoch
+/// estimators), and both scale linearly under the straddling-bucket
+/// pro-rating, like every other digest field.
+///
+/// Exact (deterministic) protocols construct digests via
+/// [`ItemCounts::from_pairs`], which carries **explicitly zero
+/// correction**: their tables are exact counts with no sampling step,
+/// so there is no absent-branch mass to restore.
 #[derive(Debug, Clone, Default, PartialEq)]
-pub struct ItemCounts(Vec<(u64, f64)>);
+pub struct ItemCounts {
+    /// Counter-backed `(item, estimate)` pairs, sorted by item.
+    tracked: Vec<(u64, f64)>,
+    /// Absent-branch `(item, −d/p)` correction terms, sorted by item.
+    /// Disjoint from `tracked` within a single epoch; may overlap it
+    /// after merges (queries sum the branches).
+    corrections: Vec<(u64, f64)>,
+}
+
+/// Sort by item and combine duplicates by summation.
+fn normalize_pairs(mut pairs: Vec<(u64, f64)>) -> Vec<(u64, f64)> {
+    pairs.sort_unstable_by_key(|&(item, _)| item);
+    pairs.dedup_by(|younger, older| {
+        if younger.0 == older.0 {
+            older.1 += younger.1;
+            true
+        } else {
+            false
+        }
+    });
+    pairs
+}
+
+fn lookup(pairs: &[(u64, f64)], item: u64) -> f64 {
+    match pairs.binary_search_by_key(&item, |&(i, _)| i) {
+        Ok(idx) => pairs[idx].1,
+        Err(_) => 0.0,
+    }
+}
 
 impl ItemCounts {
     /// Build from arbitrary-order `(item, estimate)` pairs, combining
-    /// duplicates by summation.
-    pub fn from_pairs(mut pairs: Vec<(u64, f64)>) -> Self {
-        pairs.sort_unstable_by_key(|&(item, _)| item);
-        pairs.dedup_by(|younger, older| {
-            if younger.0 == older.0 {
-                older.1 += younger.1;
-                true
-            } else {
-                false
-            }
-        });
-        Self(pairs)
+    /// duplicates by summation, with **zero correction state** — the
+    /// constructor for exact tables (deterministic frequency tracking),
+    /// whose estimators have no absent branch to preserve.
+    pub fn from_pairs(pairs: Vec<(u64, f64)>) -> Self {
+        Self {
+            tracked: normalize_pairs(pairs),
+            corrections: Vec::new(),
+        }
     }
 
-    /// Sum-merge with another epoch's table.
+    /// Build from counter-branch `(item, estimate)` pairs plus
+    /// absent-branch `(item, −d/p)` correction terms (both in arbitrary
+    /// order, duplicates combined by summation) — the constructor for
+    /// randomized estimators whose unbiasedness rests on the correction
+    /// branch.
+    pub fn with_corrections(pairs: Vec<(u64, f64)>, corrections: Vec<(u64, f64)>) -> Self {
+        Self {
+            tracked: normalize_pairs(pairs),
+            corrections: normalize_pairs(corrections),
+        }
+    }
+
+    /// Sum-merge with another epoch's digest, branch by branch.
     pub fn merged(self, other: &Self) -> Self {
-        let mut all = self.0;
-        all.extend_from_slice(&other.0);
-        Self::from_pairs(all)
+        let mut tracked = self.tracked;
+        tracked.extend_from_slice(&other.tracked);
+        let mut corrections = self.corrections;
+        corrections.extend_from_slice(&other.corrections);
+        Self {
+            tracked: normalize_pairs(tracked),
+            corrections: normalize_pairs(corrections),
+        }
     }
 
-    /// Number of distinct tracked items.
+    /// This digest with the correction branch dropped entirely — the
+    /// **ablation arm**, the windowed analogue of the paper's biased
+    /// eq. (2) estimator. (Strictly more biased than the pre-fix
+    /// digests, which flattened to one table but retained the
+    /// *archived* correction mass.) Exposed so the bias harness can
+    /// measure the damage; never use it for answers.
+    pub fn uncorrected(self) -> Self {
+        Self {
+            tracked: self.tracked,
+            corrections: Vec::new(),
+        }
+    }
+
+    /// Number of distinct tracked (counter-backed) items.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.tracked.len()
     }
 
     /// Whether no items are tracked.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.tracked.is_empty()
+    }
+
+    /// Number of distinct items carrying an absent-branch correction.
+    pub fn corrections_len(&self) -> usize {
+        self.corrections.len()
+    }
+
+    /// The aggregate `−d/p` correction mass this digest carries (≤ 0 for
+    /// a single epoch) — the pooled view of the absent branch, for
+    /// diagnostics and bias tests. Queries use the per-item terms.
+    pub fn absent_correction(&self) -> f64 {
+        self.corrections.iter().map(|&(_, c)| c).sum()
     }
 }
 
 impl FrequencyDigest for ItemCounts {
+    /// Counter branch plus correction branch: the full eq. (4)
+    /// estimator for `item`, 0 only if the epoch neither countered nor
+    /// side-sampled it (which is the live estimator's answer too).
     fn frequency(&self, item: u64) -> f64 {
-        match self.0.binary_search_by_key(&item, |&(i, _)| i) {
-            Ok(idx) => self.0[idx].1,
-            Err(_) => 0.0,
-        }
+        lookup(&self.tracked, item) + lookup(&self.corrections, item)
     }
 
+    /// Tracked items only: corrections are ≤ 0, so an item outside the
+    /// tracked branch estimates to ≤ 0 and cannot be a heavy hitter.
     fn items(&self) -> Vec<u64> {
-        self.0.iter().map(|&(i, _)| i).collect()
+        self.tracked.iter().map(|&(i, _)| i).collect()
     }
 }
 
@@ -994,11 +1103,50 @@ mod tests {
         assert_eq!(a.frequency(3), 1.5);
         assert_eq!(a.frequency(1), 2.0);
         assert_eq!(a.frequency(2), 0.0);
+        assert_eq!(a.absent_correction(), 0.0, "from_pairs carries none");
         let b = ItemCounts::from_pairs(vec![(2, 4.0), (3, 1.0)]);
         let m = a.merged(&b);
         assert_eq!(m.frequency(3), 2.5);
         assert_eq!(m.frequency(2), 4.0);
         assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn item_counts_corrections_answer_untracked_queries() {
+        // Epoch tracked item 1; items 7 and 9 were side-sampled only →
+        // they answer their own −d/p, not 0.
+        let d = ItemCounts::with_corrections(vec![(1, 10.0)], vec![(7, -2.0), (9, -0.5)]);
+        assert_eq!(d.frequency(1), 10.0);
+        assert_eq!(d.frequency(7), -2.0);
+        assert_eq!(d.frequency(9), -0.5);
+        assert_eq!(
+            d.frequency(8),
+            0.0,
+            "never sampled → 0, like the live estimator"
+        );
+        assert_eq!(d.len(), 1, "only tracked items count");
+        assert_eq!(d.corrections_len(), 2);
+        assert_eq!(d.absent_correction(), -2.5);
+        // Candidate enumeration stays tracked-only: corrections are ≤ 0.
+        assert_eq!(d.items(), vec![1]);
+    }
+
+    #[test]
+    fn item_counts_merge_sums_branches_independently() {
+        // Item 7: tracked in epoch A, correction-only in epoch B — the
+        // concatenated estimator is the sum of the per-epoch branches.
+        let a = ItemCounts::with_corrections(vec![(7, 4.0)], vec![(3, -1.0)]);
+        let b = ItemCounts::with_corrections(vec![(1, 2.0)], vec![(7, -0.25), (3, -0.75)]);
+        let m = a.merged(&b);
+        assert_eq!(m.frequency(7), 3.75);
+        assert_eq!(m.frequency(3), -1.75);
+        assert_eq!(m.frequency(1), 2.0);
+        assert_eq!(m.absent_correction(), -2.0);
+        // The ablation view drops exactly the correction branch.
+        let flat = m.clone().uncorrected();
+        assert_eq!(flat.frequency(7), 4.0);
+        assert_eq!(flat.frequency(3), 0.0);
+        assert_eq!(flat.absent_correction(), 0.0);
     }
 
     #[test]
