@@ -3,6 +3,9 @@
 //! §1.2 median-boosting claim (correct at *all* times).
 //!
 //! Usage: `exp_accuracy [N] [K] [EPS] [SEEDS] [EXEC]`
+//! (`EXEC` accepts fault suffixes on event modes, e.g.
+//! `event+loss:0.05+dup:0.05+churn` — the accuracy table then measures
+//! the guarantees over lossy, duplicating, churning links.)
 
 use dtrack_bench::cli::{arg, banner, exec_arg};
 use dtrack_bench::measure::{

@@ -18,8 +18,9 @@
 //! `exp_ablation` arm 2.
 //!
 //! Usage: `exp_window [N] [K] [EPS] [W] [SEEDS] [EXEC]`
-//! (`EXEC` picks the executor + delivery policy, e.g. `channel` or
-//! `event:random:1:32`; the window is added on top of it.)
+//! (`EXEC` picks the executor + delivery policy and optional link
+//! faults, e.g. `channel`, `event:random:1:32`, or
+//! `event+loss:0.05+dup:0.05+churn`; the window is added on top of it.)
 
 use dtrack_bench::cli::{arg, banner, exec_arg};
 use dtrack_bench::measure::{
@@ -191,8 +192,30 @@ fn main() {
     let (bk, beps) = (8usize, 0.1f64);
     let bn = n.min(40_000);
     let bw = (bn / 4).max(2);
-    let corrected = windowed_frequency_bias(exec.mode, true, bk, beps, bn, bw, bias_seeds);
-    let uncorrected = windowed_frequency_bias(exec.mode, false, bk, beps, bn, bw, bias_seeds);
+    let corrected = windowed_frequency_bias(
+        ExecConfig {
+            window: None,
+            ..exec
+        },
+        true,
+        bk,
+        beps,
+        bn,
+        bw,
+        bias_seeds,
+    );
+    let uncorrected = windowed_frequency_bias(
+        ExecConfig {
+            window: None,
+            ..exec
+        },
+        false,
+        bk,
+        beps,
+        bn,
+        bw,
+        bias_seeds,
+    );
     let mut bt = Table::new(["windowed digest", "mean signed rare-item err", "× (eps·W)"]);
     for (name, bias) in [
         ("with −d/p corrections", corrected),

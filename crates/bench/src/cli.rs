@@ -3,8 +3,10 @@
 //! Every binary accepts optional positional overrides, e.g.
 //! `table1 [N] [K] [EPS] [SEEDS] [EXEC]`; anything omitted — or anything
 //! that fails to parse — falls back to the default. The trailing `EXEC`
-//! argument selects the executor + delivery policy and, via a
-//! `+window:W` suffix, sliding-window tracking (see [`exec_arg`]).
+//! argument selects the executor + delivery policy and, via `+` suffixes,
+//! sliding-window tracking (`+window:W`) and link-fault injection
+//! (`+loss:P`, `+dup:P`, `+churn[:R]`, `+straggle:S` — event modes only);
+//! see [`exec_arg`].
 
 use dtrack_sim::ExecConfig;
 
@@ -20,7 +22,8 @@ pub fn arg<T: std::str::FromStr>(idx: usize, default: T) -> T {
 /// Parse positional argument `idx` as an [`ExecConfig`] scenario spec
 /// (`lockstep | channel | event[:instant] | event:fixed:D |
 /// event:random:MIN:MAX | event:reorder:W`, each optionally suffixed
-/// `+window:W` for sliding-window tracking), defaulting to
+/// `+window:W` for sliding-window tracking and — on event modes —
+/// `+loss:P+dup:P+churn[:R]+straggle:S` for link faults), defaulting to
 /// [`ExecConfig::lockstep`] when absent.
 ///
 /// Unlike [`arg`], a *malformed* spec aborts with a message instead of

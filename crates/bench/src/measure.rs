@@ -26,7 +26,7 @@ use dtrack_core::rank::{DetRankCoord, DeterministicRank, RandRankCoord, Randomiz
 use dtrack_core::sampling::{ContinuousSampling, SamplingCoord};
 use dtrack_core::window::{WinCoord, Windowed};
 use dtrack_core::TrackingConfig;
-use dtrack_sim::{ExecConfig, ExecMode, Executor, Protocol};
+use dtrack_sim::{ExecConfig, Executor, Protocol};
 use dtrack_sketch::exact::{ExactCounts, ExactRanks};
 use dtrack_workload::items::{DistinctSeq, ItemGen, ZipfItems};
 use dtrack_workload::{Arrival, RoundRobin, SiteAssign, UniformSites, Workload};
@@ -131,7 +131,18 @@ pub fn count_run(
     seed: u64,
 ) -> (CommSpace, f64) {
     if let Some(w) = exec.window {
-        return windowed_count_run(exec.mode, algo, k, eps, n, w, seed);
+        return windowed_count_run(
+            ExecConfig {
+                window: None,
+                ..exec
+            },
+            algo,
+            k,
+            eps,
+            n,
+            w,
+            seed,
+        );
     }
     let cfg = TrackingConfig::new(k, eps);
     let batch = round_robin_batch(k, n);
@@ -163,10 +174,10 @@ pub fn count_run(
 /// Run *windowed* count-tracking: the protocol wrapped in
 /// [`Windowed`] with window `w`, scored against the exact sliding
 /// count `min(n, w)`. Called by [`count_run`] for `+window:W`
-/// scenarios; callable directly when the executor mode and window are
-/// already separate.
+/// scenarios; callable directly with the window already separate —
+/// `w` governs, any `+window` suffix in `exec` is ignored.
 pub fn windowed_count_run(
-    mode: ExecMode,
+    exec: ExecConfig,
     algo: CountAlgo,
     k: usize,
     eps: f64,
@@ -180,7 +191,7 @@ pub fn windowed_count_run(
     macro_rules! run {
         ($inner:expr, $coord:ty) => {{
             let proto = Windowed::new($inner, w);
-            let mut ex = mode.build(&proto, seed);
+            let mut ex = exec.mode.build_faulty(exec.faults, &proto, seed);
             ex.feed_batch(batch);
             ex.quiesce();
             let est: f64 = ex.query(|c: &WinCoord<$coord>| c.windowed_count());
@@ -287,7 +298,18 @@ pub fn frequency_run(
     seed: u64,
 ) -> (CommSpace, f64) {
     if let Some(w) = exec.window {
-        return windowed_frequency_run(exec.mode, algo, k, eps, n, w, seed);
+        return windowed_frequency_run(
+            ExecConfig {
+                window: None,
+                ..exec
+            },
+            algo,
+            k,
+            eps,
+            n,
+            w,
+            seed,
+        );
     }
     let cfg = TrackingConfig::new(k, eps);
     let arrivals = freq_workload(k, n, seed ^ 0xF00D);
@@ -338,7 +360,7 @@ pub fn frequency_run(
 /// absent probes, where `f_W` is the item's exact count within the last
 /// `w` arrivals.
 pub fn windowed_frequency_run(
-    mode: ExecMode,
+    exec: ExecConfig,
     algo: FreqAlgo,
     k: usize,
     eps: f64,
@@ -359,7 +381,7 @@ pub fn windowed_frequency_run(
     macro_rules! run {
         ($inner:expr, $coord:ty) => {{
             let proto = Windowed::new($inner, w);
-            let mut ex = mode.build(&proto, seed);
+            let mut ex = exec.mode.build_faulty(exec.faults, &proto, seed);
             ex.feed_batch(batch);
             ex.quiesce();
             let worst = probes
@@ -417,7 +439,7 @@ pub fn windowed_bias_item(t: u64) -> u64 {
 /// (`granularity/2` elements, pro-rated by the item's rate);
 /// uncorrected digests sit measurably above it.
 pub fn windowed_frequency_bias(
-    mode: ExecMode,
+    exec: ExecConfig,
     corrected: bool,
     k: usize,
     eps: f64,
@@ -436,7 +458,7 @@ pub fn windowed_frequency_bias(
         ($inner:expr, $coord:ty) => {{
             for seed in 0..seeds {
                 let proto = Windowed::new($inner, w);
-                let mut ex = mode.build(&proto, seed);
+                let mut ex = exec.mode.build_faulty(exec.faults, &proto, seed);
                 ex.feed_batch(batch.clone());
                 ex.quiesce();
                 for j in 1..=domain {
@@ -518,7 +540,18 @@ pub fn rank_run(
     seed: u64,
 ) -> (CommSpace, f64) {
     if let Some(w) = exec.window {
-        return windowed_rank_run(exec.mode, algo, k, eps, n, w, seed);
+        return windowed_rank_run(
+            ExecConfig {
+                window: None,
+                ..exec
+            },
+            algo,
+            k,
+            eps,
+            n,
+            w,
+            seed,
+        );
     }
     let cfg = TrackingConfig::new(k, eps);
     let batch = rank_batch(k, n, seed);
@@ -564,7 +597,7 @@ pub fn rank_run(
 /// scored by the maximum `|rank̂_W − rank_W|/w` over the window's
 /// deciles, where `rank_W` counts only the last `w` arrivals.
 pub fn windowed_rank_run(
-    mode: ExecMode,
+    exec: ExecConfig,
     algo: RankAlgo,
     k: usize,
     eps: f64,
@@ -583,7 +616,7 @@ pub fn windowed_rank_run(
     macro_rules! run {
         ($inner:expr, $coord:ty) => {{
             let proto = Windowed::new($inner, w);
-            let mut ex = mode.build(&proto, seed);
+            let mut ex = exec.mode.build_faulty(exec.faults, &proto, seed);
             ex.feed_batch(batch);
             ex.quiesce();
             let worst = (1..10)

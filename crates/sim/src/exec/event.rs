@@ -1,14 +1,16 @@
-//! Deterministic discrete-event executor with pluggable delivery policies.
+//! Deterministic discrete-event executor with pluggable delivery
+//! policies and fault injection.
 //!
 //! [`EventRuntime`] is the third executor of the workspace, between the
 //! idealized lock-step [`crate::Runner`] and the genuinely concurrent
 //! [`crate::runtime::ChannelRuntime`]: it relaxes the paper's
-//! instant-communication assumption — messages can be delayed and
-//! reordered — while staying **single-threaded and fully deterministic**,
-//! so every off-model scenario is bit-for-bit reproducible from its seed.
-//! (The channel runtime also relaxes instant delivery, but its thread
-//! interleaving differs run to run; it can show *that* a protocol
-//! degrades, not replay *how*.)
+//! instant-communication assumption — messages can be delayed, reordered,
+//! lost, duplicated, and whole sites can drop off — while staying
+//! **single-threaded and fully deterministic**, so every off-model
+//! scenario is bit-for-bit reproducible from its seed. (The channel
+//! runtime also relaxes instant delivery, but its thread interleaving
+//! differs run to run; it can show *that* a protocol degrades, not
+//! replay *how*.)
 //!
 //! ## Model
 //!
@@ -25,12 +27,66 @@
 //! exact same message sequence, so communication statistics, space peaks
 //! and query answers agree bit for bit (pinned by the
 //! `exec_equivalence` integration test).
+//!
+//! ## Fault injection and delivery guarantees
+//!
+//! [`EventRuntime::with_faults`] layers a [`FaultPlan`] *under* the
+//! delivery policy: each of the `2k` star links (one per site per
+//! direction) becomes a [`LinkModel`] with its own seeded loss and
+//! duplication streams, sender-side **sequence numbers**, and a
+//! receiver-side reassembly endpoint. The resulting guarantees, from the
+//! wire up:
+//!
+//! * **The raw link is at-least-once, unordered.** A transmission
+//!   attempt is lost with probability `loss`; the link retransmits on a
+//!   fixed RTO ([`RETRY_TICKS`]) until a copy gets through, so a loss
+//!   is extra delay, never silence. With probability `dup` an extra
+//!   copy trails the primary. Different messages on one link can
+//!   overtake each other (retransmission delays compose with the
+//!   delivery policy's per-message delay).
+//! * **The endpoint upgrades it to exactly-once, in-order.** The
+//!   receiver releases link messages to the protocol strictly in
+//!   sequence-number order (a hold-back buffer fills gaps, TCP-style)
+//!   and discards duplicates by sequence number. Head-of-line blocking
+//!   behind a lost message is therefore *visible to protocols as
+//!   latency* — the same class of perturbation as
+//!   [`DeliveryPolicy::RandomDelay`] — but never as duplicated or
+//!   reordered *processing* on a single link.
+//! * **Where idempotence is required:** nowhere in the protocols. The
+//!   Table-1 state machines and the `Windowed` seal/ack handshake all
+//!   assume exactly-once in-order per-link delivery, and the endpoint
+//!   provides it; idempotence lives in the transport's dedup, and the
+//!   `tests/faults.rs` property suite *proves* the upgrade by asserting
+//!   coordinator answers are bit-identical with duplication on and off.
+//! * **Churn is partition, not crash.** An offline site keeps its state;
+//!   its arrivals reroute deterministically to the next online site (the
+//!   global element multiset is preserved, so whole-stream answers are
+//!   unaffected once quiesced) and coordinator→site deliveries are
+//!   parked and replayed in order at rejoin. For `Windowed<P>`, a
+//!   rejoining site's lagging control plane is absorbed by the mergeable
+//!   digest machinery — seals it missed while away arrive on rejoin and
+//!   its epochs re-synchronize, at some accuracy cost the fault suite
+//!   bounds by ε.
+//!
+//! Fault randomness is drawn from **per-link, per-concern PRNG streams**
+//! (see [`crate::exec::faults::fault_seed`]), independent of the delivery policy's
+//! delay stream and of all protocol streams. Consequently a fault-free
+//! plan leaves runs bit-identical to the pre-fault runtime, and enabling
+//! one fault does not perturb another's draws. Link-layer overhead
+//! (retransmissions, duplicate copies, parked/rerouted deliveries) is
+//! counted in [`FaultStats`], *not* in [`CommStats`] — the paper's
+//! message/word accounting charges protocol sends only, so fault-free
+//! baselines stay exact.
 
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 
 use rand::rngs::SmallRng;
 use rand::Rng;
 
+use crate::exec::faults::{
+    draw_failed_attempts, fault_seed, link_stream, ChurnSchedule, FaultPlan, FaultStats, DUP_LAG,
+    RETRY_TICKS, STRAGGLER_SITE,
+};
 use crate::message::Words;
 use crate::net::{Dest, Net, Outbox};
 use crate::protocol::{Coordinator, Protocol, Site, SiteId};
@@ -68,15 +124,24 @@ pub enum DeliveryPolicy {
     },
 }
 
-/// Payload of a scheduled event.
+/// Payload of a scheduled event. Link messages carry their link-layer
+/// sequence number (`0` and unused when no fault layer is active).
 enum Ev<I, U, D> {
     /// A stream element arriving at a site.
     Arrive(SiteId, I),
-    /// A site → coordinator message in flight.
-    Up(SiteId, U),
+    /// A site → coordinator message in flight (site id, link seq).
+    Up(SiteId, u64, U),
     /// A coordinator → site message in flight (broadcasts are expanded
     /// into `k` of these when sent, per the model's cost accounting).
-    Down(SiteId, D),
+    Down(SiteId, u64, D),
+    /// A duplicate copy of up-link message `seq` arriving. It carries no
+    /// payload: the endpoint's sequence dedup necessarily discards it —
+    /// the event exists to exercise and count that discard path
+    /// deterministically (and never touches any shared PRNG stream,
+    /// which is what keeps dup-on and dup-off runs bit-identical).
+    DupUp(SiteId, u64),
+    /// A duplicate copy of down-link message `seq` arriving.
+    DupDown(SiteId, u64),
 }
 
 /// Queue entry: ordered by `(at, seq)` so equal-time events pop FIFO.
@@ -116,12 +181,130 @@ type EvOf<P> = Ev<
 
 type EntryOf<P> = Entry<EvOf<P>>;
 
+/// One directed star link under fault injection: sender-side sequence
+/// numbering and per-concern PRNG streams, receiver-side in-order
+/// release with duplicate discard, plus observed-latency accounting
+/// (consumed by `dtrack_workload`'s adaptive assignment policy).
+pub struct LinkModel<M> {
+    /// Next sequence number the sender will stamp.
+    next_send: u64,
+    /// Next sequence number the receiver will release to the protocol.
+    next_deliver: u64,
+    /// Out-of-order arrivals held back until the gap fills.
+    pending: BTreeMap<u64, M>,
+    /// Per-link loss stream (consumed only when `loss > 0`).
+    loss_rng: SmallRng,
+    /// Per-link duplication stream (consumed only when `dup > 0`).
+    dup_rng: SmallRng,
+    /// Deterministic extra latency per hop (straggler links).
+    extra: u64,
+    /// Messages scheduled on this link.
+    sent: u64,
+    /// Sum of scheduled delivery delays, for mean-latency queries.
+    delay_sum: u64,
+}
+
+impl<M> LinkModel<M> {
+    fn new(master_seed: u64, site: usize, up: bool, extra: u64) -> Self {
+        Self {
+            next_send: 0,
+            next_deliver: 0,
+            pending: BTreeMap::new(),
+            loss_rng: rng_from_seed(fault_seed(master_seed, link_stream(site, up, 1))),
+            dup_rng: rng_from_seed(fault_seed(master_seed, link_stream(site, up, 2))),
+            extra,
+            sent: 0,
+            delay_sum: 0,
+        }
+    }
+
+    /// Stamp the next message and compute its delivery schedule:
+    /// `(link seq, delivery tick, duplicate's delivery tick if any)`.
+    /// `base` is the delivery policy's delay for this message; loss
+    /// turns into retransmission delay, never into absence.
+    fn schedule(
+        &mut self,
+        plan: &FaultPlan,
+        now: u64,
+        base: u64,
+        stats: &mut FaultStats,
+    ) -> (u64, u64, Option<u64>) {
+        let seq = self.next_send;
+        self.next_send += 1;
+        let mut delay = base + self.extra;
+        if plan.loss > 0.0 {
+            let failed = draw_failed_attempts(&mut self.loss_rng, plan.loss);
+            stats.retransmissions += failed;
+            delay += failed * (RETRY_TICKS + self.extra);
+        }
+        let at = now + delay;
+        self.sent += 1;
+        self.delay_sum += delay;
+        let dup_at = if plan.dup > 0.0 && crate::rng::flip(&mut self.dup_rng, plan.dup) {
+            stats.duplicates += 1;
+            Some(at + 1 + self.dup_rng.gen_range(0..DUP_LAG))
+        } else {
+            None
+        };
+        (seq, at, dup_at)
+    }
+
+    /// A primary copy of `seq` arrived: buffer it for in-order release.
+    /// Returns false (and counts a dedup drop) if `seq` was already
+    /// delivered or buffered — can happen only via duplicate injection.
+    fn accept(&mut self, seq: u64, msg: M, stats: &mut FaultStats) -> bool {
+        if seq < self.next_deliver || self.pending.contains_key(&seq) {
+            stats.dup_dropped += 1;
+            return false;
+        }
+        self.pending.insert(seq, msg);
+        true
+    }
+
+    /// A duplicate copy of `seq` arrived: always dropped. Duplicates are
+    /// scheduled strictly after their primary, but churn can park a
+    /// down-link primary past its duplicate's delivery tick — so the
+    /// primary is *not* guaranteed to have been seen yet. That reorder
+    /// is harmless: the duplicate carries no payload, and the primary
+    /// itself is redelivered at rejoin (at-least-once).
+    fn accept_duplicate(&mut self, _seq: u64, stats: &mut FaultStats) {
+        stats.dup_dropped += 1;
+    }
+
+    /// Release the next in-sequence message, if it has arrived.
+    fn pop_ready(&mut self) -> Option<M> {
+        let msg = self.pending.remove(&self.next_deliver)?;
+        self.next_deliver += 1;
+        Some(msg)
+    }
+
+    /// Mean scheduled delivery delay of this link, in ticks.
+    pub fn mean_latency(&self) -> Option<f64> {
+        (self.sent > 0).then(|| self.delay_sum as f64 / self.sent as f64)
+    }
+}
+
+/// The per-runtime fault state: one [`LinkModel`] per link direction per
+/// site, the churn timeline, and link-layer accounting.
+struct FaultLayer<U, D> {
+    plan: FaultPlan,
+    up: Vec<LinkModel<U>>,
+    down: Vec<LinkModel<D>>,
+    churn: Option<ChurnSchedule>,
+    stats: FaultStats,
+}
+
+/// The fault layer instantiated at a protocol's up/down message types.
+type FaultLayerOf<P> =
+    FaultLayer<<<P as Protocol>::Site as Site>::Up, <<P as Protocol>::Site as Site>::Down>;
+
 /// Single-threaded deterministic discrete-event executor.
 ///
-/// See the [module docs](self) for the timing model. Like
-/// [`crate::Runner`], all accounting is exact: messages and words are
-/// charged when put on the wire, broadcasts are charged `k` messages,
-/// and per-site space is sampled after every event that touches a site.
+/// See the [module docs](self) for the timing model and the fault-layer
+/// delivery guarantees. Like [`crate::Runner`], all accounting is exact:
+/// messages and words are charged when put on the wire, broadcasts are
+/// charged `k` messages, and per-site space is sampled after every event
+/// that touches a site.
 pub struct EventRuntime<P: Protocol> {
     sites: Vec<P::Site>,
     coord: P::Coord,
@@ -129,7 +312,8 @@ pub struct EventRuntime<P: Protocol> {
     space: SpaceStats,
     policy: DeliveryPolicy,
     /// Seeded PRNG driving [`DeliveryPolicy::RandomDelay`] only —
-    /// deliberately independent of the protocol's randomness.
+    /// deliberately independent of the protocol's randomness and of
+    /// every fault stream.
     delay_rng: SmallRng,
     queue: BinaryHeap<EntryOf<P>>,
     /// Virtual clock in ticks.
@@ -139,6 +323,9 @@ pub struct EventRuntime<P: Protocol> {
     /// Counts only *messages* put on the wire — the index the
     /// [`DeliveryPolicy::AdversarialReorder`] pattern is defined over.
     msg_seq: u64,
+    /// Fault-injection layer; `None` keeps every hot path identical to
+    /// the pre-fault runtime (no extra branches consume RNG state).
+    faults: Option<Box<FaultLayerOf<P>>>,
     /// Scratch buffers reused across events to avoid per-event allocation.
     outbox: Outbox<<P::Site as Site>::Up>,
     net: Net<<P::Site as Site>::Down>,
@@ -168,9 +355,53 @@ impl<P: Protocol> EventRuntime<P> {
             now: 0,
             seq: 0,
             msg_seq: 0,
+            faults: None,
             outbox: Outbox::new(),
             net: Net::new(),
         }
+    }
+
+    /// Build a protocol instance under a delivery policy *and* a
+    /// [`FaultPlan`] (see the module docs for the guarantees). A plan
+    /// with every fault disabled is free: the runtime takes the exact
+    /// pre-fault code paths and stays bit-identical to
+    /// [`EventRuntime::with_policy`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`].
+    pub fn with_faults(
+        protocol: &P,
+        master_seed: u64,
+        policy: DeliveryPolicy,
+        plan: FaultPlan,
+    ) -> Self {
+        let mut rt = Self::with_policy(protocol, master_seed, policy);
+        if plan.is_none() {
+            return rt;
+        }
+        plan.validate()
+            .unwrap_or_else(|e| panic!("invalid FaultPlan: {e}"));
+        let k = rt.sites.len();
+        let extra = |site: usize| {
+            if site == STRAGGLER_SITE {
+                plan.straggle
+            } else {
+                0
+            }
+        };
+        rt.faults = Some(Box::new(FaultLayer {
+            plan,
+            up: (0..k)
+                .map(|s| LinkModel::new(master_seed, s, true, extra(s)))
+                .collect(),
+            down: (0..k)
+                .map(|s| LinkModel::new(master_seed, s, false, extra(s)))
+                .collect(),
+            churn: (plan.churn > 0.0).then(|| ChurnSchedule::new(master_seed, k, plan.churn)),
+            stats: FaultStats::default(),
+        }));
+        rt
     }
 
     /// Number of sites.
@@ -183,12 +414,39 @@ impl<P: Protocol> EventRuntime<P> {
         self.policy
     }
 
+    /// The fault plan this runtime applies ([`FaultPlan::none`] when no
+    /// fault layer is active).
+    pub fn fault_plan(&self) -> FaultPlan {
+        self.faults
+            .as_ref()
+            .map_or_else(FaultPlan::none, |f| f.plan)
+    }
+
+    /// Link-layer fault accounting, if a fault layer is active. These
+    /// counters are disjoint from [`EventRuntime::stats`] by design —
+    /// see the module docs.
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.faults.as_ref().map(|f| &f.stats)
+    }
+
+    /// Mean scheduled site→coordinator delivery latency of `site`'s
+    /// up-link, in ticks — the feedback signal for latency-aware
+    /// assignment policies. `None` without a fault layer or before the
+    /// link has carried a message.
+    pub fn mean_up_latency(&self, site: SiteId) -> Option<f64> {
+        self.faults.as_ref()?.up[site].mean_latency()
+    }
+
     /// Current virtual time in ticks.
     pub fn now(&self) -> u64 {
         self.now
     }
 
     /// Messages currently in flight (scheduled but not yet delivered).
+    /// Messages held back by a fault-layer reassembly buffer are counted
+    /// by their gap-filling in-flight message: the buffer can only be
+    /// non-empty while at least one earlier link message is still
+    /// scheduled, so `in_flight() == 0` still implies fully delivered.
     pub fn in_flight(&self) -> usize {
         self.queue.len()
     }
@@ -244,9 +502,19 @@ impl<P: Protocol> EventRuntime<P> {
 
     /// Deliver every in-flight message, advancing the clock as needed —
     /// the event-queue analogue of a distributed flush. Afterwards the
-    /// system is in the state the idealized model would reach.
+    /// system is in the state the idealized model would reach (with a
+    /// fault layer: every link message released in order, every
+    /// duplicate discarded, every parked delivery replayed).
     pub fn quiesce(&mut self) {
         self.run_until(u64::MAX);
+        if let Some(fl) = &self.faults {
+            debug_assert!(
+                fl.up.iter().all(|l| l.pending.is_empty())
+                    && fl.down.iter().all(|l| l.pending.is_empty()),
+                "quiesce left link messages held back — a sequence number \
+                 was never delivered"
+            );
+        }
     }
 
     /// Delay in ticks for the next message put on the wire.
@@ -280,6 +548,45 @@ impl<P: Protocol> EventRuntime<P> {
         self.queue.push(Entry { at, seq, ev });
     }
 
+    /// Stamp and fault-schedule one link message; the caller pushes the
+    /// returned `(seq, at, dup_at)`. Only called with a fault layer.
+    fn fault_schedule(&mut self, up: bool, site: SiteId, base: u64) -> (u64, u64, Option<u64>) {
+        let now = self.now;
+        let fl = self.faults.as_deref_mut().expect("fault layer");
+        let plan = fl.plan;
+        if up {
+            fl.up[site].schedule(&plan, now, base, &mut fl.stats)
+        } else {
+            fl.down[site].schedule(&plan, now, base, &mut fl.stats)
+        }
+    }
+
+    /// Where an arrival lands under churn: the addressed site if online,
+    /// else the next online site scanning upward (the element multiset
+    /// is preserved — churn moves load, it never drops data). Falls back
+    /// to the addressed site if every site is offline.
+    fn reroute_for_churn(&mut self, site: SiteId) -> SiteId {
+        let k = self.sites.len();
+        let now = self.now;
+        let Some(fl) = self.faults.as_deref_mut() else {
+            return site;
+        };
+        let Some(ch) = fl.churn.as_mut() else {
+            return site;
+        };
+        if ch.online_at(site, now) {
+            return site;
+        }
+        for off in 1..k {
+            let cand = (site + off) % k;
+            if ch.online_at(cand, now) {
+                fl.stats.rerouted += 1;
+                return cand;
+            }
+        }
+        site
+    }
+
     /// Process every queued event with timestamp ≤ `t` in `(at, seq)`
     /// order, advancing `now` to each event's time.
     fn run_until(&mut self, t: u64) {
@@ -287,7 +594,9 @@ impl<P: Protocol> EventRuntime<P> {
         // pending event may legitimately cascade into at most ~64 rounds
         // of ≤ (k+2) messages each (same budget as Runner's
         // max_rounds_per_event), so total pops are bounded by a multiple
-        // of the initial backlog.
+        // of the initial backlog. Fault-layer re-parks are transport
+        // deferrals, not protocol cascades, and are excluded from the
+        // count.
         let per_event = 1 + 64 * (self.sites.len() as u64 + 2);
         let cap = (self.queue.len() as u64 + 1).saturating_mul(per_event);
         let mut pops = 0u64;
@@ -306,19 +615,80 @@ impl<P: Protocol> EventRuntime<P> {
             }
             match ev {
                 Ev::Arrive(site, item) => {
+                    let site = self.reroute_for_churn(site);
                     self.stats.elements += 1;
                     self.sites[site].on_item(&item, &mut self.outbox);
                     self.space.observe(site, self.sites[site].space_words());
                     self.flush_site(site);
                 }
-                Ev::Up(from, up) => {
-                    self.coord.on_message(from, &up, &mut self.net);
-                    self.flush_coord();
+                Ev::Up(from, link_seq, up) => {
+                    if self.faults.is_some() {
+                        let fl = self.faults.as_deref_mut().expect("fault layer");
+                        if !fl.up[from].accept(link_seq, up, &mut fl.stats) {
+                            continue;
+                        }
+                        loop {
+                            let fl = self.faults.as_deref_mut().expect("fault layer");
+                            let Some(msg) = fl.up[from].pop_ready() else {
+                                break;
+                            };
+                            self.coord.on_message(from, &msg, &mut self.net);
+                            self.flush_coord();
+                        }
+                    } else {
+                        self.coord.on_message(from, &up, &mut self.net);
+                        self.flush_coord();
+                    }
                 }
-                Ev::Down(to, down) => {
-                    self.sites[to].on_message(&down, &mut self.outbox);
-                    self.space.observe(to, self.sites[to].space_words());
-                    self.flush_site(to);
+                Ev::Down(to, link_seq, down) => {
+                    if self.faults.is_some() {
+                        // Park deliveries to an offline site until its
+                        // rejoin tick (transport retry, not a cascade).
+                        let park = {
+                            let fl = self.faults.as_deref_mut().expect("fault layer");
+                            match fl.churn.as_mut() {
+                                Some(ch) => {
+                                    if ch.online_at(to, at) {
+                                        None
+                                    } else {
+                                        fl.stats.parked += 1;
+                                        Some(ch.rejoin_after(to, at))
+                                    }
+                                }
+                                None => None,
+                            }
+                        };
+                        if let Some(rejoin) = park {
+                            self.push(rejoin, Ev::Down(to, link_seq, down));
+                            pops -= 1;
+                            continue;
+                        }
+                        let fl = self.faults.as_deref_mut().expect("fault layer");
+                        if !fl.down[to].accept(link_seq, down, &mut fl.stats) {
+                            continue;
+                        }
+                        loop {
+                            let fl = self.faults.as_deref_mut().expect("fault layer");
+                            let Some(msg) = fl.down[to].pop_ready() else {
+                                break;
+                            };
+                            self.sites[to].on_message(&msg, &mut self.outbox);
+                            self.space.observe(to, self.sites[to].space_words());
+                            self.flush_site(to);
+                        }
+                    } else {
+                        self.sites[to].on_message(&down, &mut self.outbox);
+                        self.space.observe(to, self.sites[to].space_words());
+                        self.flush_site(to);
+                    }
+                }
+                Ev::DupUp(from, link_seq) => {
+                    let fl = self.faults.as_deref_mut().expect("dup without faults");
+                    fl.up[from].accept_duplicate(link_seq, &mut fl.stats);
+                }
+                Ev::DupDown(to, link_seq) => {
+                    let fl = self.faults.as_deref_mut().expect("dup without faults");
+                    fl.down[to].accept_duplicate(link_seq, &mut fl.stats);
                 }
             }
         }
@@ -333,8 +703,17 @@ impl<P: Protocol> EventRuntime<P> {
         for up in outbox.drain() {
             self.stats.up_msgs += 1;
             self.stats.up_words += up.words();
-            let at = self.now + self.delay();
-            self.push(at, Ev::Up(from, up));
+            let base = self.delay();
+            if self.faults.is_some() {
+                let (seq, at, dup_at) = self.fault_schedule(true, from, base);
+                self.push(at, Ev::Up(from, seq, up));
+                if let Some(d) = dup_at {
+                    self.push(d, Ev::DupUp(from, seq));
+                }
+            } else {
+                let at = self.now + base;
+                self.push(at, Ev::Up(from, 0, up));
+            }
         }
         self.outbox = outbox; // hand the (empty) buffer back for reuse
     }
@@ -351,8 +730,7 @@ impl<P: Protocol> EventRuntime<P> {
                 Dest::Site(to) => {
                     self.stats.down_msgs += 1;
                     self.stats.down_words += down.words();
-                    let at = self.now + self.delay();
-                    self.push(at, Ev::Down(to, down));
+                    self.send_down(to, down);
                 }
                 Dest::Broadcast => {
                     self.stats.broadcast_events += 1;
@@ -360,13 +738,28 @@ impl<P: Protocol> EventRuntime<P> {
                     self.stats.down_msgs += k;
                     self.stats.down_words += k * down.words();
                     for to in 0..self.sites.len() {
-                        let at = self.now + self.delay();
-                        self.push(at, Ev::Down(to, down.clone()));
+                        self.send_down(to, down.clone());
                     }
                 }
             }
         }
         self.net = net;
+    }
+
+    /// Schedule one coordinator→site delivery (shared by unicast and
+    /// broadcast expansion).
+    fn send_down(&mut self, to: SiteId, down: <P::Site as Site>::Down) {
+        let base = self.delay();
+        if self.faults.is_some() {
+            let (seq, at, dup_at) = self.fault_schedule(false, to, base);
+            self.push(at, Ev::Down(to, seq, down));
+            if let Some(d) = dup_at {
+                self.push(d, Ev::DupDown(to, seq));
+            }
+        } else {
+            let at = self.now + base;
+            self.push(at, Ev::Down(to, 0, down));
+        }
     }
 }
 
@@ -587,5 +980,164 @@ mod tests {
         }
         let mut e = EventRuntime::new(&Looping, 0);
         e.feed(0, 1);
+    }
+
+    // --- fault layer ---
+
+    fn toy_faulty(seed: u64, policy: DeliveryPolicy, plan: FaultPlan) -> (CommStats, u64, u64) {
+        let p = Toy { k: 4 };
+        let mut e = EventRuntime::with_faults(&p, seed, policy, plan);
+        for i in 0..600u64 {
+            e.feed((i % 4) as usize, i);
+        }
+        e.quiesce();
+        assert_eq!(e.in_flight(), 0);
+        (e.stats().clone(), e.coord().ups, e.now())
+    }
+
+    #[test]
+    fn empty_plan_is_bit_identical_to_no_plan() {
+        let policy = DeliveryPolicy::RandomDelay { min: 0, max: 16 };
+        let a = toy_faulty(5, policy, FaultPlan::none());
+        let p = Toy { k: 4 };
+        let mut e = EventRuntime::with_policy(&p, 5, policy);
+        for i in 0..600u64 {
+            e.feed((i % 4) as usize, i);
+        }
+        e.quiesce();
+        assert_eq!(a, (e.stats().clone(), e.coord().ups, e.now()));
+        assert!(e.fault_stats().is_none());
+    }
+
+    #[test]
+    fn loss_is_delay_not_silence() {
+        let plan = FaultPlan::none().with_loss(0.3);
+        let lossy = toy_faulty(5, DeliveryPolicy::Instant, plan);
+        let clean = toy_faulty(5, DeliveryPolicy::Instant, FaultPlan::none());
+        // Loss changes interleaving (head-of-line blocking) and therefore
+        // the clock, but at-least-once delivery conserves elements, and
+        // the run replays bit-for-bit from its seed.
+        assert_eq!(lossy.0.elements, clean.0.elements);
+        assert_eq!(lossy, toy_faulty(5, DeliveryPolicy::Instant, plan));
+        let p = Toy { k: 4 };
+        let mut e = EventRuntime::with_faults(&p, 5, DeliveryPolicy::Instant, plan);
+        for i in 0..600u64 {
+            e.feed((i % 4) as usize, i);
+        }
+        e.quiesce();
+        let fs = e.fault_stats().unwrap();
+        assert!(fs.retransmissions > 0, "{fs:?}");
+        assert_eq!(fs.duplicates, 0);
+    }
+
+    #[test]
+    fn duplicates_are_injected_and_all_dropped() {
+        let p = Toy { k: 4 };
+        let plan = FaultPlan::none().with_dup(0.5);
+        let mut e = EventRuntime::with_faults(&p, 9, DeliveryPolicy::FixedLatency(3), plan);
+        for i in 0..600u64 {
+            e.feed((i % 4) as usize, i);
+        }
+        e.quiesce();
+        let fs = e.fault_stats().unwrap();
+        assert!(fs.duplicates > 50, "{fs:?}");
+        assert_eq!(fs.duplicates, fs.dup_dropped, "every dup discarded");
+    }
+
+    #[test]
+    fn duplication_leaves_the_run_bit_identical() {
+        // Dup decisions come from their own per-link streams and the
+        // discarded copies carry no payload, so turning duplication on
+        // must not change stats, coordinator state, or message timing.
+        let policy = DeliveryPolicy::RandomDelay { min: 0, max: 16 };
+        let with_dup = toy_faulty(5, policy, FaultPlan::none().with_dup(0.4).with_loss(0.1));
+        let without = toy_faulty(5, policy, FaultPlan::none().with_loss(0.1));
+        assert_eq!(with_dup.0, without.0, "CommStats must not see duplicates");
+        assert_eq!(with_dup.1, without.1, "coordinator state must match");
+    }
+
+    #[test]
+    fn churn_parks_and_reroutes_but_conserves_elements() {
+        let p = Toy { k: 4 };
+        let plan = FaultPlan::none().with_churn(0.3);
+        let mut e = EventRuntime::with_faults(&p, 2, DeliveryPolicy::Instant, plan);
+        // Spread arrivals over a few churn cycles so outages are hit.
+        for i in 0..500u64 {
+            e.feed_at(i * 40, (i % 4) as usize, i);
+        }
+        e.quiesce();
+        assert_eq!(e.stats().elements, 500, "rerouting never drops elements");
+        let fs = e.fault_stats().unwrap();
+        assert!(fs.rerouted > 0, "{fs:?}");
+        assert!(fs.parked > 0, "{fs:?}");
+    }
+
+    #[test]
+    fn straggler_link_shows_higher_observed_latency() {
+        let p = Toy { k: 4 };
+        let plan = FaultPlan::none().with_straggle(64);
+        let mut e = EventRuntime::with_faults(&p, 3, DeliveryPolicy::FixedLatency(2), plan);
+        for i in 0..400u64 {
+            e.feed((i % 4) as usize, i);
+        }
+        e.quiesce();
+        let straggler = e.mean_up_latency(STRAGGLER_SITE).unwrap();
+        let normal = e.mean_up_latency(1).unwrap();
+        assert_eq!(normal, 2.0);
+        assert_eq!(straggler, 66.0);
+        assert_eq!(e.fault_plan(), plan);
+    }
+
+    #[test]
+    fn faulty_links_deliver_in_sequence_order() {
+        // Order-sensitive receiver: the coordinator records the payloads
+        // it sees from site 0; under loss the raw wire reorders, but the
+        // endpoint must release strictly in send order.
+        struct SeqSite {
+            n: u64,
+        }
+        impl Site for SeqSite {
+            type Item = u64;
+            type Up = u64;
+            type Down = u64;
+            fn on_item(&mut self, _: &u64, out: &mut Outbox<u64>) {
+                out.send(self.n);
+                self.n += 1;
+            }
+            fn on_message(&mut self, _: &u64, _: &mut Outbox<u64>) {}
+            fn space_words(&self) -> u64 {
+                1
+            }
+        }
+        struct SeqCoord {
+            seen: Vec<u64>,
+        }
+        impl Coordinator for SeqCoord {
+            type Up = u64;
+            type Down = u64;
+            fn on_message(&mut self, _: SiteId, m: &u64, _: &mut Net<u64>) {
+                self.seen.push(*m);
+            }
+        }
+        struct Seq;
+        impl Protocol for Seq {
+            type Site = SeqSite;
+            type Coord = SeqCoord;
+            fn k(&self) -> usize {
+                1
+            }
+            fn build(&self, _: u64) -> (Vec<SeqSite>, SeqCoord) {
+                (vec![SeqSite { n: 0 }], SeqCoord { seen: Vec::new() })
+            }
+        }
+        let plan = FaultPlan::none().with_loss(0.4).with_dup(0.4);
+        let mut e = EventRuntime::with_faults(&Seq, 1, DeliveryPolicy::Instant, plan);
+        for i in 0..300u64 {
+            e.feed(0, i);
+        }
+        e.quiesce();
+        let want: Vec<u64> = (0..300).collect();
+        assert_eq!(e.coord().seen, want, "per-link FIFO exactly-once broken");
+        assert!(e.fault_stats().unwrap().retransmissions > 0);
     }
 }

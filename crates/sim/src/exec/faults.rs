@@ -1,0 +1,363 @@
+//! Fault models for the event runtime: lossy/duplicating links, site
+//! churn, straggler links.
+//!
+//! A [`FaultPlan`] describes *what goes wrong* on the star's links; the
+//! [`crate::exec::EventRuntime`] applies it (see `exec::event`'s module
+//! docs for the delivery-guarantee story). Everything here is
+//! deterministic given the master seed: each link direction gets its own
+//! PRNG streams (one per fault concern), derived via [`fault_seed`], so
+//!
+//! * a fault-free run is bit-identical to a run of the pre-fault
+//!   runtime (no fault stream is ever consumed), and
+//! * enabling one fault (say `+dup`) does not perturb the draws of
+//!   another (say `+loss`) or the delivery policy's delay stream —
+//!   that independence is what makes the "duplicates leave answers
+//!   bit-identical" property test possible.
+//!
+//! Scenario-string syntax (parsed by `ExecConfig`): `+loss:P`, `+dup:P`,
+//! `+churn[:R]`, `+straggle:S`, combinable in any order and with
+//! `+window:W`, valid only on `event*` modes (the lock-step runner is
+//! the paper's reliable model by definition; the channel runtime's
+//! transport is real OS channels).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::rng::{rng_from_seed, splitmix64};
+
+/// Ticks between retransmission attempts of a lost link message (the
+/// link layer's fixed RTO). Each lost attempt defers delivery by this
+/// plus the link's extra latency.
+pub const RETRY_TICKS: u64 = 8;
+
+/// A duplicate copy trails its primary delivery by `1..=DUP_LAG` ticks
+/// (drawn from the link's dup stream).
+pub const DUP_LAG: u64 = 4;
+
+/// Mean online+offline cycle length, in ticks, of a churning site.
+/// `+churn:R` makes each site offline for an expected fraction `R` of
+/// virtual time, in outages of mean `R · CHURN_CYCLE` ticks.
+pub const CHURN_CYCLE: u64 = 4096;
+
+/// Offline fraction used by a bare `+churn` suffix (no `:R` value).
+pub const DEFAULT_CHURN: f64 = 0.1;
+
+/// The designated straggler site of `+straggle:S` scenarios: both link
+/// directions of site 0 gain `S` extra ticks of latency per hop
+/// (including each retransmission hop).
+pub const STRAGGLER_SITE: usize = 0;
+
+/// What goes wrong on the wire. All probabilities/rates are per-link and
+/// independent; [`FaultPlan::none`] (the default) disables every fault
+/// and leaves the event runtime byte-for-byte on its pre-fault paths.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Per-transmission-attempt loss probability in `[0, 0.9]`. The link
+    /// layer retransmits until a copy gets through (at-least-once), so a
+    /// loss manifests as extra delivery delay of
+    /// `attempts × (RETRY_TICKS + extra_latency)` ticks, never as a
+    /// silently missing message.
+    pub loss: f64,
+    /// Per-message duplication probability in `[0, 1]`: an extra copy of
+    /// the message arrives `1..=DUP_LAG` ticks after the primary and is
+    /// discarded by the receiver's sequence-number dedup.
+    pub dup: f64,
+    /// Expected offline fraction of each site's timeline in `[0, 0.5]`
+    /// (`0` = no churn). Offline sites receive nothing: their arrivals
+    /// reroute to the next online site and coordinator messages to them
+    /// are parked until rejoin.
+    pub churn: f64,
+    /// Extra per-hop latency, in ticks, on [`STRAGGLER_SITE`]'s links
+    /// (`0` = no straggler).
+    pub straggle: u64,
+}
+
+impl FaultPlan {
+    /// No faults: the event runtime behaves exactly as without a plan.
+    pub const fn none() -> Self {
+        Self {
+            loss: 0.0,
+            dup: 0.0,
+            churn: 0.0,
+            straggle: 0,
+        }
+    }
+
+    /// This plan with per-attempt loss probability `p`.
+    pub const fn with_loss(mut self, p: f64) -> Self {
+        self.loss = p;
+        self
+    }
+
+    /// This plan with per-message duplication probability `p`.
+    pub const fn with_dup(mut self, p: f64) -> Self {
+        self.dup = p;
+        self
+    }
+
+    /// This plan with per-site offline fraction `r`.
+    pub const fn with_churn(mut self, r: f64) -> Self {
+        self.churn = r;
+        self
+    }
+
+    /// This plan with `s` extra ticks per hop on the straggler site.
+    pub const fn with_straggle(mut self, s: u64) -> Self {
+        self.straggle = s;
+        self
+    }
+
+    /// Whether every fault is disabled (the runtime skips the fault
+    /// layer entirely — bit-identical to the pre-fault runtime).
+    pub fn is_none(&self) -> bool {
+        self.loss == 0.0 && self.dup == 0.0 && self.churn == 0.0 && self.straggle == 0
+    }
+
+    /// Range-check every knob; the scenario parser and
+    /// `EventRuntime::with_faults` both enforce this.
+    pub fn validate(&self) -> Result<(), String> {
+        let prob = |name: &str, v: f64, hi: f64| -> Result<(), String> {
+            if v.is_finite() && (0.0..=hi).contains(&v) {
+                Ok(())
+            } else {
+                Err(format!("{name} must be in [0, {hi}], got {v}"))
+            }
+        };
+        prob("loss probability", self.loss, 0.9)?;
+        prob("dup probability", self.dup, 1.0)?;
+        prob("churn offline fraction", self.churn, 0.5)?;
+        Ok(())
+    }
+}
+
+/// The `+suffix` half of a scenario string: empty for [`FaultPlan::none`],
+/// otherwise each active fault in canonical order (`+loss` → `+dup` →
+/// `+churn` → `+straggle`), exactly as the `ExecConfig` parser accepts.
+impl std::fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.loss > 0.0 {
+            write!(f, "+loss:{}", self.loss)?;
+        }
+        if self.dup > 0.0 {
+            write!(f, "+dup:{}", self.dup)?;
+        }
+        if self.churn > 0.0 {
+            write!(f, "+churn:{}", self.churn)?;
+        }
+        if self.straggle > 0 {
+            write!(f, "+straggle:{}", self.straggle)?;
+        }
+        Ok(())
+    }
+}
+
+/// Link-layer accounting, separate from the protocol-level
+/// [`crate::stats::CommStats`] on purpose: the paper's words/messages
+/// are charged when a protocol *sends*, and fault-free scenarios must
+/// keep those numbers bit-identical. Everything the fault layer adds on
+/// the wire is counted here instead.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Lost transmission attempts the link layer retried.
+    pub retransmissions: u64,
+    /// Duplicate copies injected on the wire.
+    pub duplicates: u64,
+    /// Duplicate copies discarded by receiver-side sequence dedup
+    /// (equals `duplicates` once the run has quiesced).
+    pub dup_dropped: u64,
+    /// Coordinator→site deliveries parked because the destination site
+    /// was offline, replayed in order at its rejoin.
+    pub parked: u64,
+    /// Arrivals rerouted away from an offline site to the next online
+    /// one.
+    pub rerouted: u64,
+}
+
+/// Derive an independent fault-stream seed from the master seed. The
+/// salt keeps every fault stream disjoint from the delivery-policy
+/// delay stream and from all protocol streams; `stream` encodes the
+/// link (site, direction) and the fault concern.
+pub fn fault_seed(master: u64, stream: u64) -> u64 {
+    splitmix64(splitmix64(master ^ 0xFA_17_1A_7E_5E_ED_00_0D) ^ splitmix64(stream))
+}
+
+/// Stream codes for [`fault_seed`], per link and concern.
+pub(crate) fn link_stream(site: usize, up: bool, concern: u64) -> u64 {
+    ((site as u64) << 8) | (u64::from(up) << 4) | concern
+}
+
+/// Number of failed transmission attempts before a message gets
+/// through, `Geometric(1 − p)` on `{0, 1, 2, …}` via inverse-CDF
+/// sampling (`P(F ≥ f) = p^f`).
+pub(crate) fn draw_failed_attempts(rng: &mut SmallRng, p: f64) -> u64 {
+    if p <= 0.0 {
+        return 0;
+    }
+    // U in (0, 1]; ln U ≤ 0 and ln p < 0, so the ratio is ≥ 0. p ≤ 0.9
+    // (validated) bounds the result by ~350 even at U = 2⁻⁵³.
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    (u.ln() / p.ln()).floor() as u64
+}
+
+/// Deterministic per-site online/offline timeline for `+churn:R`.
+///
+/// Each site alternates online and offline intervals whose lengths are
+/// drawn uniformly around means `(1−R)·CHURN_CYCLE` and `R·CHURN_CYCLE`
+/// from a per-site stream, so sites desynchronize and each is offline
+/// an expected fraction `R` of virtual time. Intervals are generated
+/// lazily but are pure functions of `(master_seed, site)`: queries at
+/// any tick, in any order, agree across runs.
+#[derive(Debug)]
+pub struct ChurnSchedule {
+    sites: Vec<SiteChurn>,
+    rate: f64,
+}
+
+#[derive(Debug)]
+struct SiteChurn {
+    rng: SmallRng,
+    /// Offline intervals `[start, end)`, sorted, final below `horizon`.
+    offline: Vec<(u64, u64)>,
+    horizon: u64,
+}
+
+impl ChurnSchedule {
+    /// Timeline for `k` sites at offline fraction `rate`.
+    pub fn new(master_seed: u64, k: usize, rate: f64) -> Self {
+        let sites = (0..k)
+            .map(|s| SiteChurn {
+                rng: rng_from_seed(fault_seed(master_seed, link_stream(s, false, 7))),
+                offline: Vec::new(),
+                horizon: 0,
+            })
+            .collect();
+        Self { sites, rate }
+    }
+
+    fn extend(&mut self, site: usize, t: u64) {
+        let mean_up = ((CHURN_CYCLE as f64 * (1.0 - self.rate)) as u64).max(1);
+        let mean_down = ((CHURN_CYCLE as f64 * self.rate) as u64).max(1);
+        let sc = &mut self.sites[site];
+        while sc.horizon <= t {
+            let up = sc
+                .rng
+                .gen_range(mean_up / 2..mean_up + mean_up / 2 + 1)
+                .max(1);
+            let down = sc
+                .rng
+                .gen_range(mean_down / 2..mean_down + mean_down / 2 + 1)
+                .max(1);
+            let start = sc.horizon.saturating_add(up);
+            let end = start.saturating_add(down);
+            sc.offline.push((start, end));
+            sc.horizon = end;
+        }
+    }
+
+    /// Whether `site` is online at tick `t`.
+    pub fn online_at(&mut self, site: usize, t: u64) -> bool {
+        self.extend(site, t);
+        let iv = &self.sites[site].offline;
+        let i = iv.partition_point(|&(_, end)| end <= t);
+        !(i < iv.len() && iv[i].0 <= t)
+    }
+
+    /// First tick ≥ `t` at which `site` is online again (callers use it
+    /// to park deliveries; `t` itself when the site is already online).
+    pub fn rejoin_after(&mut self, site: usize, t: u64) -> u64 {
+        self.extend(site, t);
+        let iv = &self.sites[site].offline;
+        let i = iv.partition_point(|&(_, end)| end <= t);
+        if i < iv.len() && iv[i].0 <= t {
+            iv[i].1
+        } else {
+            t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_display_is_canonical_and_empty_when_none() {
+        assert_eq!(FaultPlan::none().to_string(), "");
+        let p = FaultPlan::none()
+            .with_straggle(16)
+            .with_dup(0.25)
+            .with_loss(0.05)
+            .with_churn(0.1);
+        assert_eq!(p.to_string(), "+loss:0.05+dup:0.25+churn:0.1+straggle:16");
+    }
+
+    #[test]
+    fn plan_validation_rejects_out_of_range_knobs() {
+        assert!(FaultPlan::none().validate().is_ok());
+        assert!(FaultPlan::none().with_loss(0.95).validate().is_err());
+        assert!(FaultPlan::none().with_loss(-0.1).validate().is_err());
+        assert!(FaultPlan::none().with_dup(1.5).validate().is_err());
+        assert!(FaultPlan::none().with_churn(0.6).validate().is_err());
+        assert!(FaultPlan::none().with_loss(f64::NAN).validate().is_err());
+        assert!(FaultPlan::none().with_straggle(u64::MAX).validate().is_ok());
+    }
+
+    #[test]
+    fn failed_attempts_match_geometric_mean() {
+        // E[F] = p/(1−p): 1/3 failed attempts per message at p = 0.25.
+        let mut rng = rng_from_seed(9);
+        let n = 200_000;
+        let mean = (0..n)
+            .map(|_| draw_failed_attempts(&mut rng, 0.25) as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 1.0 / 3.0).abs() < 0.01, "mean {mean}");
+        assert_eq!(draw_failed_attempts(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn churn_schedule_is_deterministic_and_rate_accurate() {
+        let occupancy = |seed: u64, rate: f64| -> f64 {
+            let mut ch = ChurnSchedule::new(seed, 4, rate);
+            let horizon = 400_000u64;
+            let mut offline = 0u64;
+            for t in (0..horizon).step_by(64) {
+                for s in 0..4 {
+                    if !ch.online_at(s, t) {
+                        offline += 1;
+                    }
+                }
+            }
+            offline as f64 / (4.0 * (horizon / 64) as f64)
+        };
+        let a = occupancy(7, 0.2);
+        assert!((a - 0.2).abs() < 0.05, "offline fraction {a}");
+        assert_eq!(occupancy(7, 0.2), a, "same seed, same timeline");
+        assert_ne!(occupancy(8, 0.2), a, "different seed, different timeline");
+    }
+
+    #[test]
+    fn churn_queries_agree_in_any_order() {
+        let mut fwd = ChurnSchedule::new(3, 2, 0.3);
+        let mut rev = ChurnSchedule::new(3, 2, 0.3);
+        let probes: Vec<u64> = (0..200).map(|i| i * 137).collect();
+        let a: Vec<bool> = probes.iter().map(|&t| fwd.online_at(1, t)).collect();
+        let b: Vec<bool> = probes.iter().rev().map(|&t| rev.online_at(1, t)).collect();
+        assert_eq!(a, b.into_iter().rev().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rejoin_after_lands_on_an_online_tick() {
+        let mut ch = ChurnSchedule::new(11, 1, 0.4);
+        let mut checked = 0;
+        for t in (0..200_000).step_by(97) {
+            if !ch.online_at(0, t) {
+                let r = ch.rejoin_after(0, t);
+                assert!(r > t);
+                assert!(ch.online_at(0, r), "rejoin tick {r} still offline");
+                checked += 1;
+            }
+        }
+        assert!(checked > 10, "churn never went offline (checked {checked})");
+    }
+}

@@ -22,9 +22,10 @@
 //! [`ExecConfig`] is the serializable *scenario* selector used by the
 //! bench CLI and the integration tests. It combines an [`ExecMode`]
 //! (which executor + delivery policy) with an optional sliding-window
-//! size, and parses from compact specs like `event:random:1:32` or
-//! `lockstep+window:100000`. [`AnyExec`] is the enum-dispatched executor
-//! [`ExecConfig::build`] produces.
+//! size and an optional [`FaultPlan`], and parses from compact specs
+//! like `event:random:1:32`, `lockstep+window:100000`, or
+//! `event+loss:0.05+dup:0.05+churn`. [`AnyExec`] is the enum-dispatched
+//! executor [`ExecConfig::build`] produces.
 //!
 //! The window half of a scenario is *not* applied by [`ExecConfig::build`]
 //! — a sliding window wraps the **protocol** (see `dtrack_core`'s
@@ -83,8 +84,10 @@
 //! ```
 
 pub mod event;
+pub mod faults;
 
-pub use event::{DeliveryPolicy, EventRuntime};
+pub use event::{DeliveryPolicy, EventRuntime, LinkModel};
+pub use faults::{FaultPlan, FaultStats};
 
 use crate::protocol::{Protocol, Site, SiteId};
 use crate::runner::Runner;
@@ -329,12 +332,48 @@ impl ExecMode {
         <P::Site as Site>::Up: Send + 'static,
         <P::Site as Site>::Down: Send + 'static,
     {
+        self.build_faulty(FaultPlan::none(), protocol, master_seed)
+    }
+
+    /// Build the selected executor under a [`FaultPlan`]. A plan with
+    /// every fault disabled is accepted by every mode (and is free: the
+    /// run is bit-identical to [`ExecMode::build`]); an active plan
+    /// requires the event executor — the lock-step runner has no wire to
+    /// inject faults into, and the channel runtime's real threads cannot
+    /// replay a deterministic fault schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an active plan over a non-event mode, or on an invalid
+    /// plan. The scenario parser rejects both earlier with a proper
+    /// error; this backstop catches programmatic misuse.
+    pub fn build_faulty<P: Protocol>(
+        self,
+        faults: FaultPlan,
+        protocol: &P,
+        master_seed: u64,
+    ) -> AnyExec<P>
+    where
+        P::Site: Send + 'static,
+        P::Coord: Send + 'static,
+        <P::Site as Site>::Item: Send + 'static,
+        <P::Site as Site>::Up: Send + 'static,
+        <P::Site as Site>::Down: Send + 'static,
+    {
         match self {
-            ExecMode::LockStep => AnyExec::LockStep(Runner::new(protocol, master_seed)),
-            ExecMode::Event(policy) => {
-                AnyExec::Event(EventRuntime::with_policy(protocol, master_seed, policy))
+            ExecMode::Event(policy) => AnyExec::Event(EventRuntime::with_faults(
+                protocol,
+                master_seed,
+                policy,
+                faults,
+            )),
+            ExecMode::LockStep if faults.is_none() => {
+                AnyExec::LockStep(Runner::new(protocol, master_seed))
             }
-            ExecMode::Channel => AnyExec::Channel(ChannelRuntime::new(protocol, master_seed)),
+            ExecMode::Channel if faults.is_none() => {
+                AnyExec::Channel(ChannelRuntime::new(protocol, master_seed))
+            }
+            mode => panic!("fault plan {faults} requires the event executor, not {mode}"),
         }
     }
 }
@@ -399,21 +438,34 @@ impl std::str::FromStr for ExecMode {
 }
 
 /// One execution *scenario*: an [`ExecMode`] plus an optional sliding
-/// window — the one config value experiment binaries and integration
-/// tests use to pick what to run.
+/// window plus a [`FaultPlan`] — the one config value experiment
+/// binaries and integration tests use to pick what to run.
 ///
-/// Parses from `<mode>[+window:W]`, where `<mode>` is any [`ExecMode`]
-/// spec: `lockstep`, `channel+window:65536`, `event:fixed:8+window:4096`.
-/// `W ≥ 2` (a window of one element tracks nothing). When `window` is
-/// set, the run functions in `dtrack-bench` wrap the protocol in
+/// Parses from `<mode>` followed by `+` suffixes in any order, at most
+/// once each:
+///
+/// | suffix | meaning |
+/// |---|---|
+/// | `+window:W` | track the last `W ≥ 2` elements (`Windowed<P>`) |
+/// | `+loss:P` | each link transmission lost w.p. `P ∈ [0, 0.9]`, retransmitted |
+/// | `+dup:P` | each link message duplicated w.p. `P ∈ [0, 1]` |
+/// | `+churn:R` / `+churn` | sites offline fraction `R ∈ (0, 0.5]` of the time (default 0.1) |
+/// | `+straggle:S` | site 0's links take `S` extra ticks per hop |
+///
+/// e.g. `lockstep`, `channel+window:65536`, `event:fixed:8+window:4096`,
+/// `event+loss:0.05+dup:0.05+churn`. Fault suffixes require an `event`
+/// mode (see [`ExecMode::build_faulty`]). When `window` is set, the run
+/// functions in `dtrack-bench` wrap the protocol in
 /// `dtrack_core::window::Windowed` and report sliding-window answers;
 /// when it is `None` they track the whole stream, exactly as before.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExecConfig {
     /// Which executor (and delivery policy) runs the protocol.
     pub mode: ExecMode,
     /// Sliding-window size `W` in elements; `None` = whole stream.
     pub window: Option<u64>,
+    /// Link faults to inject ([`FaultPlan::none`] = reliable links).
+    pub faults: FaultPlan,
 }
 
 impl ExecConfig {
@@ -422,6 +474,7 @@ impl ExecConfig {
         Self {
             mode: ExecMode::LockStep,
             window: None,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -430,6 +483,7 @@ impl ExecConfig {
         Self {
             mode: ExecMode::Event(policy),
             window: None,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -438,12 +492,20 @@ impl ExecConfig {
         Self {
             mode: ExecMode::Channel,
             window: None,
+            faults: FaultPlan::none(),
         }
     }
 
     /// The same scenario restricted to the last `w` elements.
     pub const fn windowed(mut self, w: u64) -> Self {
         self.window = Some(w);
+        self
+    }
+
+    /// The same scenario with link faults injected (event modes only —
+    /// see [`ExecMode::build_faulty`]).
+    pub const fn faulty(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
         self
     }
 
@@ -468,24 +530,32 @@ impl ExecConfig {
             self.window.is_none(),
             "ExecConfig::build cannot apply a window:W scenario — wrap the \
              protocol in dtrack_core::window::Windowed and build with \
-             ExecMode::build (the dtrack-bench run functions do this)"
+             ExecMode::build_faulty (the dtrack-bench run functions do this)"
         );
-        self.mode.build(protocol, master_seed)
+        self.mode.build_faulty(self.faults, protocol, master_seed)
     }
 }
 
 impl From<ExecMode> for ExecConfig {
     fn from(mode: ExecMode) -> Self {
-        Self { mode, window: None }
+        Self {
+            mode,
+            window: None,
+            faults: FaultPlan::none(),
+        }
     }
 }
 
 impl std::fmt::Display for ExecConfig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self.window {
-            None => write!(f, "{}", self.mode),
-            Some(w) => write!(f, "{}+window:{w}", self.mode),
+        // Canonical suffix order: window, then the plan's own canonical
+        // loss/dup/churn/straggle order. Parsing accepts any order but
+        // re-renders like this, so Display∘FromStr is a fixpoint.
+        write!(f, "{}", self.mode)?;
+        if let Some(w) = self.window {
+            write!(f, "+window:{w}")?;
         }
+        write!(f, "{}", self.faults)
     }
 }
 
@@ -493,23 +563,75 @@ impl std::str::FromStr for ExecConfig {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Self, String> {
-        let (mode, window) = match s.split_once('+') {
-            None => (s, None),
-            Some((mode, suffix)) => {
-                let w = suffix
-                    .strip_prefix("window:")
-                    .ok_or_else(|| format!("scenario {s:?}: expected +window:W, got +{suffix}"))?
-                    .parse::<u64>()
-                    .map_err(|_| format!("scenario {s:?}: window size is not an integer"))?;
-                if w < 2 {
-                    return Err(format!("scenario {s:?}: window must be ≥ 2"));
-                }
-                (mode, Some(w))
+        let mut parts = s.split('+');
+        let mode: ExecMode = parts.next().unwrap_or("").parse()?;
+        let mut window = None;
+        let mut faults = FaultPlan::none();
+        let mut seen: Vec<&str> = Vec::new();
+        for suffix in parts {
+            let (name, value) = match suffix.split_once(':') {
+                Some((n, v)) => (n, Some(v)),
+                None => (suffix, None),
+            };
+            if seen.contains(&name) {
+                return Err(format!("scenario {s:?}: duplicate +{name} suffix"));
             }
-        };
+            seen.push(name);
+            // Every suffix except bare `+churn` requires a value.
+            let need = |what: &str| -> Result<&str, String> {
+                value
+                    .filter(|v| !v.is_empty())
+                    .ok_or_else(|| format!("scenario {s:?}: expected +{name}:{what}"))
+            };
+            let prob = |what: &str| -> Result<f64, String> {
+                let v = need(what)?;
+                v.parse::<f64>()
+                    .map_err(|_| format!("scenario {s:?}: {v:?} is not a number in +{name}"))
+            };
+            match name {
+                "window" => {
+                    let w = need("W")?
+                        .parse::<u64>()
+                        .map_err(|_| format!("scenario {s:?}: window size is not an integer"))?;
+                    if w < 2 {
+                        return Err(format!("scenario {s:?}: window must be ≥ 2"));
+                    }
+                    window = Some(w);
+                }
+                "loss" => faults.loss = prob("P")?,
+                "dup" => faults.dup = prob("P")?,
+                "churn" => {
+                    faults.churn = match value {
+                        None => faults::DEFAULT_CHURN, // bare +churn
+                        Some(_) => prob("R")?,
+                    }
+                }
+                "straggle" => {
+                    faults.straggle = need("S")?
+                        .parse::<u64>()
+                        .map_err(|_| format!("scenario {s:?}: straggle is not an integer"))?;
+                }
+                _ => {
+                    return Err(format!(
+                        "scenario {s:?}: unknown suffix +{name} (expected window:W | \
+                         loss:P | dup:P | churn[:R] | straggle:S)"
+                    ));
+                }
+            }
+        }
+        faults
+            .validate()
+            .map_err(|e| format!("scenario {s:?}: {e}"))?;
+        if !faults.is_none() && !matches!(mode, ExecMode::Event(_)) {
+            return Err(format!(
+                "scenario {s:?}: fault suffixes (loss/dup/churn/straggle) require \
+                 the event executor, e.g. event:fixed:8{faults}"
+            ));
+        }
         Ok(Self {
-            mode: mode.parse()?,
+            mode,
             window,
+            faults,
         })
     }
 }
@@ -649,6 +771,60 @@ mod tests {
     }
 
     #[test]
+    fn scenario_parses_fault_suffixes() {
+        let ev = || ExecConfig::event(DeliveryPolicy::Instant);
+        let cases: Vec<(&str, ExecConfig)> = vec![
+            (
+                "event+loss:0.05",
+                ev().faulty(FaultPlan::none().with_loss(0.05)),
+            ),
+            (
+                "event+dup:0.5",
+                ev().faulty(FaultPlan::none().with_dup(0.5)),
+            ),
+            (
+                "event+churn",
+                ev().faulty(FaultPlan::none().with_churn(faults::DEFAULT_CHURN)),
+            ),
+            (
+                "event+churn:0.25",
+                ev().faulty(FaultPlan::none().with_churn(0.25)),
+            ),
+            (
+                "event+straggle:64",
+                ev().faulty(FaultPlan::none().with_straggle(64)),
+            ),
+            (
+                "event:fixed:8+loss:0.1+dup:0.1+churn:0.2+straggle:16",
+                ExecConfig::event(DeliveryPolicy::FixedLatency(8)).faulty(
+                    FaultPlan::none()
+                        .with_loss(0.1)
+                        .with_dup(0.1)
+                        .with_churn(0.2)
+                        .with_straggle(16),
+                ),
+            ),
+            // Suffixes compose with +window:W, in any order.
+            (
+                "event:random:1:32+window:4096+loss:0.05",
+                ExecConfig::event(DeliveryPolicy::RandomDelay { min: 1, max: 32 })
+                    .windowed(4096)
+                    .faulty(FaultPlan::none().with_loss(0.05)),
+            ),
+            (
+                "event+loss:0.05+window:4096",
+                ev().windowed(4096)
+                    .faulty(FaultPlan::none().with_loss(0.05)),
+            ),
+            // loss:0 etc. is an explicit no-op, accepted on any mode.
+            ("lockstep+loss:0", ExecConfig::lockstep()),
+        ];
+        for (spec, want) in cases {
+            assert_eq!(spec.parse::<ExecConfig>().unwrap(), want, "{spec}");
+        }
+    }
+
+    #[test]
     fn malformed_specs_are_rejected() {
         for bad in [
             "",
@@ -671,9 +847,48 @@ mod tests {
             "lockstep+window:1",
             "lockstep+win:9",
             "+window:9",
+            // fault suffixes: missing/garbage/out-of-range values
+            "event+loss",
+            "event+loss:",
+            "event+loss:x",
+            "event+loss:-0.1",
+            "event+loss:0.95",
+            "event+loss:NaN",
+            "event+dup:1.5",
+            "event+churn:",
+            "event+churn:0.6",
+            "event+straggle",
+            "event+straggle:1.5",
+            // duplicate suffixes
+            "event+loss:0.1+loss:0.2",
+            "event+window:16+window:16",
+            "event+churn+churn:0.2",
+            // active faults require the event executor
+            "lockstep+loss:0.1",
+            "channel+dup:0.1",
+            "runner+churn",
+            "lockstep+window:4096+straggle:8",
         ] {
             assert!(bad.parse::<ExecConfig>().is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn rejection_errors_name_the_problem() {
+        let err = |s: &str| s.parse::<ExecConfig>().unwrap_err();
+        assert!(
+            err("event+loss:0.95").contains("loss"),
+            "{}",
+            err("event+loss:0.95")
+        );
+        assert!(err("event+bogus:1").contains("unknown suffix +bogus"));
+        assert!(err("event+loss:0.1+loss:0.2").contains("duplicate +loss"));
+        assert!(
+            err("lockstep+loss:0.1").contains("require"),
+            "{}",
+            err("lockstep+loss:0.1")
+        );
+        assert!(err("event+churn:").contains("churn"));
     }
 
     #[test]
@@ -688,10 +903,30 @@ mod tests {
             "lockstep+window:4096",
             "event:random:1:32+window:1000",
             "channel+window:2",
+            "event+loss:0.05",
+            "event+dup:0.25",
+            "event+churn:0.1",
+            "event+straggle:64",
+            "event:fixed:8+window:4096+loss:0.05+dup:0.05+churn:0.1+straggle:16",
+            "event:reorder:8+loss:0.3",
         ] {
             let cfg: ExecConfig = spec.parse().unwrap();
             assert_eq!(cfg.to_string().parse::<ExecConfig>().unwrap(), cfg);
         }
+        // Canonical specs render back to themselves exactly…
+        for canonical in [
+            "event:instant+window:4096+loss:0.05+dup:0.05+churn:0.1+straggle:16",
+            "event:fixed:8+loss:0.3",
+        ] {
+            let cfg: ExecConfig = canonical.parse().unwrap();
+            assert_eq!(cfg.to_string(), canonical);
+        }
+        // …and out-of-order suffixes re-render in canonical order.
+        let cfg: ExecConfig = "event+straggle:16+loss:0.05+window:4096".parse().unwrap();
+        assert_eq!(
+            cfg.to_string(),
+            "event:instant+window:4096+loss:0.05+straggle:16"
+        );
     }
 
     #[test]

@@ -26,7 +26,10 @@
 //!   ([`CommStats`]),
 //! * [`exec::EventRuntime`], a deterministic discrete-event executor with
 //!   pluggable [`DeliveryPolicy`]s (instant, fixed latency, seeded random
-//!   delay, adversarial reorder) for reproducible off-model stress,
+//!   delay, adversarial reorder) for reproducible off-model stress, plus a
+//!   fault-injection layer ([`FaultPlan`], `exec::faults`): lossy links with
+//!   at-least-once retransmission, duplicate delivery, site churn, and
+//!   straggler links — every fault seeded and replayable,
 //! * [`runtime::ChannelRuntime`], a genuinely concurrent executor built on
 //!   crossbeam channels (one OS thread per site) used for robustness tests,
 //! * seeded PRNG utilities ([`rng`]) including the geometric skip sampler
@@ -55,7 +58,9 @@ pub mod runner;
 pub mod runtime;
 pub mod stats;
 
-pub use exec::{AnyExec, DeliveryPolicy, EventRuntime, ExecConfig, ExecMode, Executor};
+pub use exec::{
+    AnyExec, DeliveryPolicy, EventRuntime, ExecConfig, ExecMode, Executor, FaultPlan, FaultStats,
+};
 pub use message::Words;
 pub use net::{Dest, Net, Outbox};
 pub use protocol::{Coordinator, Protocol, Site, SiteId};

@@ -7,6 +7,18 @@
 //! off the paper's idealized model. [`ChannelRuntime::quiesce`] restores
 //! a consistent cut for querying.
 //!
+//! ## Delivery guarantees
+//!
+//! Channels are reliable: every message sent is delivered **exactly
+//! once**, and each lane is FIFO, so per-link order is preserved (the
+//! only nondeterminism is cross-site interleaving from thread
+//! scheduling). This runtime injects no faults — loss, duplication,
+//! stragglers, and churn live in the deterministic event executor
+//! ([`crate::exec::event`], scenario suffixes `+loss`/`+dup`/`+churn`/
+//! `+straggle`), where they are reproducible from the seed. There, too,
+//! the *protocol-visible* contract stays exactly-once in-order; see
+//! that module's docs for how the link layer restores it.
+//!
 //! ## Fairness: two delivery lanes + a per-site credit cap
 //!
 //! A naive thread-per-site transport lets a site race arbitrarily far

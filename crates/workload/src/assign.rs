@@ -150,10 +150,109 @@ impl SiteAssign for Bursty {
     }
 }
 
+/// Latency-ranked explore/exploit assignment (the mpudp scheduler
+/// pattern): the driver reports each site's observed delivery latency
+/// back via [`AdaptiveSites::observe`], and the policy routes each
+/// element to a site drawn with weight `∝ 1/(1 + latency)` — except
+/// with probability `explore` it picks uniformly, so a site whose link
+/// recovers is re-discovered instead of starved forever.
+///
+/// Latencies are tracked as an EWMA (`est ← (1−α)·est + α·sample`), so
+/// the policy adapts within `O(1/α)` observations of a link change.
+/// Sites with no observations yet count as latency 0 (optimistic: try
+/// everything once); with no feedback at all the policy is uniform.
+///
+/// This is the ingest-side complement of the event runtime's
+/// `+straggle:S` fault: the convergence test in `tests/faults.rs` drives
+/// the two against each other and requires the policy to route away
+/// from the straggler link.
+#[derive(Debug, Clone)]
+pub struct AdaptiveSites {
+    /// Per-site EWMA latency estimate; `None` = never observed.
+    ewma: Vec<Option<f64>>,
+    alpha: f64,
+    explore: f64,
+}
+
+impl AdaptiveSites {
+    /// EWMA smoothing factor (≈ converged after ~10 observations).
+    pub const DEFAULT_ALPHA: f64 = 0.2;
+    /// Default exploration probability.
+    pub const DEFAULT_EXPLORE: f64 = 0.1;
+
+    /// Adaptive assignment over `k` sites with the default
+    /// exploration/smoothing parameters.
+    pub fn new(k: usize) -> Self {
+        Self::with_params(k, Self::DEFAULT_ALPHA, Self::DEFAULT_EXPLORE)
+    }
+
+    /// Adaptive assignment with explicit EWMA factor `alpha ∈ (0, 1]`
+    /// and exploration probability `explore ∈ [0, 1]`.
+    pub fn with_params(k: usize, alpha: f64, explore: f64) -> Self {
+        assert!(k >= 1);
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha {alpha}");
+        assert!((0.0..=1.0).contains(&explore), "explore {explore}");
+        Self {
+            ewma: vec![None; k],
+            alpha,
+            explore,
+        }
+    }
+
+    /// Fold one observed delivery latency (any non-negative unit — the
+    /// event runtime reports virtual ticks) into `site`'s estimate.
+    pub fn observe(&mut self, site: usize, latency: f64) {
+        assert!(latency >= 0.0 && latency.is_finite(), "latency {latency}");
+        self.ewma[site] = Some(match self.ewma[site] {
+            None => latency,
+            Some(est) => (1.0 - self.alpha) * est + self.alpha * latency,
+        });
+    }
+
+    /// Current latency estimate for `site` (0 until first observation).
+    pub fn latency(&self, site: usize) -> f64 {
+        self.ewma[site].unwrap_or(0.0)
+    }
+}
+
+impl SiteAssign for AdaptiveSites {
+    fn next_site(&mut self, rng: &mut SmallRng) -> usize {
+        let k = self.ewma.len();
+        if k == 1 || rng.gen::<f64>() < self.explore {
+            return rng.gen_range(0..k);
+        }
+        // Exploit: cumulative scan over weights 1/(1 + latency).
+        let total: f64 = (0..k).map(|s| 1.0 / (1.0 + self.latency(s))).sum();
+        let mut u: f64 = rng.gen::<f64>() * total;
+        for s in 0..k {
+            u -= 1.0 / (1.0 + self.latency(s));
+            if u <= 0.0 {
+                return s;
+            }
+        }
+        k - 1 // float round-off on the last weight
+    }
+    fn k(&self) -> usize {
+        self.ewma.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::SeedableRng;
+
+    /// χ²-style statistic against the uniform expectation `n/k`.
+    fn chi2_uniform(counts: &[u32], n: u32) -> f64 {
+        let e = n as f64 / counts.len() as f64;
+        counts
+            .iter()
+            .map(|&o| {
+                let d = o as f64 - e;
+                d * d / e
+            })
+            .sum()
+    }
 
     #[test]
     fn round_robin_cycles() {
@@ -206,5 +305,112 @@ mod tests {
         // Expected switches ≈ 10_000 · q · (k−1)/k ≈ 87.
         assert!(switches < 300, "switches {switches}");
         assert!(switches > 10, "switches {switches}");
+    }
+
+    #[test]
+    fn round_robin_distribution_is_exactly_balanced() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut a = RoundRobin::new(8);
+        let mut counts = [0u32; 8];
+        for _ in 0..40_000 {
+            counts[a.next_site(&mut rng)] += 1;
+        }
+        // n divisible by k → perfectly equal shares, χ² exactly 0.
+        assert!(counts.iter().all(|&c| c == 5_000), "counts {counts:?}");
+        assert_eq!(chi2_uniform(&counts, 40_000), 0.0);
+    }
+
+    #[test]
+    fn uniform_distribution_passes_chi_squared_bound() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut a = UniformSites::new(8);
+        let mut counts = [0u32; 8];
+        for _ in 0..40_000 {
+            counts[a.next_site(&mut rng)] += 1;
+        }
+        // df = 7; χ² < 24.3 is the p = 0.001 quantile — a sound PRNG at
+        // a fixed seed clears it with lots of room.
+        let x2 = chi2_uniform(&counts, 40_000);
+        assert!(x2 < 24.3, "χ² {x2}, counts {counts:?}");
+    }
+
+    #[test]
+    fn bursty_long_run_occupancy_is_uniform() {
+        // Bursts are long (mean 1/q = 50 elements) but jump targets are
+        // uniform, so long-run occupancy is uniform with an effective
+        // sample size of ≈ n·q switches. Scale the χ² bound by the
+        // run-length factor: Var is ~mean-run-length× the iid case.
+        let q = 0.02;
+        let n = 200_000u32;
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut a = Bursty::new(8, q);
+        let mut counts = [0u32; 8];
+        for _ in 0..n {
+            counts[a.next_site(&mut rng)] += 1;
+        }
+        let x2 = chi2_uniform(&counts, n) * q; // ≈ per-switch χ²
+        assert!(x2 < 24.3, "scaled χ² {x2}, counts {counts:?}");
+        assert!(counts.iter().all(|&c| c > 0), "counts {counts:?}");
+    }
+
+    #[test]
+    fn adaptive_is_uniform_without_feedback() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut a = AdaptiveSites::new(8);
+        let mut counts = [0u32; 8];
+        for _ in 0..40_000 {
+            counts[a.next_site(&mut rng)] += 1;
+        }
+        let x2 = chi2_uniform(&counts, 40_000);
+        assert!(x2 < 24.3, "χ² {x2}, counts {counts:?}");
+    }
+
+    #[test]
+    fn adaptive_routes_away_from_a_straggler_within_n_elements() {
+        // Site 0 is 50× slower than its peers; feedback arrives with
+        // every element. The policy must converge within the first 200
+        // elements and afterwards send site 0 (explore-only) traffic.
+        let k = 8;
+        let mut rng = SmallRng::seed_from_u64(10);
+        let mut a = AdaptiveSites::new(k);
+        let mut counts = vec![0u32; k];
+        let (warmup, measured) = (200, 20_000);
+        for t in 0..(warmup + measured) {
+            let s = a.next_site(&mut rng);
+            if t >= warmup {
+                counts[s] += 1;
+            }
+            a.observe(s, if s == 0 { 100.0 } else { 2.0 });
+        }
+        let frac = counts[0] as f64 / measured as f64;
+        // Exploit mass on site 0 is (1/101)/(1/101 + 7/3) ≈ 0.4%; with
+        // explore/k = 1.25% the expected share is ≈ 1.7%.
+        assert!(frac < 0.04, "straggler share {frac}, counts {counts:?}");
+        // …but exploration keeps probing it, so recovery stays possible.
+        assert!(counts[0] > 0, "straggler completely starved");
+        // And the estimates themselves converged to the true latencies.
+        assert!((a.latency(0) - 100.0).abs() < 1.0);
+        assert!((a.latency(3) - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn adaptive_recovers_when_the_straggler_heals() {
+        let k = 4;
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut a = AdaptiveSites::new(k);
+        // Phase 1: site 0 slow.
+        for _ in 0..2_000 {
+            let s = a.next_site(&mut rng);
+            a.observe(s, if s == 0 { 100.0 } else { 2.0 });
+        }
+        // Phase 2: site 0 heals; exploration must rediscover it.
+        let mut counts = vec![0u32; k];
+        for _ in 0..40_000 {
+            let s = a.next_site(&mut rng);
+            counts[s] += 1;
+            a.observe(s, 2.0);
+        }
+        let frac = counts[0] as f64 / 40_000.0;
+        assert!(frac > 0.15, "healed site share {frac}, counts {counts:?}");
     }
 }

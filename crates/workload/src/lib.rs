@@ -40,7 +40,9 @@ pub mod scenarios;
 pub mod stream;
 
 pub use adversarial::{MuCase, MuDistribution, SubroundInstance};
-pub use assign::{Bursty, RoundRobin, SingleSite, SiteAssign, UniformSites, ZipfSites};
+pub use assign::{
+    AdaptiveSites, Bursty, RoundRobin, SingleSite, SiteAssign, UniformSites, ZipfSites,
+};
 pub use items::{DistinctSeq, ItemGen, UniformItems, ZipfItems};
 pub use phased::{DriftingItems, Sequential};
 pub use stream::{Arrival, Pacing, Schedule, TimedArrival, Workload};

@@ -7,11 +7,14 @@
 //! `EXEC` is an `ExecConfig` scenario spec (default `lockstep`):
 //! `lockstep | channel | event[:instant] | event:fixed:D |
 //! event:random:MIN:MAX | event:reorder:W`, optionally suffixed
-//! `+window:W` to track only the last `W` elements, e.g.
+//! `+window:W` to track only the last `W` elements and — on event modes
+//! — `+loss:P`, `+dup:P`, `+churn[:R]`, `+straggle:S` to inject link
+//! faults, e.g.
 //!
 //! ```text
 //! cargo run --release --example quickstart -- event:random:1:32
 //! cargo run --release --example quickstart -- lockstep+window:100000
+//! cargo run --release --example quickstart -- event+loss:0.05+dup:0.05+churn
 //! ```
 
 use dtrack::core::count::{DeterministicCount, RandomizedCount};
@@ -35,7 +38,7 @@ fn main() {
     let run = |randomized: bool| -> (f64, f64, u64, u64, u64) {
         macro_rules! drive {
             ($proto:expr, $query:expr) => {{
-                let mut ex = exec.mode.build(&$proto, 42);
+                let mut ex = exec.mode.build_faulty(exec.faults, &$proto, 42);
                 ex.feed_batch(batch.clone());
                 ex.quiesce();
                 let est: f64 = ex.query($query);

@@ -1,0 +1,484 @@
+//! The fault-injection property suite — the correctness story for
+//! `dtrack_sim::exec::faults` (ISSUE 6 / ROADMAP item 4).
+//!
+//! Three layers of guarantees, cheapest first:
+//!
+//! 1. **Smoke** (`smoke_*`, debug-fast): every `+suffix` singly, parsed
+//!    from its scenario string, runs to quiescence and keeps the
+//!    deterministic count baseline's *unconditional* invariant
+//!    `n̂ ≤ n ≤ (1+ε)n̂`. CI runs these before the release suite so a
+//!    broken fault combination fails in seconds.
+//! 2. **Bit-identity**: a fault-free plan is byte-for-byte the
+//!    pre-fault runtime; `+dup` — whose duplicates every endpoint must
+//!    discard — changes *nothing* observable (CommStats, space,
+//!    coordinator answers compared via `f64::to_bits`) on any of the
+//!    seven Table-1 protocols or `Windowed<P>`; only `FaultStats` sees
+//!    the duplicates. This is "idempotence is a tested property":
+//!    idempotence lives in the transport dedup and the protocols need
+//!    none of their own.
+//! 3. **ε bounds** (release-gated, ≥ 20 seeds): all seven protocols
+//!    plus `Windowed<P>` meet the mean-error-≤-ε acceptance bound under
+//!    `+loss:0.05+dup:0.05+churn:0.1`, and under each fault alone.
+//!
+//! Plus the ingest-side loop: `AdaptiveSites` driven by the event
+//! runtime's observed per-link latency routes away from a `+straggle`
+//! link (the mpudp explore/exploit pattern, end to end).
+
+use dtrack::core::count::{DeterministicCount, RandomizedCount};
+use dtrack::core::frequency::{DeterministicFrequency, RandomizedFrequency};
+use dtrack::core::rank::{DeterministicRank, RandomizedRank};
+use dtrack::core::sampling::ContinuousSampling;
+use dtrack::core::window::{WinCoord, Windowed};
+use dtrack::core::TrackingConfig;
+use dtrack::sim::exec::{DeliveryPolicy, EventRuntime};
+use dtrack::sim::{ExecConfig, Executor, FaultPlan, Protocol, Site};
+use dtrack::workload::items::DistinctSeq;
+use dtrack::workload::{AdaptiveSites, SiteAssign, UniformSites, Workload, ZipfItems};
+use dtrack_bench::measure::{
+    count_run, frequency_run, frequency_single_probe_error, rank_run, CountAlgo, FreqAlgo, RankAlgo,
+};
+
+const K: usize = 8;
+
+fn cfg(eps: f64) -> TrackingConfig {
+    TrackingConfig::new(K, eps)
+}
+
+fn zipf_arrivals(n: u64, seed: u64) -> Vec<(usize, u64)> {
+    Workload::new(ZipfItems::new(500, 1.2), UniformSites::new(K), n, seed)
+        .map(|a| (a.site, a.item))
+        .collect()
+}
+
+fn distinct_arrivals(n: u64, seed: u64) -> Vec<(usize, u64)> {
+    Workload::new(DistinctSeq::new(seed), UniformSites::new(K), n, seed)
+        .map(|a| (a.site, a.item))
+        .collect()
+}
+
+/// Parse `spec`, run `DeterministicCount` under it, and require the
+/// baseline's unconditional guarantee after quiesce — the sharpest
+/// cheap check that a fault model loses or double-delivers nothing.
+fn smoke_deterministic_count(spec: &str) {
+    let exec: ExecConfig = spec.parse().unwrap_or_else(|e| panic!("{e}"));
+    let eps = 0.1;
+    let n = 4_000u64;
+    let proto = DeterministicCount::new(cfg(eps));
+    let mut ex = exec.build(&proto, 7);
+    for t in 0..n {
+        // feed_at spreads arrivals out so churn outages actually hit.
+        ex.feed_at(t * 8, (t % K as u64) as usize, t);
+    }
+    ex.quiesce();
+    let est = ex.query(|c: &dtrack::core::count::DetCountCoord| c.estimate());
+    assert!(est <= n as f64 + 1e-9, "{spec}: n̂ {est} > n {n}");
+    assert!(
+        n as f64 <= est * (1.0 + eps) + 1e-9,
+        "{spec}: n {n} > (1+ε)n̂ = {}",
+        est * (1.0 + eps)
+    );
+    // And a randomized protocol survives the same scenario sanely.
+    let proto = RandomizedCount::new(cfg(eps));
+    let mut ex = exec.build(&proto, 7);
+    for t in 0..n {
+        ex.feed_at(t * 8, (t % K as u64) as usize, t);
+    }
+    ex.quiesce();
+    let est = ex.query(|c: &dtrack::core::count::RandCountCoord| c.estimate());
+    assert!(
+        est.is_finite() && (est - n as f64).abs() <= 0.5 * n as f64,
+        "{spec}: randomized estimate {est}"
+    );
+}
+
+#[test]
+fn smoke_loss() {
+    smoke_deterministic_count("event+loss:0.2");
+}
+
+#[test]
+fn smoke_dup() {
+    smoke_deterministic_count("event+dup:0.5");
+}
+
+#[test]
+fn smoke_churn() {
+    smoke_deterministic_count("event+churn:0.2");
+}
+
+#[test]
+fn smoke_straggle() {
+    smoke_deterministic_count("event+straggle:32");
+}
+
+#[test]
+fn smoke_combined() {
+    smoke_deterministic_count("event:random:0:8+loss:0.05+dup:0.05+churn+straggle:8");
+}
+
+#[test]
+fn smoke_windowed_faulty() {
+    // The window adapter's seal/ack handshake rides the same faulty
+    // links; smoke it with every fault on at once.
+    let exec: ExecConfig = "event+loss:0.1+dup:0.2+churn:0.15+straggle:4"
+        .parse()
+        .unwrap();
+    let (n, w) = (6_000u64, 2_048u64);
+    let proto = Windowed::new(RandomizedCount::new(cfg(0.1)), w);
+    let mut ex = exec.mode.build_faulty(exec.faults, &proto, 3);
+    for t in 0..n {
+        ex.feed_at(t * 8, (t % K as u64) as usize, t);
+    }
+    ex.quiesce();
+    let est = ex.query(|c: &WinCoord<RandomizedCount>| c.windowed_count());
+    assert!(
+        est.is_finite() && (est - w as f64).abs() <= 0.75 * w as f64,
+        "windowed estimate {est} vs w {w}"
+    );
+}
+
+/// `EventRuntime::with_faults` with an empty plan takes the exact
+/// pre-fault code paths: bit-identical to `with_policy` on a real
+/// protocol (the regression pin for the fault-RNG stream split — fault
+/// streams must never touch the delivery-delay stream).
+#[test]
+fn empty_fault_plan_is_bit_identical_to_with_policy() {
+    let proto = RandomizedFrequency::new(cfg(0.1));
+    let arrivals = zipf_arrivals(6_000, 7);
+    let policy = DeliveryPolicy::RandomDelay { min: 1, max: 32 };
+    let run_plain = {
+        let mut ex = EventRuntime::with_policy(&proto, 42, policy);
+        for &(s, i) in &arrivals {
+            ex.feed(s, i);
+        }
+        ex.quiesce();
+        let answers: Vec<u64> = (0..10)
+            .map(|j| ex.coord().estimate_frequency(j).to_bits())
+            .collect();
+        (ex.stats().clone(), ex.space().max_peak(), answers)
+    };
+    let run_faulty = {
+        let mut ex = EventRuntime::with_faults(&proto, 42, policy, FaultPlan::none());
+        assert!(
+            ex.fault_stats().is_none(),
+            "empty plan must not build a layer"
+        );
+        for &(s, i) in &arrivals {
+            ex.feed(s, i);
+        }
+        ex.quiesce();
+        let answers: Vec<u64> = (0..10)
+            .map(|j| ex.coord().estimate_frequency(j).to_bits())
+            .collect();
+        (ex.stats().clone(), ex.space().max_peak(), answers)
+    };
+    assert_eq!(run_plain, run_faulty);
+}
+
+/// Run `proto` under `plan`, return every observable the paper's
+/// accounting sees: CommStats, per-site space peaks, and query answers
+/// as exact bit patterns.
+fn observables<P, Q>(
+    proto: &P,
+    arrivals: &[(usize, u64)],
+    policy: DeliveryPolicy,
+    plan: FaultPlan,
+    queries: Q,
+) -> (dtrack::sim::CommStats, Vec<u64>, Vec<u64>)
+where
+    P: Protocol,
+    P::Site: Site<Item = u64>,
+    Q: Fn(&P::Coord) -> Vec<f64>,
+{
+    let mut ex = EventRuntime::with_faults(proto, 42, policy, plan);
+    for &(site, item) in arrivals {
+        ex.feed(site, item);
+    }
+    ex.quiesce();
+    let space: Vec<u64> = (0..K).map(|s| ex.space().peak(s)).collect();
+    let answers: Vec<u64> = queries(ex.coord()).iter().map(|v| v.to_bits()).collect();
+    (ex.stats().clone(), space, answers)
+}
+
+/// The headline idempotence property: turning `+dup` on — alone or on
+/// top of other faults — leaves every protocol observable
+/// **bit-identical**, because the endpoint's sequence-number dedup
+/// discards every duplicate before the protocol sees it. Checked for
+/// all seven Table-1 protocols and `Windowed<P>`.
+///
+/// Pairings are chosen so the only difference between the two runs is
+/// `+dup` itself: under order-preserving policies (`Instant`,
+/// `FixedLatency`) a dup-only layer is compared against no layer at
+/// all; under the reordering `RandomDelay` policy the base plan is
+/// already active (the fault layer's hold-back buffer upgrades links
+/// to FIFO, so layer-vs-no-layer is not an apples-to-apples pair
+/// there).
+macro_rules! dup_identical_case {
+    ($test:ident, $proto:expr, $arrivals:expr, $queries:expr) => {
+        #[test]
+        fn $test() {
+            let proto = $proto;
+            let arrivals = $arrivals;
+            let queries = $queries;
+            let reorder = DeliveryPolicy::RandomDelay { min: 0, max: 8 };
+            let cases = [
+                (DeliveryPolicy::Instant, FaultPlan::none()),
+                (DeliveryPolicy::FixedLatency(3), FaultPlan::none()),
+                (reorder, FaultPlan::none().with_straggle(2)),
+                (reorder, FaultPlan::none().with_straggle(2).with_loss(0.1)),
+            ];
+            for (policy, base) in cases {
+                let clean = observables(&proto, &arrivals, policy, base, &queries);
+                let dup = observables(&proto, &arrivals, policy, base.with_dup(0.3), &queries);
+                assert_eq!(clean, dup, "duplicates changed an observable");
+            }
+            // The duplicates really were injected and dropped.
+            let mut ex =
+                EventRuntime::with_faults(&proto, 42, reorder, FaultPlan::none().with_dup(0.3));
+            for &(site, item) in &arrivals {
+                ex.feed(site, item);
+            }
+            ex.quiesce();
+            let fs = ex.fault_stats().unwrap();
+            assert!(fs.duplicates > 0, "no duplicates injected: {fs:?}");
+            assert_eq!(fs.duplicates, fs.dup_dropped, "{fs:?}");
+        }
+    };
+}
+
+dup_identical_case!(
+    dup_bit_identical_randomized_count,
+    RandomizedCount::new(cfg(0.1)),
+    zipf_arrivals(6_000, 7),
+    |c: &dtrack::core::count::RandCountCoord| vec![c.estimate()]
+);
+
+dup_identical_case!(
+    dup_bit_identical_deterministic_count,
+    DeterministicCount::new(cfg(0.1)),
+    zipf_arrivals(6_000, 7),
+    |c: &dtrack::core::count::DetCountCoord| vec![c.estimate()]
+);
+
+dup_identical_case!(
+    dup_bit_identical_randomized_frequency,
+    RandomizedFrequency::new(cfg(0.1)),
+    zipf_arrivals(6_000, 7),
+    |c: &dtrack::core::frequency::RandFreqCoord| {
+        (0..10).map(|j| c.estimate_frequency(j)).collect()
+    }
+);
+
+dup_identical_case!(
+    dup_bit_identical_deterministic_frequency,
+    DeterministicFrequency::new(cfg(0.1)),
+    zipf_arrivals(6_000, 7),
+    |c: &dtrack::core::frequency::DetFreqCoord| {
+        (0..10).map(|j| c.estimate_frequency(j)).collect()
+    }
+);
+
+dup_identical_case!(
+    dup_bit_identical_randomized_rank,
+    RandomizedRank::new(cfg(0.1)),
+    distinct_arrivals(6_000, 7),
+    |c: &dtrack::core::rank::RandRankCoord| {
+        [u64::MAX / 4, u64::MAX / 2, u64::MAX / 4 * 3]
+            .iter()
+            .map(|&x| c.estimate_rank(x))
+            .collect()
+    }
+);
+
+dup_identical_case!(
+    dup_bit_identical_deterministic_rank,
+    DeterministicRank::new(cfg(0.1)),
+    distinct_arrivals(6_000, 7),
+    |c: &dtrack::core::rank::DetRankCoord| {
+        [u64::MAX / 4, u64::MAX / 2, u64::MAX / 4 * 3]
+            .iter()
+            .map(|&x| c.estimate_rank(x))
+            .collect()
+    }
+);
+
+dup_identical_case!(
+    dup_bit_identical_continuous_sampling,
+    ContinuousSampling::new(cfg(0.1)),
+    distinct_arrivals(6_000, 7),
+    |c: &dtrack::core::sampling::SamplingCoord| {
+        vec![
+            c.estimate_count(),
+            c.estimate_frequency(3),
+            c.estimate_rank(u64::MAX / 2),
+        ]
+    }
+);
+
+dup_identical_case!(
+    dup_bit_identical_windowed,
+    Windowed::new(RandomizedCount::new(cfg(0.1)), 2_048),
+    zipf_arrivals(6_000, 7),
+    |c: &WinCoord<RandomizedCount>| vec![c.windowed_count()]
+);
+
+/// Every faulty run is bit-for-bit reproducible from its master seed,
+/// and a different seed produces a genuinely different fault schedule.
+#[test]
+fn faulty_runs_replay_exactly_from_the_seed() {
+    let proto = RandomizedCount::new(cfg(0.1));
+    let arrivals = zipf_arrivals(4_000, 3);
+    let plan = FaultPlan::none()
+        .with_loss(0.1)
+        .with_dup(0.1)
+        .with_churn(0.2)
+        .with_straggle(8);
+    let run = |seed: u64| {
+        let mut ex = EventRuntime::with_faults(&proto, seed, DeliveryPolicy::Instant, plan);
+        for (t, &(site, item)) in arrivals.iter().enumerate() {
+            ex.feed_at(t as u64 * 8, site, item);
+        }
+        ex.quiesce();
+        (
+            ex.stats().clone(),
+            ex.fault_stats().unwrap().clone(),
+            ex.coord().estimate().to_bits(),
+            ex.now(),
+        )
+    };
+    assert_eq!(run(5), run(5), "same seed must replay bit-for-bit");
+    assert_ne!(
+        run(5).1,
+        run(6).1,
+        "different seeds must draw different fault schedules"
+    );
+}
+
+/// The ingest loop closed end to end: `AdaptiveSites` fed by the event
+/// runtime's observed up-link latencies routes away from the
+/// `+straggle` site within a few hundred elements.
+#[test]
+fn adaptive_assignment_routes_around_a_straggler_link() {
+    let proto = RandomizedCount::new(cfg(0.1));
+    let plan = FaultPlan::none().with_straggle(64);
+    let mut ex = EventRuntime::with_faults(&proto, 11, DeliveryPolicy::FixedLatency(2), plan);
+    let mut assign = AdaptiveSites::new(K);
+    let mut rng = dtrack::sim::rng::rng_from_seed(11);
+    let n = 12_000u64;
+    let (warmup, mut straggler_hits, mut measured) = (2_000u64, 0u64, 0u64);
+    for t in 0..n {
+        let site = assign.next_site(&mut rng);
+        if t >= warmup {
+            measured += 1;
+            if site == 0 {
+                straggler_hits += 1;
+            }
+        }
+        ex.feed(site, t);
+        // Feedback: the policy sees each link's observed mean latency.
+        for s in 0..K {
+            if let Some(lat) = ex.mean_up_latency(s) {
+                assign.observe(s, lat);
+            }
+        }
+    }
+    ex.quiesce();
+    let frac = straggler_hits as f64 / measured as f64;
+    // Uniform would give 1/k = 12.5%; exploit weight 1/(1+66) vs 1/(1+2)
+    // puts ≈ 0.6% of exploit mass there, plus explore/k ≈ 1.25%.
+    assert!(
+        frac < 0.06,
+        "straggler still receives {:.1}% of elements",
+        frac * 100.0
+    );
+    assert!(straggler_hits > 0, "exploration must keep probing site 0");
+    assert_eq!(ex.stats().elements, n);
+}
+
+// --- release-gated ε-bound suite (the acceptance criterion) ---
+
+/// Mean error over ≥ 20 seeds of `metric` must be ≤ `eps`.
+fn assert_mean_error_le_eps<F: Fn(u64) -> f64>(name: &str, eps: f64, seeds: u64, metric: F) {
+    let mean = (0..seeds).map(&metric).sum::<f64>() / seeds as f64;
+    assert!(
+        mean <= eps,
+        "{name}: mean error {mean:.4} over {seeds} seeds exceeds eps {eps}"
+    );
+}
+
+/// All seven Table-1 protocols meet the mean-error-≤-ε bound under the
+/// acceptance scenario `+loss:0.05+dup:0.05+churn:0.1` (and the per-
+/// protocol error metric each run function scores — count relative
+/// error, frequency per-query error on the hottest item per Theorem
+/// 3.1, rank max-over-deciles error).
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "20-seed release-gated acceptance suite; covered by release CI"
+)]
+fn all_protocols_meet_epsilon_under_the_acceptance_fault_mix() {
+    let exec: ExecConfig = "event+loss:0.05+dup:0.05+churn:0.1".parse().unwrap();
+    let (eps, seeds, n, rank_n) = (0.1, 20, 30_000u64, 8_000u64);
+    for algo in [
+        CountAlgo::Deterministic,
+        CountAlgo::Randomized,
+        CountAlgo::Sampling,
+    ] {
+        assert_mean_error_le_eps(&format!("count/{algo:?}"), eps, seeds, |seed| {
+            count_run(exec, algo, K, eps, n, seed).1
+        });
+    }
+    for algo in [FreqAlgo::Deterministic, FreqAlgo::Randomized] {
+        assert_mean_error_le_eps(&format!("frequency/{algo:?}"), eps, seeds, |seed| {
+            frequency_single_probe_error(exec, algo, K, eps, n, seed)
+        });
+    }
+    for algo in [RankAlgo::Deterministic, RankAlgo::Randomized] {
+        assert_mean_error_le_eps(&format!("rank/{algo:?}"), eps, seeds, |seed| {
+            rank_run(exec, algo, K, eps, rank_n, seed).1
+        });
+    }
+}
+
+/// `Windowed<P>` meets the same bound under the acceptance mix — the
+/// epoch seal/ack machinery re-synchronizes churned sites.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "20-seed release-gated acceptance suite; covered by release CI"
+)]
+fn windowed_meets_epsilon_under_the_acceptance_fault_mix() {
+    let exec: ExecConfig = "event+loss:0.05+dup:0.05+churn:0.1".parse().unwrap();
+    let (eps, seeds, n, w) = (0.1, 20, 30_000u64, 6_144u64);
+    assert_mean_error_le_eps("windowed count", eps, seeds, |seed| {
+        count_run(exec.windowed(w), CountAlgo::Randomized, K, eps, n, seed).1
+    });
+    assert_mean_error_le_eps("windowed frequency", eps, seeds, |seed| {
+        frequency_run(exec.windowed(w), FreqAlgo::Randomized, K, eps, n, seed).1
+    });
+}
+
+/// Each fault alone also stays within ε (a fault combination could mask
+/// a single fault's bias by accident; singles rule that out).
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "20-seed release-gated acceptance suite; covered by release CI"
+)]
+fn each_single_fault_meets_epsilon() {
+    let (eps, seeds, n) = (0.1, 20, 30_000u64);
+    for spec in [
+        "event+loss:0.05",
+        "event+dup:0.05",
+        "event+churn:0.1",
+        "event+straggle:32",
+    ] {
+        let exec: ExecConfig = spec.parse().unwrap();
+        assert_mean_error_le_eps(&format!("{spec} count"), eps, seeds, |seed| {
+            count_run(exec, CountAlgo::Randomized, K, eps, n, seed).1
+        });
+        assert_mean_error_le_eps(&format!("{spec} frequency"), eps, seeds, |seed| {
+            frequency_single_probe_error(exec, FreqAlgo::Randomized, K, eps, n, seed)
+        });
+    }
+}

@@ -1,11 +1,13 @@
 //! Property-based integration tests: protocol invariants under arbitrary
-//! arrival interleavings, item distributions, and parameters.
+//! arrival interleavings, item distributions, parameters — and, since
+//! the fault-injection layer landed, arbitrary loss/duplication
+//! schedules over randomly assembled scenario strings.
 
 use dtrack::core::count::{DeterministicCount, RandomizedCount};
 use dtrack::core::frequency::RandomizedFrequency;
 use dtrack::core::rank::RandomizedRank;
 use dtrack::core::TrackingConfig;
-use dtrack::sim::Runner;
+use dtrack::sim::{ExecConfig, Executor, FaultPlan, Runner};
 use proptest::prelude::*;
 
 proptest! {
@@ -100,6 +102,94 @@ proptest! {
         }
         let total = r.coord().estimate_rank(u64::MAX);
         prop_assert!((total - n as f64).abs() <= 0.9 * n as f64 + 8.0);
+    }
+
+    /// Fault schedules are data: any `+loss`/`+dup` mix over any delay
+    /// policy, assembled into a scenario string, parses, runs an
+    /// arbitrary interleaving to quiescence without panicking, and keeps
+    /// the deterministic count baseline's unconditional ε invariant —
+    /// the transport may delay, retry, and duplicate, but the protocol
+    /// must observe an exactly-once in-order stream. The proptest
+    /// harness shrinks `sites`/`loss`/`dup` toward minimal failing
+    /// schedules.
+    #[test]
+    fn lossy_duplicating_links_never_violate_deterministic_count(
+        sites in proptest::collection::vec(0usize..6, 1..600),
+        loss in 0.0f64..0.4,
+        dup in 0.0f64..0.5,
+        delay in 0u64..12,
+        eps in 0.05f64..0.5,
+        seed in 0u64..1000,
+    ) {
+        let spec = format!("event:random:0:{}+loss:{loss}+dup:{dup}", delay + 1);
+        let exec: ExecConfig = spec.parse().expect("assembled spec must parse");
+        let cfg = TrackingConfig::new(6, eps);
+        let mut ex = exec.build(&DeterministicCount::new(cfg), seed);
+        for (t, &s) in sites.iter().enumerate() {
+            ex.feed(s, t as u64);
+        }
+        ex.quiesce();
+        let n = sites.len() as f64;
+        let est = ex.query(|c: &dtrack::core::count::DetCountCoord| c.estimate());
+        prop_assert!(est <= n + 1e-9, "{spec}: n̂ {est} > n {n}");
+        prop_assert!(n <= est * (1.0 + eps) + 1e-9, "{spec}: n {n} ≰ (1+ε)n̂");
+    }
+
+    /// The same fault mix over the randomized frequency protocol: never
+    /// panics, answers stay finite and within a coarse multiple of n
+    /// (the sharp ε statement is the release-gated suite's job; this one
+    /// buys breadth — hundreds of random fault schedules per CI run).
+    #[test]
+    fn lossy_duplicating_links_keep_frequency_sane(
+        items in proptest::collection::vec(0u64..8, 100..600),
+        loss in 0.0f64..0.4,
+        dup in 0.0f64..0.5,
+        seed in 0u64..1000,
+    ) {
+        let spec = format!("event+loss:{loss}+dup:{dup}");
+        let exec: ExecConfig = spec.parse().expect("assembled spec must parse");
+        let k = 4;
+        let cfg = TrackingConfig::new(k, 0.25);
+        let mut ex = exec.build(&RandomizedFrequency::new(cfg), seed);
+        for (t, &item) in items.iter().enumerate() {
+            ex.feed(t % k, item);
+        }
+        ex.quiesce();
+        let n = items.len() as f64;
+        for j in 0..8u64 {
+            let est = ex.query(
+                move |c: &dtrack::core::frequency::RandFreqCoord| c.estimate_frequency(j),
+            );
+            prop_assert!(est.is_finite(), "{spec}: estimate_frequency({j}) = {est}");
+            prop_assert!(est.abs() <= 3.0 * n + 8.0, "{spec}: |f̂({j})| = {est} vs n {n}");
+        }
+    }
+
+    /// Scenario strings round-trip for ANY valid fault plan, not just
+    /// the hand-picked table in `exec::tests`: Display∘parse is the
+    /// identity on (mode, window, plan).
+    #[test]
+    fn any_valid_fault_plan_round_trips_through_the_scenario_string(
+        loss in 0.0f64..0.9,
+        dup in 0.0f64..1.0,
+        churn in 0.0f64..0.5,
+        straggle in 0u64..10_000,
+        window in 0u64..1_000_000,
+    ) {
+        let plan = FaultPlan::none()
+            .with_loss(loss)
+            .with_dup(dup)
+            .with_churn(churn)
+            .with_straggle(straggle);
+        prop_assert!(plan.validate().is_ok());
+        let mut cfg = ExecConfig::event(dtrack::sim::DeliveryPolicy::Instant).faulty(plan);
+        if window >= 2 {
+            cfg = cfg.windowed(window);
+        }
+        let rendered = cfg.to_string();
+        let reparsed: ExecConfig = rendered.parse()
+            .unwrap_or_else(|e| panic!("{rendered:?} failed to reparse: {e}"));
+        prop_assert_eq!(reparsed, cfg, "{}", rendered);
     }
 
     /// Space accounting: the frequency site never exceeds its cap by more
