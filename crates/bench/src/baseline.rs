@@ -10,6 +10,12 @@
 //!   cells (count and frequency, lock-step executor), plus one windowed
 //!   cell on the *channel* runtime — and records the **median words**
 //!   and **median wall time** per cell.
+//! * [`measure_throughput_cells`] runs the separate ingest-throughput
+//!   panel: the channel runtime fed [`THROUGHPUT_ELEMS`] elements
+//!   through the coalesced `feed_batch` path and the per-element `feed`
+//!   path, recording median **elements/second** alongside the words
+//!   distribution. Rates are machine-dependent like wall time, so they
+//!   are bootstrapped per machine and compared advisorily.
 //! * Each [`Cell`] is `exact` or not. Lock-step words are deterministic
 //!   given the seed set, so the comparator treats any drift as a **hard**
 //!   regression. The channel cell's words depend on thread interleaving,
@@ -90,6 +96,13 @@ pub struct Cell {
     pub words_min: u64,
     /// Maximum words over the seed set (see `words_min`).
     pub words_max: u64,
+    /// Median ingest throughput in elements per second, recorded only
+    /// for the `throughput/*` cells produced by
+    /// [`measure_throughput_cells`]. Machine-dependent like `millis`, so
+    /// the comparator treats drift here as **advisory** and
+    /// [`bootstrap`] refreshes it alongside wall-times. `None` for the
+    /// protocol/words cells, whose JSON omits the field entirely.
+    pub elems_per_sec: Option<f64>,
 }
 
 /// Median of a small vector (by partial order; NaN-free inputs).
@@ -246,9 +259,86 @@ pub fn measure_cells(p: Params) -> Vec<Cell> {
                 exact,
                 words_min,
                 words_max,
+                elems_per_sec: None,
             }
         })
         .collect()
+}
+
+/// Elements fed per throughput cell when the `perf_baseline` binary
+/// measures ingest rates. Large enough that ring wraparound, credit
+/// stalls, and park/unpark cycles all happen thousands of times; small
+/// enough that three runs of two cells stay in CI budget.
+pub const THROUGHPUT_ELEMS: u64 = 2_000_000;
+
+/// One timed ingest through the channel runtime: build the executor,
+/// pre-build the round-robin batch *outside* the timer, then time
+/// ingest + quiesce. `per_element` selects the `feed` loop (one ring
+/// push per element) instead of the coalesced `feed_batch` fast path.
+fn throughput_run(k: usize, eps: f64, n: u64, seed: u64, per_element: bool) -> (u64, f64) {
+    use dtrack_core::count::RandomizedCount;
+    use dtrack_core::TrackingConfig;
+    use dtrack_sim::Executor;
+
+    let proto = RandomizedCount::new(TrackingConfig::new(k, eps));
+    let batch: Vec<(usize, u64)> = (0..n).map(|t| ((t % k as u64) as usize, t)).collect();
+    let mut ex = ExecConfig::channel().build(&proto, seed);
+    let t0 = Instant::now();
+    if per_element {
+        for (site, item) in batch {
+            ex.feed(site, item);
+        }
+    } else {
+        ex.feed_batch(batch);
+    }
+    ex.quiesce();
+    let secs = t0.elapsed().as_secs_f64();
+    let st = ex.stats();
+    (st.up_words + st.down_words, n as f64 / secs)
+}
+
+/// Measure the ingest-throughput panel: the channel runtime fed `n`
+/// elements through the coalesced batch path (`throughput/channel`) and
+/// through the per-element `feed` path (`throughput/channel_feed`).
+///
+/// Kept separate from [`measure_cells`] because these cells answer a
+/// different question — "how fast does the concurrent ingest path move
+/// elements" rather than "how many words does a protocol send" — and
+/// their headline number ([`Cell::elems_per_sec`]) is machine-dependent.
+/// Words are still recorded (as a distribution — thread interleaving
+/// makes them inexact) so the cells also guard against communication
+/// blowups on the ingest path.
+pub fn measure_throughput_cells(p: Params, n: u64) -> Vec<Cell> {
+    const RUNS: u64 = 3;
+    let mk = |id: &str, per_element: bool| -> Cell {
+        let mut words = Vec::new();
+        let mut rates = Vec::new();
+        let mut millis = Vec::new();
+        for seed in 0..RUNS {
+            let t0 = Instant::now();
+            let (w, rate) = throughput_run(p.k, p.eps, n, seed, per_element);
+            millis.push(t0.elapsed().as_secs_f64() * 1e3);
+            words.push(w);
+            rates.push(rate);
+        }
+        let (lo, hi) = (
+            *words.iter().min().expect("≥1 run"),
+            *words.iter().max().expect("≥1 run"),
+        );
+        Cell {
+            id: id.to_string(),
+            words: med_u64(words),
+            millis: med_f64(millis),
+            exact: false,
+            words_min: lo,
+            words_max: hi,
+            elems_per_sec: Some(med_f64(rates)),
+        }
+    };
+    vec![
+        mk("throughput/channel", false),
+        mk("throughput/channel_feed", true),
+    ]
 }
 
 /// Serialize a baseline document.
@@ -273,13 +363,18 @@ pub fn to_json(p: Params, cells: &[Cell]) -> String {
                 c.words_min, c.words_max
             )
         };
+        let rate = match c.elems_per_sec {
+            Some(r) => format!(", \"elems_per_sec\": {r:.0}"),
+            None => String::new(),
+        };
         s.push_str(&format!(
-            "    {{\"id\": \"{}\", \"words\": {}, \"millis\": {:.3}, \"exact\": {}{}}}{}\n",
+            "    {{\"id\": \"{}\", \"words\": {}, \"millis\": {:.3}, \"exact\": {}{}{}}}{}\n",
             c.id,
             c.words,
             c.millis,
             c.exact,
             range,
+            rate,
             if i + 1 < cells.len() { "," } else { "" }
         ));
     }
@@ -379,6 +474,10 @@ pub fn parse_json(s: &str) -> Result<(Params, Vec<Cell>), String> {
             },
             words_min: opt("words_min")?,
             words_max: opt("words_max")?,
+            elems_per_sec: match field(obj, "elems_per_sec") {
+                Ok(v) => Some(v.parse().map_err(|e| format!("bad elems_per_sec: {e}"))?),
+                Err(_) => None,
+            },
         });
         rest = &rest[close + 1..];
     }
@@ -466,6 +565,21 @@ pub fn compare(
                 b.id, b.millis, c.millis, time_factor
             ));
         }
+        // Ingest throughput is machine- and load-dependent exactly like
+        // wall time, so a drop past the same factor is advisory: loud
+        // enough to notice a serialized fast path, never build-failing.
+        if let (Some(br), Some(cr)) = (b.elems_per_sec, c.elems_per_sec) {
+            if cr * time_factor < br {
+                out.advisory.push(format!(
+                    "{}: throughput {:.2}M elem/s -> {:.2}M elem/s \
+                     (< baseline/{:.1})",
+                    b.id,
+                    br / 1e6,
+                    cr / 1e6,
+                    time_factor
+                ));
+            }
+        }
     }
     for c in current {
         if !baseline.iter().any(|b| b.id == c.id) {
@@ -480,9 +594,10 @@ pub fn compare(
 
 /// Produce the bootstrap of `stored` for this machine: keep the stored
 /// (committed) words and exactness — they are the cross-machine signal —
-/// but replace every wall-time with the one just measured here, so a
-/// subsequent [`compare`] judges timing against *this* machine's speed
-/// rather than whichever machine wrote the baseline.
+/// but replace every wall-time (and recorded ingest throughput) with
+/// the one just measured here, so a subsequent [`compare`] judges
+/// timing against *this* machine's speed rather than whichever machine
+/// wrote the baseline.
 ///
 /// Cells measured now but absent from the stored baseline are
 /// deliberately **not** added: the bootstrapped file must stay
@@ -494,6 +609,11 @@ pub fn bootstrap(stored: &[Cell], measured: &[Cell]) -> Vec<Cell> {
     for cell in &mut out {
         if let Some(m) = measured.iter().find(|m| m.id == cell.id) {
             cell.millis = m.millis;
+            // Throughput is machine-dependent like wall time; refresh it
+            // so the subsequent check compares against this machine.
+            if cell.elems_per_sec.is_some() && m.elems_per_sec.is_some() {
+                cell.elems_per_sec = m.elems_per_sec;
+            }
         }
     }
     out
@@ -512,6 +632,7 @@ mod tests {
                 exact: true,
                 words_min: 1234,
                 words_max: 1234,
+                elems_per_sec: None,
             },
             Cell {
                 id: "rank/deterministic".into(),
@@ -520,6 +641,7 @@ mod tests {
                 exact: true,
                 words_min: 99,
                 words_max: 99,
+                elems_per_sec: None,
             },
             Cell {
                 id: "window/channel".into(),
@@ -528,6 +650,16 @@ mod tests {
                 exact: false,
                 words_min: 4600,
                 words_max: 5400,
+                elems_per_sec: None,
+            },
+            Cell {
+                id: "throughput/channel".into(),
+                words: 800,
+                millis: 120.0,
+                exact: false,
+                words_min: 700,
+                words_max: 900,
+                elems_per_sec: Some(5_000_000.0),
             },
         ]
     }
@@ -550,6 +682,7 @@ mod tests {
         assert!(cells[0].exact, "legacy cells are all lock-step → exact");
         assert_eq!(cells[0].words_min, 7, "absent range defaults to median");
         assert_eq!(cells[0].words_max, 7, "absent range defaults to median");
+        assert_eq!(cells[0].elems_per_sec, None, "absent rate stays None");
     }
 
     #[test]
@@ -593,6 +726,19 @@ mod tests {
     }
 
     #[test]
+    fn compare_flags_throughput_collapse_advisorily() {
+        let base = sample_cells();
+        let mut cur = sample_cells();
+        cur[3].elems_per_sec = Some(2_000_000.0); // > baseline/3: fine
+        assert!(compare(&base, &cur, 0.25, 3.0).is_empty());
+        cur[3].elems_per_sec = Some(1_000_000.0); // < 5M/3 → advisory
+        let c = compare(&base, &cur, 0.25, 3.0);
+        assert_eq!(c.hard.len(), 0, "throughput never fails the build: {c:?}");
+        assert_eq!(c.advisory.len(), 1, "{c:?}");
+        assert!(c.advisory[0].contains("throughput"), "{c:?}");
+    }
+
+    #[test]
     fn compare_flags_missing_and_new_cells_as_hard() {
         let base = sample_cells();
         let cur = vec![
@@ -604,6 +750,7 @@ mod tests {
                 exact: true,
                 words_min: 1,
                 words_max: 1,
+                elems_per_sec: None,
             },
         ];
         let c = compare(&base, &cur, 0.25, 3.0);
@@ -624,11 +771,23 @@ mod tests {
             exact: true,
             words_min: 5,
             words_max: 5,
+            elems_per_sec: None,
         });
+        let rate_at = measured
+            .iter()
+            .position(|c| c.id == "throughput/channel")
+            .unwrap();
+        measured[rate_at].elems_per_sec = Some(7_500_000.0);
         let b = bootstrap(&stored, &measured);
         let first = b.iter().find(|c| c.id == "count/randomized").unwrap();
         assert_eq!(first.words, 1234, "stored words survive bootstrap");
         assert_eq!(first.millis, 42.0, "millis refreshed from this machine");
+        let rate = b.iter().find(|c| c.id == "throughput/channel").unwrap();
+        assert_eq!(
+            rate.elems_per_sec,
+            Some(7_500_000.0),
+            "throughput refreshed from this machine like wall time"
+        );
         // An un-baselined cell must NOT be smuggled into the bootstrapped
         // file — `--check` has to keep flagging it as a hard finding.
         assert!(
@@ -640,6 +799,34 @@ mod tests {
             c.hard.iter().any(|f| f.contains("brand/new")),
             "post-bootstrap check still hard-flags the new cell: {c:?}"
         );
+    }
+
+    #[test]
+    fn throughput_cells_record_rates_and_word_ranges() {
+        let p = Params {
+            n: 4_000,
+            k: 4,
+            eps: 0.2,
+            seeds: 1,
+        };
+        // Tiny n: this smoke-checks the panel's plumbing, not its rates.
+        let cells = measure_throughput_cells(p, 20_000);
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].id, "throughput/channel");
+        assert_eq!(cells[1].id, "throughput/channel_feed");
+        for c in &cells {
+            assert!(!c.exact, "{}: thread-timed words are never exact", c.id);
+            let rate = c.elems_per_sec.expect("throughput cells carry a rate");
+            assert!(rate > 0.0, "{}: rate {rate}", c.id);
+            assert!(
+                c.words_min <= c.words && c.words <= c.words_max,
+                "{}: median {} outside own range [{}, {}]",
+                c.id,
+                c.words,
+                c.words_min,
+                c.words_max
+            );
+        }
     }
 
     #[test]

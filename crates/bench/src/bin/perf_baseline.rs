@@ -17,12 +17,22 @@
 //!   pretending its median is exact; its current median is checked
 //!   against the recorded range (advisory).
 //!
+//! The ingest-throughput panel (`throughput/*` cells, fed
+//! `THROUGHPUT_ELEMS` elements through the channel runtime's batch and
+//! per-element paths) rides along in every mode. Its elements/second
+//! rates are machine-dependent like wall time, so `--bootstrap`
+//! refreshes them and `--check` compares them advisorily — a rate
+//! collapse past the timing factor prints, but never fails the build.
+//!
 //! The baseline path defaults to `BENCH_baseline.json` in the current
 //! directory; override with the `BENCH_BASELINE` environment variable.
 //! Run under `--release` — debug timings would be meaningless against a
 //! release baseline (the check compares, it cannot tell why).
 
-use dtrack_bench::baseline::{bootstrap, compare, measure_cells, parse_json, to_json, Params};
+use dtrack_bench::baseline::{
+    bootstrap, compare, measure_cells, measure_throughput_cells, parse_json, to_json, Params,
+    THROUGHPUT_ELEMS,
+};
 use dtrack_bench::cli::banner;
 
 fn main() {
@@ -53,20 +63,26 @@ fn main() {
         ),
     );
 
-    let cells = measure_cells(params);
+    let mut cells = measure_cells(params);
+    cells.extend(measure_throughput_cells(params, THROUGHPUT_ELEMS));
     for c in &cells {
         let range = if c.exact {
             String::new()
         } else {
             format!(" in [{}, {}]", c.words_min, c.words_max)
         };
+        let rate = match c.elems_per_sec {
+            Some(r) => format!("  {:>7.2}M elem/s", r / 1e6),
+            None => String::new(),
+        };
         println!(
-            "{:28} {:>10} words{}{} {:>9.2} ms",
+            "{:28} {:>10} words{}{} {:>9.2} ms{}",
             c.id,
             c.words,
             if c.exact { " " } else { "~" },
             range,
-            c.millis
+            c.millis,
+            rate
         );
     }
     println!();

@@ -23,12 +23,15 @@
 //!    replaces its inner site state with a fresh epoch instance and
 //!    replies [`WinUp::SealAck`]. Only when **all `k` acks** are in does
 //!    the finished inner coordinator move into the closed-bucket
-//!    histogram — and the bucket's range ends at the *ack-completion*
-//!    position, so when delivery lags (channel runtime, delay policies)
-//!    a bucket's recorded range stretches to cover the elements that
-//!    actually fed it, instead of silently mis-filing them. No further
-//!    seal is initiated while one is in flight, so epochs *stretch*
-//!    under lag rather than pile up.
+//!    histogram — and the bucket's range ends at the *seal-initiation*
+//!    position: ticks landing mid-handshake are (to within one element
+//!    per site — seals travel out-of-band) elements the switched sites
+//!    fed to the *next* epoch, so the next range opens back at that
+//!    position, under its own mass. (Closing at ack-completion instead
+//!    stretched the old bucket over the new epoch's early elements — a
+//!    windowed overcount that grew with ingest speed; see
+//!    `WinCoord::complete_seal`.) No further seal is initiated while
+//!    one is in flight.
 //! 3. **The histogram invariant.** Closed buckets are kept youngest-to-
 //!    oldest with geometrically growing spans: at most
 //!    [`BUCKETS_PER_CLASS`] buckets of each span class (1, 2, 4, …
@@ -725,6 +728,18 @@ pub struct WinCoord<P: EpochProtocol> {
     /// Outstanding [`WinUp::SealAck`]s for the in-flight seal (0 = no
     /// seal in flight).
     await_acks: usize,
+    /// `n_approx` when the in-flight seal was initiated — the position
+    /// the sealed bucket closes at. Ticks arriving *during* the
+    /// handshake are almost entirely elements that already-switched
+    /// sites fed to the **next** epoch (a site stops feeding the old
+    /// epoch the moment the out-of-band `Seal` reaches it, within one
+    /// element); closing the bucket at the later completion-time
+    /// `n_approx` would stretch its range over that next-epoch mass,
+    /// systematically aging recent elements — a windowed *overcount*
+    /// that grows with ingest speed. Under instant (lock-step) delivery
+    /// no tick can land mid-handshake, so this equals `n_approx` at
+    /// completion and the bookkeeping is unchanged there.
+    seal_start: u64,
     /// Closed buckets, oldest first; spans are non-increasing toward the
     /// back by the EH merge rule.
     closed: VecDeque<Bucket<P>>,
@@ -818,16 +833,23 @@ impl<P: EpochProtocol> WinCoord<P> {
         let next = self.epoch + 1;
         self.next_live = Some(sub_coord(&self.proto, self.master_seed, next));
         self.await_acks = self.proto.k();
+        self.seal_start = self.n_approx;
         net.broadcast(WinDown::Seal { next });
     }
 
     /// Phase two, on the `k`-th ack: close the sealed epoch's bucket at
-    /// the *current* heartbeat position (which under lag is later than
-    /// the seal trigger — the bucket's range stretches to cover what
-    /// actually fed it). The new epoch opens at that position and runs
-    /// a full granularity before the next boundary-crossing tick can
-    /// initiate another seal — handshake overshoot is absorbed into the
-    /// finished bucket, never chained into back-to-back seals.
+    /// the heartbeat position where the seal was *initiated*
+    /// ([`WinCoord::seal_start`]). Ticks that landed during the
+    /// handshake are (within one element per site — seals travel
+    /// out-of-band, ahead of queued data) elements the switched sites
+    /// fed to the next epoch, so the new epoch's range opens back at
+    /// `seal_start` to sit under that mass. Closing at completion-time
+    /// `n_approx` instead — the previous behavior — stretched the
+    /// finished bucket's range over the next epoch's early mass, so
+    /// window cuts prorated recent elements as if they were old: a
+    /// systematic windowed overcount proportional to how many elements
+    /// the transport moves per seal round-trip, which a fast lock-free
+    /// ingest path turns from noise into an ε-budget-breaking bias.
     fn complete_seal(&mut self) {
         let finished = std::mem::replace(
             &mut self.live,
@@ -837,7 +859,7 @@ impl<P: EpochProtocol> WinCoord<P> {
         );
         self.closed.push_back(Bucket {
             start: self.epoch_start,
-            end: self.n_approx,
+            end: self.seal_start,
             span: 1,
             state: BucketState::Open {
                 epoch: self.epoch,
@@ -845,10 +867,12 @@ impl<P: EpochProtocol> WinCoord<P> {
             },
         });
         self.epoch += 1;
-        // The new epoch opens *here* on the heartbeat clock — elements
-        // ticked during the handshake belong to the stretched bucket.
-        // The next seal initiates at the next boundary-crossing tick.
-        self.epoch_start = self.n_approx;
+        // The new epoch's range opens at the seal position, under the
+        // elements its sites have been feeding since they switched. The
+        // next seal initiates at the next boundary-crossing tick (the
+        // handshake ticks count toward it, keeping the seal cadence at
+        // one per `granularity` of clock advance).
+        self.epoch_start = self.seal_start;
         self.expire();
         self.compact();
     }
@@ -1084,6 +1108,7 @@ impl<P: EpochProtocol> Protocol for Windowed<P> {
             live: sub_coord(&self.inner, master_seed, 0),
             next_live: None,
             await_acks: 0,
+            seal_start: 0,
             closed: VecDeque::new(),
             sub_net: Net::new(),
         }

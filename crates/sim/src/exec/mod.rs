@@ -9,7 +9,7 @@
 //! |---|---|---|---|
 //! | [`Runner`] | instant, lock-step | bit-exact | paper-model measurement, exact accounting |
 //! | [`EventRuntime`] | pluggable [`DeliveryPolicy`] | bit-exact | reproducible off-model stress (latency, reorder) |
-//! | [`ChannelRuntime`] | OS threads + channels | nondeterministic | real-concurrency robustness checks |
+//! | [`ChannelRuntime`] | OS threads + lock-free SPSC rings | nondeterministic | real-concurrency robustness + throughput |
 //!
 //! The [`Executor`] trait exposes the operations every measurement path
 //! needs — `feed`, a batched `feed_batch` fast path, timed `feed_at`

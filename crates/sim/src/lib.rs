@@ -30,8 +30,9 @@
 //!   fault-injection layer ([`FaultPlan`], `exec::faults`): lossy links with
 //!   at-least-once retransmission, duplicate delivery, site churn, and
 //!   straggler links — every fault seeded and replayable,
-//! * [`runtime::ChannelRuntime`], a genuinely concurrent executor built on
-//!   crossbeam channels (one OS thread per site) used for robustness tests,
+//! * [`runtime::ChannelRuntime`], a genuinely concurrent executor (one OS
+//!   thread per site) built on the lock-free rings and queues in [`ring`],
+//!   used for robustness tests and throughput measurement,
 //! * seeded PRNG utilities ([`rng`]) including the geometric skip sampler
 //!   used to make "report with probability `p`" protocols O(1) amortized.
 //!
@@ -53,6 +54,7 @@ pub mod exec;
 pub mod message;
 pub mod net;
 pub mod protocol;
+pub mod ring;
 pub mod rng;
 pub mod runner;
 pub mod runtime;

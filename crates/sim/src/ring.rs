@@ -1,0 +1,913 @@
+//! Lock-free transport primitives for [`crate::runtime::ChannelRuntime`].
+//!
+//! Three building blocks, all `std`-only:
+//!
+//! * [`ring`] — a bounded ring buffer with atomic head/tail cursors and
+//!   per-slot sequence stamps (Vyukov's bounded queue). The consumer side
+//!   is strictly single-threaded; producers may be cloned, and an
+//!   uncontended producer pays one CAS per claim — the SPSC fast path the
+//!   data lane is built on. [`RingProducer::push_many`] claims a whole
+//!   run of slots with a single CAS, which is what makes the batched
+//!   ingest path allocation-free *and* synchronization-cheap.
+//! * [`mpsc`] — an unbounded MPSC linked queue (Vyukov's non-intrusive
+//!   design, one heap node per message). Used for the control lanes,
+//!   where the sender (the coordinator) must **never** block — that is
+//!   the deadlock-freedom argument of the runtime, see its module docs.
+//! * [`WakeCell`] — the spin-then-park idle protocol shared by every
+//!   consumer thread. Producers publish, then wake; consumers spin
+//!   briefly, then publish a parked flag, re-check, and `thread::park`.
+//!   `SeqCst` fences on both sides make the flag/data handshake a
+//!   store-load (Dekker) pair, so a wakeup can never be lost: either the
+//!   producer observes the parked flag and unparks, or the consumer's
+//!   re-check observes the freshly pushed message.
+//!
+//! Blocking never happens with a lock held: the only lock in this module
+//! is a [`SpinMutex`] around the parked-producer registry of a full
+//! ring, taken for a few instructions to push/drain a `Thread` handle
+//! (the per-slot-stats `SpinMutex` shape, applied to a waiter list).
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::ops::{Deref, DerefMut};
+use std::ptr;
+use std::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::Thread;
+
+/// Iterations of `spin_loop` a consumer burns before arming the parked
+/// flag, and a producer burns before registering as a waiter. Long
+/// enough to bridge the gap to a running peer on another core, short
+/// enough that a genuinely idle thread reaches `thread::park` quickly.
+const SPIN_ITERS: u32 = 128;
+
+/// Pad to a cache line so hot per-thread cursors (and per-site counters
+/// in the runtime) do not false-share.
+#[repr(align(64))]
+#[derive(Default)]
+pub struct CachePadded<T>(pub T);
+
+// ---------------------------------------------------------------------------
+// SpinMutex
+
+/// A minimal test-and-test-and-set spinlock. Only for critical sections
+/// of a few instructions on cold paths (waiter registration); the data
+/// lanes themselves are lock-free.
+pub struct SpinMutex<T> {
+    locked: AtomicBool,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: the lock provides exclusive access to `value`; `T: Send` is
+// required so the protected value may be accessed from any thread.
+unsafe impl<T: Send> Send for SpinMutex<T> {}
+unsafe impl<T: Send> Sync for SpinMutex<T> {}
+
+impl<T> SpinMutex<T> {
+    /// Wrap `value` in a new unlocked spinlock.
+    pub const fn new(value: T) -> Self {
+        Self {
+            locked: AtomicBool::new(false),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    /// Spin until the lock is acquired.
+    pub fn lock(&self) -> SpinGuard<'_, T> {
+        loop {
+            if self
+                .locked
+                .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                return SpinGuard { lock: self };
+            }
+            while self.locked.load(Ordering::Relaxed) {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+/// RAII guard for [`SpinMutex`]; releases on drop.
+pub struct SpinGuard<'a, T> {
+    lock: &'a SpinMutex<T>,
+}
+
+impl<T> Deref for SpinGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard holds the lock, so access is exclusive.
+        unsafe { &*self.lock.value.get() }
+    }
+}
+
+impl<T> DerefMut for SpinGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as above.
+        unsafe { &mut *self.lock.value.get() }
+    }
+}
+
+impl<T> Drop for SpinGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.locked.store(false, Ordering::Release);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WakeCell
+
+/// Spin-then-park idle gate for a single consumer thread.
+///
+/// The owning thread calls [`WakeCell::register`] once, then parks
+/// through [`WakeCell::park_while`] whenever all of its inputs are idle.
+/// Any producer calls [`WakeCell::wake`] after publishing work. One cell
+/// can guard several queues (a site's data + control lane share one), as
+/// long as every producer of every guarded queue wakes it.
+#[derive(Default)]
+pub struct WakeCell {
+    thread: OnceLock<Thread>,
+    parked: AtomicBool,
+}
+
+impl WakeCell {
+    /// New cell with no registered thread; `wake` is a no-op until the
+    /// consumer registers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind the cell to the calling thread. Must be called by the
+    /// consumer before its first `park_while`.
+    pub fn register(&self) {
+        let _ = self.thread.set(std::thread::current());
+    }
+
+    /// Wake the consumer if it is parked (or about to park). Call after
+    /// publishing work. The `SeqCst` fence pairs with the one in
+    /// `park_while`: either this load sees the parked flag, or the
+    /// consumer's re-check sees the published work.
+    pub fn wake(&self) {
+        fence(Ordering::SeqCst);
+        if self.parked.load(Ordering::Relaxed) && self.parked.swap(false, Ordering::SeqCst) {
+            if let Some(t) = self.thread.get() {
+                t.unpark();
+            }
+        }
+    }
+
+    /// Spin briefly, then park the calling thread for as long as `idle`
+    /// returns `true`. Returns as soon as `idle` is observed `false`.
+    /// `idle` must depend only on state whose writers call [`WakeCell::wake`].
+    pub fn park_while(&self, idle: impl Fn() -> bool) {
+        for _ in 0..SPIN_ITERS {
+            if !idle() {
+                return;
+            }
+            std::hint::spin_loop();
+        }
+        while idle() {
+            self.parked.store(true, Ordering::SeqCst);
+            fence(Ordering::SeqCst);
+            if idle() {
+                std::thread::park();
+            }
+            self.parked.store(false, Ordering::SeqCst);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded ring (data lane)
+
+/// `push` failed because the ring's consumer was dropped; the value is
+/// returned to the caller.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Closed<T>(pub T);
+
+enum PushError<T> {
+    Full(T),
+    Closed(T),
+}
+
+struct Slot<T> {
+    /// Vyukov sequence stamp. `seq == pos` ⇒ free for the producer that
+    /// claims position `pos`; `seq == pos + 1` ⇒ holds the value for
+    /// position `pos`; `seq == pos + cap` ⇒ free again for the next lap.
+    seq: AtomicU64,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+struct RingShared<T> {
+    slots: Box<[Slot<T>]>,
+    mask: u64,
+    /// Next position to claim (producers; CAS).
+    tail: CachePadded<AtomicU64>,
+    /// Next position to pop (single consumer).
+    head: CachePadded<AtomicU64>,
+    /// Set when the consumer is dropped; parked producers are released
+    /// and further pushes fail with [`Closed`].
+    closed: AtomicBool,
+    consumer: Arc<WakeCell>,
+    /// Producers parked on a full ring. Guarded by the spinlock; the
+    /// flag lets the pop path skip the lock when nobody waits.
+    prod_waiting: AtomicBool,
+    prod_waiters: SpinMutex<Vec<Thread>>,
+}
+
+// SAFETY: slots are handed between threads via the seq protocol (a slot
+// is touched only by the producer that claimed it or, once stamped, by
+// the single consumer); `T: Send` is required for the values to cross.
+unsafe impl<T: Send> Send for RingShared<T> {}
+unsafe impl<T: Send> Sync for RingShared<T> {}
+
+impl<T> RingShared<T> {
+    #[inline]
+    fn cap(&self) -> u64 {
+        self.slots.len() as u64
+    }
+
+    /// Release every parked producer (after freeing a slot or closing).
+    fn wake_producers(&self) {
+        fence(Ordering::SeqCst);
+        if self.prod_waiting.load(Ordering::Relaxed) {
+            let waiters = {
+                let mut w = self.prod_waiters.lock();
+                self.prod_waiting.store(false, Ordering::SeqCst);
+                std::mem::take(&mut *w)
+            };
+            for t in waiters {
+                t.unpark();
+            }
+        }
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        // Parked producers must observe `closed`; the fence inside
+        // wake_producers orders the store before the flag check.
+        self.wake_producers();
+    }
+}
+
+impl<T> Drop for RingShared<T> {
+    fn drop(&mut self) {
+        // Sole owner at this point: drop any values still in flight.
+        let head = *self.head.0.get_mut();
+        let tail = *self.tail.0.get_mut();
+        let mut pos = head;
+        while pos != tail {
+            let slot = &self.slots[(pos & self.mask) as usize];
+            if slot.seq.load(Ordering::Relaxed) == pos.wrapping_add(1) {
+                // SAFETY: stamp says the slot holds an initialized value.
+                unsafe { (*slot.value.get()).assume_init_drop() };
+            }
+            pos = pos.wrapping_add(1);
+        }
+    }
+}
+
+/// Producer handle for a bounded ring; cloneable. An uncontended
+/// producer pays one CAS per claim (the SPSC fast path).
+pub struct RingProducer<T> {
+    shared: Arc<RingShared<T>>,
+}
+
+impl<T> Clone for RingProducer<T> {
+    fn clone(&self) -> Self {
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+/// Consumer handle for a bounded ring. Not cloneable — exactly one
+/// thread pops. Dropping it closes the ring and releases any parked or
+/// future producers with [`Closed`].
+pub struct RingConsumer<T> {
+    shared: Arc<RingShared<T>>,
+}
+
+impl<T> Drop for RingConsumer<T> {
+    fn drop(&mut self) {
+        self.shared.close();
+    }
+}
+
+/// Build a bounded ring of at least `capacity` slots (rounded up to a
+/// power of two). Every push wakes `consumer_wake`, so the consumer
+/// thread can share one cell across several queues.
+pub fn ring<T>(
+    capacity: usize,
+    consumer_wake: Arc<WakeCell>,
+) -> (RingProducer<T>, RingConsumer<T>) {
+    let cap = capacity.next_power_of_two().max(2);
+    let slots = (0..cap)
+        .map(|i| Slot {
+            seq: AtomicU64::new(i as u64),
+            value: UnsafeCell::new(MaybeUninit::uninit()),
+        })
+        .collect::<Vec<_>>()
+        .into_boxed_slice();
+    let shared = Arc::new(RingShared {
+        slots,
+        mask: (cap - 1) as u64,
+        tail: CachePadded(AtomicU64::new(0)),
+        head: CachePadded(AtomicU64::new(0)),
+        closed: AtomicBool::new(false),
+        consumer: consumer_wake,
+        prod_waiting: AtomicBool::new(false),
+        prod_waiters: SpinMutex::new(Vec::new()),
+    });
+    (
+        RingProducer {
+            shared: Arc::clone(&shared),
+        },
+        RingConsumer { shared },
+    )
+}
+
+impl<T> RingProducer<T> {
+    /// Non-blocking push.
+    fn try_push(&self, value: T) -> Result<(), PushError<T>> {
+        let s = &*self.shared;
+        if s.closed.load(Ordering::SeqCst) {
+            return Err(PushError::Closed(value));
+        }
+        let mut pos = s.tail.0.load(Ordering::Relaxed);
+        loop {
+            let slot = &s.slots[(pos & s.mask) as usize];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq.wrapping_sub(pos) as i64;
+            if diff == 0 {
+                // Slot free at `pos`: claim it.
+                match s.tail.0.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS gave us exclusive ownership of
+                        // this slot until the stamp below publishes it.
+                        unsafe { (*slot.value.get()).write(value) };
+                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        s.consumer.wake();
+                        return Ok(());
+                    }
+                    Err(cur) => pos = cur,
+                }
+            } else if diff < 0 {
+                return Err(PushError::Full(value));
+            } else {
+                // Another producer claimed `pos`; reload the tail.
+                pos = s.tail.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Blocking push: spin briefly on a full ring, then park until the
+    /// consumer frees a slot. Fails only if the consumer is gone.
+    pub fn push(&self, value: T) -> Result<(), Closed<T>> {
+        let mut value = value;
+        loop {
+            for _ in 0..SPIN_ITERS {
+                match self.try_push(value) {
+                    Ok(()) => return Ok(()),
+                    Err(PushError::Closed(v)) => return Err(Closed(v)),
+                    Err(PushError::Full(v)) => value = v,
+                }
+                std::hint::spin_loop();
+            }
+            self.wait_for_space();
+        }
+    }
+
+    /// Move the entire buffer into the ring, claiming contiguous runs of
+    /// slots with one CAS per run. Blocks (spin, then park) while the
+    /// ring is full. On success the buffer is left empty with its
+    /// capacity intact — the caller reuses it, so steady-state batched
+    /// ingest performs no allocation. If the consumer is gone the
+    /// remaining elements are dropped and [`Closed`] is returned.
+    pub fn push_many(&self, buf: &mut Vec<T>) -> Result<(), Closed<()>> {
+        while !buf.is_empty() {
+            if self.try_push_run(buf) > 0 {
+                continue;
+            }
+            if self.shared.closed.load(Ordering::SeqCst) {
+                buf.clear();
+                return Err(Closed(()));
+            }
+            self.wait_for_space();
+        }
+        Ok(())
+    }
+
+    /// Claim the longest free run of slots at the tail (up to
+    /// `buf.len()`), move that prefix of `buf` into it, and return the
+    /// run length (0 ⇔ ring currently full).
+    fn try_push_run(&self, buf: &mut Vec<T>) -> usize {
+        let s = &*self.shared;
+        loop {
+            let pos = s.tail.0.load(Ordering::Relaxed);
+            let want = buf.len().min(s.slots.len());
+            let mut n = 0usize;
+            while n < want {
+                let p = pos.wrapping_add(n as u64);
+                let seq = s.slots[(p & s.mask) as usize].seq.load(Ordering::Acquire);
+                if seq.wrapping_sub(p) as i64 != 0 {
+                    break;
+                }
+                n += 1;
+            }
+            if n == 0 {
+                let seq = s.slots[(pos & s.mask) as usize].seq.load(Ordering::Acquire);
+                if (seq.wrapping_sub(pos) as i64) < 0 {
+                    return 0; // genuinely full
+                }
+                continue; // lost a race to another producer; retry
+            }
+            // A slot observed free stays free until `tail` passes it, so
+            // winning this CAS hands us all n slots exclusively.
+            if s.tail
+                .0
+                .compare_exchange(
+                    pos,
+                    pos.wrapping_add(n as u64),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                )
+                .is_ok()
+            {
+                for (i, value) in buf.drain(..n).enumerate() {
+                    let p = pos.wrapping_add(i as u64);
+                    let slot = &s.slots[(p & s.mask) as usize];
+                    // SAFETY: slot `p` is ours between the CAS above and
+                    // the stamp below.
+                    unsafe { (*slot.value.get()).write(value) };
+                    slot.seq.store(p.wrapping_add(1), Ordering::Release);
+                }
+                s.consumer.wake();
+                return n;
+            }
+        }
+    }
+
+    /// Park until the consumer frees a slot or the ring closes. May
+    /// return spuriously; callers loop around `try_push`.
+    fn wait_for_space(&self) {
+        let s = &*self.shared;
+        {
+            let mut w = s.prod_waiters.lock();
+            w.push(std::thread::current());
+            s.prod_waiting.store(true, Ordering::SeqCst);
+        }
+        // Dekker pair with the pop path: either the consumer's flag
+        // check sees us registered, or this re-check sees the slot it
+        // freed (or the close) and we skip the park.
+        fence(Ordering::SeqCst);
+        let pos = s.tail.0.load(Ordering::Relaxed);
+        let seq = s.slots[(pos & s.mask) as usize].seq.load(Ordering::Acquire);
+        let full = (seq.wrapping_sub(pos) as i64) < 0;
+        if full && !s.closed.load(Ordering::SeqCst) {
+            std::thread::park();
+        }
+        // A stale registry entry only costs one spurious unpark later.
+    }
+
+    /// Total positions claimed so far — a monotone "elements ever
+    /// pushed" cursor. With no concurrent pushes in progress this is
+    /// exact, which is how the runtime's quiesce/drain paths know when a
+    /// site has consumed everything sent to it.
+    pub fn pushed(&self) -> u64 {
+        self.shared.tail.0.load(Ordering::Acquire)
+    }
+}
+
+impl<T> RingConsumer<T> {
+    /// Pop the next value, if any. Single consumer: `&mut self`.
+    pub fn try_pop(&mut self) -> Option<T> {
+        let s = &*self.shared;
+        let pos = s.head.0.load(Ordering::Relaxed);
+        let slot = &s.slots[(pos & s.mask) as usize];
+        let seq = slot.seq.load(Ordering::Acquire);
+        if (seq.wrapping_sub(pos.wrapping_add(1)) as i64) < 0 {
+            return None;
+        }
+        // SAFETY: the stamp says slot `pos` holds an initialized value,
+        // and we are the only consumer.
+        let value = unsafe { (*slot.value.get()).assume_init_read() };
+        slot.seq.store(pos.wrapping_add(s.cap()), Ordering::Release);
+        s.head.0.store(pos.wrapping_add(1), Ordering::Release);
+        s.wake_producers();
+        Some(value)
+    }
+
+    /// True if no value is currently ready. Usable from a
+    /// [`WakeCell::park_while`] predicate.
+    pub fn is_empty(&self) -> bool {
+        let s = &*self.shared;
+        let pos = s.head.0.load(Ordering::Relaxed);
+        let seq = s.slots[(pos & s.mask) as usize].seq.load(Ordering::Acquire);
+        (seq.wrapping_sub(pos.wrapping_add(1)) as i64) < 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Unbounded MPSC queue (control lanes)
+
+struct MpNode<T> {
+    next: AtomicPtr<MpNode<T>>,
+    value: Option<T>,
+}
+
+struct MpShared<T> {
+    /// Most recently pushed node (producers swap here).
+    tail: CachePadded<AtomicPtr<MpNode<T>>>,
+    /// Current stub node (consumer-owned; its `next` is the front).
+    head: CachePadded<AtomicPtr<MpNode<T>>>,
+    senders: AtomicUsize,
+    receiver_alive: AtomicBool,
+    consumer: Arc<WakeCell>,
+}
+
+// SAFETY: `head` is touched only through the unique (non-Clone)
+// receiver; producers only swap `tail` and link `next`. Nodes are freed
+// either by the consumer after it has advanced past them or by this
+// struct's Drop once no handles remain.
+unsafe impl<T: Send> Send for MpShared<T> {}
+unsafe impl<T: Send> Sync for MpShared<T> {}
+
+impl<T> Drop for MpShared<T> {
+    fn drop(&mut self) {
+        let mut p = *self.head.0.get_mut();
+        while !p.is_null() {
+            // SAFETY: sole owner; every node in the chain is live.
+            let next = unsafe { (*p).next.load(Ordering::Relaxed) };
+            drop(unsafe { Box::from_raw(p) });
+            p = next;
+        }
+    }
+}
+
+/// Sender handle for an unbounded MPSC queue; cloneable, never blocks.
+pub struct MpscSender<T> {
+    shared: Arc<MpShared<T>>,
+}
+
+impl<T> Clone for MpscSender<T> {
+    fn clone(&self) -> Self {
+        self.shared.senders.fetch_add(1, Ordering::Relaxed);
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for MpscSender<T> {
+    fn drop(&mut self) {
+        if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last sender gone: a parked consumer must observe the
+            // disconnect.
+            self.shared.consumer.wake();
+        }
+    }
+}
+
+/// Receiver handle for an unbounded MPSC queue. Not cloneable — exactly
+/// one thread pops.
+pub struct MpscReceiver<T> {
+    shared: Arc<MpShared<T>>,
+}
+
+impl<T> Drop for MpscReceiver<T> {
+    fn drop(&mut self) {
+        // Later sends become no-ops; nodes already queued are freed by
+        // MpShared::drop once the senders are gone too.
+        self.shared.receiver_alive.store(false, Ordering::SeqCst);
+    }
+}
+
+/// Build an unbounded MPSC queue. Every send wakes `consumer_wake`.
+pub fn mpsc<T>(consumer_wake: Arc<WakeCell>) -> (MpscSender<T>, MpscReceiver<T>) {
+    let stub = Box::into_raw(Box::new(MpNode {
+        next: AtomicPtr::new(ptr::null_mut()),
+        value: None,
+    }));
+    let shared = Arc::new(MpShared {
+        tail: CachePadded(AtomicPtr::new(stub)),
+        head: CachePadded(AtomicPtr::new(stub)),
+        senders: AtomicUsize::new(1),
+        receiver_alive: AtomicBool::new(true),
+        consumer: consumer_wake,
+    });
+    (
+        MpscSender {
+            shared: Arc::clone(&shared),
+        },
+        MpscReceiver { shared },
+    )
+}
+
+impl<T> MpscSender<T> {
+    /// Push a value; never blocks. Silently dropped if the receiver is
+    /// gone (control messages to a stopped peer are meaningless).
+    pub fn send(&self, value: T) {
+        let s = &*self.shared;
+        if !s.receiver_alive.load(Ordering::Relaxed) {
+            return;
+        }
+        let node = Box::into_raw(Box::new(MpNode {
+            next: AtomicPtr::new(ptr::null_mut()),
+            value: Some(value),
+        }));
+        let prev = s.tail.0.swap(node, Ordering::AcqRel);
+        // SAFETY: `prev` cannot be freed before this link is published —
+        // the consumer stops at a null `next`, and MpShared::drop needs
+        // every handle (including ours) gone first.
+        unsafe { (*prev).next.store(node, Ordering::Release) };
+        s.consumer.wake();
+    }
+}
+
+impl<T> MpscReceiver<T> {
+    /// Pop the next value, if any. Single consumer: `&mut self`.
+    pub fn try_recv(&mut self) -> Option<T> {
+        let s = &*self.shared;
+        let head = s.head.0.load(Ordering::Relaxed);
+        // SAFETY: `head` is the live stub node we own.
+        let next = unsafe { (*head).next.load(Ordering::Acquire) };
+        if next.is_null() {
+            return None;
+        }
+        // SAFETY: `next` was fully initialized before being linked.
+        let value = unsafe { (*next).value.take() };
+        s.head.0.store(next, Ordering::Relaxed);
+        // SAFETY: the old stub is unreachable to producers (tail has
+        // moved past it) and we are the only consumer.
+        drop(unsafe { Box::from_raw(head) });
+        value
+    }
+
+    /// True if no value is currently ready. Usable from a
+    /// [`WakeCell::park_while`] predicate.
+    pub fn is_empty(&self) -> bool {
+        let s = &*self.shared;
+        let head = s.head.0.load(Ordering::Relaxed);
+        // SAFETY: `head` is the live stub node; only this receiver frees it.
+        unsafe { (*head).next.load(Ordering::Acquire) }.is_null()
+    }
+
+    /// True once every sender has been dropped. Combine with
+    /// [`MpscReceiver::is_empty`] before treating the lane as finished.
+    pub fn is_disconnected(&self) -> bool {
+        self.shared.senders.load(Ordering::SeqCst) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn pop_blocking<T>(rx: &mut RingConsumer<T>, wake: &WakeCell) -> T {
+        wake.register();
+        loop {
+            if let Some(v) = rx.try_pop() {
+                return v;
+            }
+            wake.park_while(|| rx.is_empty());
+        }
+    }
+
+    #[test]
+    fn spsc_wraparound_preserves_fifo() {
+        let wake = Arc::new(WakeCell::new());
+        let (tx, mut rx) = ring::<u64>(8, Arc::clone(&wake));
+        // Interleave pushes and pops (steady occupancy ~4 on a cap-8
+        // ring) so positions lap the ring >1000 times.
+        let mut next_pop = 0u64;
+        for i in 0..10_000u64 {
+            tx.push(i).unwrap();
+            if i >= 4 {
+                assert_eq!(rx.try_pop(), Some(next_pop));
+                next_pop += 1;
+            }
+        }
+        while let Some(v) = rx.try_pop() {
+            assert_eq!(v, next_pop);
+            next_pop += 1;
+        }
+        assert_eq!(next_pop, 10_000);
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn full_and_empty_boundaries() {
+        let wake = Arc::new(WakeCell::new());
+        let (tx, mut rx) = ring::<u32>(4, Arc::clone(&wake));
+        assert!(rx.is_empty());
+        assert_eq!(rx.try_pop(), None);
+        for i in 0..4u32 {
+            assert!(matches!(tx.try_push(i), Ok(())));
+        }
+        // Exactly at capacity: the next try_push reports Full and hands
+        // the value back.
+        assert!(matches!(tx.try_push(99), Err(PushError::Full(99))));
+        for i in 0..4u32 {
+            assert_eq!(rx.try_pop(), Some(i));
+        }
+        assert_eq!(rx.try_pop(), None);
+        // The freed slots are immediately reusable (a second lap).
+        for i in 10..14u32 {
+            assert!(matches!(tx.try_push(i), Ok(())));
+        }
+        assert!(matches!(tx.try_push(99), Err(PushError::Full(99))));
+    }
+
+    #[test]
+    fn multi_producer_stress_keeps_per_producer_fifo() {
+        const PRODUCERS: u64 = 4;
+        const PER: u64 = 10_000;
+        let wake = Arc::new(WakeCell::new());
+        let (tx, mut rx) = ring::<u64>(64, Arc::clone(&wake));
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS {
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..PER {
+                    tx.push(p * PER + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let mut last = [0u64; PRODUCERS as usize];
+        let mut seen = [0u64; PRODUCERS as usize];
+        for _ in 0..PRODUCERS * PER {
+            let v = pop_blocking(&mut rx, &wake);
+            let p = (v / PER) as usize;
+            let i = v % PER;
+            assert!(seen[p] == 0 || i > last[p], "producer {p} reordered");
+            last[p] = i;
+            seen[p] += 1;
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(seen, [PER; PRODUCERS as usize]);
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn push_many_through_small_ring_preserves_order() {
+        let wake = Arc::new(WakeCell::new());
+        let (tx, mut rx) = ring::<u64>(8, Arc::clone(&wake));
+        let consumer_wake = Arc::clone(&wake);
+        let consumer = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            for _ in 0..1_000u64 {
+                got.push(pop_blocking(&mut rx, &consumer_wake));
+            }
+            got
+        });
+        // Batches far larger than the ring: push_many must claim partial
+        // runs and park on full without losing or reordering anything.
+        let mut buf = Vec::new();
+        let mut next = 0u64;
+        for _ in 0..10 {
+            buf.extend(next..next + 100);
+            next += 100;
+            tx.push_many(&mut buf).unwrap();
+            assert!(buf.is_empty());
+            assert!(buf.capacity() >= 100, "buffer capacity not retained");
+        }
+        let got = consumer.join().unwrap();
+        assert_eq!(got, (0..1_000u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dropping_consumer_unblocks_parked_producer() {
+        let wake = Arc::new(WakeCell::new());
+        let (tx, rx) = ring::<u64>(2, Arc::clone(&wake));
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        let blocked = std::thread::spawn(move || tx.push(3));
+        // Give the producer time to spin out and park on the full ring.
+        std::thread::sleep(Duration::from_millis(20));
+        drop(rx);
+        assert_eq!(blocked.join().unwrap(), Err(Closed(3)));
+    }
+
+    #[test]
+    fn dropping_ring_drops_pending_values() {
+        let token = Arc::new(());
+        let wake = Arc::new(WakeCell::new());
+        let (tx, rx) = ring::<Arc<()>>(8, Arc::clone(&wake));
+        for _ in 0..5 {
+            tx.push(Arc::clone(&token)).unwrap();
+        }
+        drop(tx);
+        drop(rx);
+        assert_eq!(Arc::strong_count(&token), 1, "pending values leaked");
+    }
+
+    #[test]
+    fn mpsc_keeps_per_producer_fifo_and_reports_disconnect() {
+        const PRODUCERS: u64 = 4;
+        const PER: u64 = 5_000;
+        let wake = Arc::new(WakeCell::new());
+        wake.register();
+        let (tx, mut rx) = mpsc::<u64>(Arc::clone(&wake));
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS {
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..PER {
+                    tx.send(p * PER + i);
+                }
+            }));
+        }
+        drop(tx);
+        let mut last = [0u64; PRODUCERS as usize];
+        let mut seen = [0u64; PRODUCERS as usize];
+        let mut total = 0u64;
+        loop {
+            match rx.try_recv() {
+                Some(v) => {
+                    let p = (v / PER) as usize;
+                    let i = v % PER;
+                    assert!(seen[p] == 0 || i > last[p], "producer {p} reordered");
+                    last[p] = i;
+                    seen[p] += 1;
+                    total += 1;
+                }
+                None => {
+                    if rx.is_disconnected() && rx.is_empty() {
+                        break;
+                    }
+                    wake.park_while(|| rx.is_empty() && !rx.is_disconnected());
+                }
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total, PRODUCERS * PER);
+    }
+
+    #[test]
+    fn mpsc_send_wakes_parked_receiver() {
+        let wake = Arc::new(WakeCell::new());
+        let (tx, mut rx) = mpsc::<u32>(Arc::clone(&wake));
+        let recv_wake = Arc::clone(&wake);
+        let consumer = std::thread::spawn(move || {
+            recv_wake.register();
+            loop {
+                if let Some(v) = rx.try_recv() {
+                    return v;
+                }
+                recv_wake.park_while(|| rx.is_empty());
+            }
+        });
+        // Let the consumer reach thread::park before sending.
+        std::thread::sleep(Duration::from_millis(20));
+        tx.send(42);
+        assert_eq!(consumer.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn mpsc_dropped_values_are_freed() {
+        let token = Arc::new(());
+        let wake = Arc::new(WakeCell::new());
+        let (tx, rx) = mpsc::<Arc<()>>(Arc::clone(&wake));
+        for _ in 0..5 {
+            tx.send(Arc::clone(&token));
+        }
+        drop(rx); // receiver first: later sends become no-ops
+        tx.send(Arc::clone(&token));
+        drop(tx);
+        assert_eq!(Arc::strong_count(&token), 1, "queued values leaked");
+    }
+
+    #[test]
+    fn wake_cell_park_while_returns_when_not_idle() {
+        let wake = WakeCell::new();
+        wake.register();
+        wake.park_while(|| false); // must not park
+        let flag = AtomicBool::new(true);
+        let wake = Arc::new(WakeCell::new());
+        let waker = Arc::clone(&wake);
+        // park_while on `flag`; another thread clears it and wakes us.
+        std::thread::scope(|s| {
+            let flag = &flag;
+            s.spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                flag.store(false, Ordering::SeqCst);
+                waker.wake();
+            });
+            wake.register();
+            wake.park_while(|| flag.load(Ordering::SeqCst));
+        });
+        assert!(!flag.load(Ordering::SeqCst));
+    }
+}

@@ -1,0 +1,89 @@
+//! Release-mode ingest stress for the lock-free channel runtime.
+//!
+//! The transport under test (`dtrack::sim::ring` + the thread-per-site
+//! runtime built on it) replaces mutex-guarded queues with SPSC rings,
+//! an atomic credit gate, and spin-then-park idling. These tests push
+//! element volumes large enough that every cold path fires thousands of
+//! times — ring wraparound, full-ring producer parking, credit
+//! exhaustion and release, consumer park/unpark — and then check the
+//! one invariant that catches every lost- or duplicated-element bug:
+//! **exact element accounting** (`stats.elements == n`, per-site sums
+//! reaching the coordinator intact).
+//!
+//! Debug builds ignore these tests (they are sized for `--release`; CI
+//! runs them there under a bounded timeout).
+
+use std::sync::Arc;
+use std::thread;
+
+use dtrack::core::count::RandomizedCount;
+use dtrack::core::TrackingConfig;
+use dtrack::sim::runtime::ChannelRuntime;
+use dtrack::sim::{ExecConfig, Executor};
+
+/// Batched fast path: millions of elements through `feed_batch` on the
+/// channel executor. The batch is ~250× the per-site ring capacity, so
+/// producers park on full rings and sites park on empty ones all the
+/// way through; quiesce must still observe every element exactly once.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "multi-million element ingest; covered by release CI"
+)]
+fn batched_ingest_accounts_for_every_element() {
+    let (k, eps, n) = (16usize, 0.05, 4_000_000u64);
+    let proto = RandomizedCount::new(TrackingConfig::new(k, eps));
+    let mut ex = ExecConfig::channel().build(&proto, 42);
+    let batch: Vec<(usize, u64)> = (0..n).map(|t| ((t % k as u64) as usize, t)).collect();
+    ex.feed_batch(batch);
+    ex.quiesce();
+    let est: f64 = ex.query(|c: &dtrack::core::count::RandCountCoord| c.estimate());
+    assert!(
+        (est - n as f64).abs() <= 2.0 * eps * n as f64,
+        "estimate {est} too far from {n}"
+    );
+    let stats = ex.stats();
+    assert_eq!(stats.elements, n, "ingest lost or duplicated elements");
+    assert!(stats.total_msgs() > 0);
+}
+
+/// Concurrent producers: several OS threads feeding one runtime through
+/// the `&self` per-element path, all racing the multi-producer ring
+/// CAS. Accounting must stay exact — the coordinator's element count
+/// and the sum each site forwards both have single known answers.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "threaded million-element ingest; covered by release CI"
+)]
+fn racing_producers_keep_exact_accounting() {
+    let (k, eps) = (8usize, 0.1);
+    let producers = 4u64;
+    let per_producer = 250_000u64;
+    let n = producers * per_producer;
+    let proto = RandomizedCount::new(TrackingConfig::new(k, eps));
+    let rt: Arc<ChannelRuntime<RandomizedCount>> = Arc::new(ChannelRuntime::new(&proto, 7));
+    let handles: Vec<_> = (0..producers)
+        .map(|p| {
+            let rt = Arc::clone(&rt);
+            thread::spawn(move || {
+                for t in 0..per_producer {
+                    let g = p * per_producer + t;
+                    rt.feed((g % k as u64) as usize, g);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    rt.quiesce();
+    let est = rt.with_coord(|c| c.estimate());
+    assert!(
+        (est - n as f64).abs() <= 2.0 * eps * n as f64,
+        "estimate {est} too far from {n}"
+    );
+    let rt = Arc::into_inner(rt).expect("all producer clones joined");
+    let stats = rt.shutdown();
+    assert_eq!(stats.elements, n, "racing producers corrupted accounting");
+}

@@ -4,9 +4,15 @@
 //! The build environment has no registry access, so this vendored crate
 //! provides the subset of the API that [`dtrack-sim`'s channel runtime]
 //! uses — [`unbounded`], [`bounded`], a cloneable [`Sender`], and a
-//! [`Receiver`] with `recv`/`try_recv`/`recv_timeout`/`iter` —
-//! implemented on a `Mutex<VecDeque>` guarded by two condition
-//! variables.
+//! [`Receiver`] with `recv`/`try_recv`/`iter` — implemented on a
+//! `Mutex<VecDeque>` guarded by two condition variables.
+//!
+//! Since the channel runtime moved its data and control lanes onto the
+//! lock-free rings/queues in `dtrack_sim::ring`, this stand-in only
+//! carries one-shot rendezvous traffic (quiesce/query acks) — so
+//! `recv_timeout` was removed along with the runtime's idle-polling
+//! loops (no caller sits in a timed wait anymore; real crossbeam is a
+//! strict superset, so a crates.io swap stays valid).
 //!
 //! Unlike the first-generation stand-in (which wrapped `std::sync::mpsc`
 //! and silently ignored capacity), [`bounded`] now enforces **real
@@ -36,15 +42,6 @@ pub struct RecvError;
 pub enum TryRecvError {
     /// The channel is currently empty but senders still exist.
     Empty,
-    /// All senders have disconnected and the channel is drained.
-    Disconnected,
-}
-
-/// Error returned by [`Receiver::recv_timeout`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum RecvTimeoutError {
-    /// No message arrived within the timeout; senders still exist.
-    Timeout,
     /// All senders have disconnected and the channel is drained.
     Disconnected,
 }
@@ -143,33 +140,6 @@ impl<T> Receiver<T> {
                 return Err(RecvError);
             }
             inner = self.chan.not_empty.wait(inner).unwrap();
-        }
-    }
-
-    /// Block until a message arrives, every sender is dropped, or
-    /// `timeout` elapses — whichever happens first.
-    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
-        let deadline = std::time::Instant::now() + timeout;
-        let mut inner = self.chan.inner.lock().unwrap();
-        loop {
-            if let Some(v) = inner.queue.pop_front() {
-                drop(inner);
-                self.chan.not_full.notify_one();
-                return Ok(v);
-            }
-            if inner.senders == 0 {
-                return Err(RecvTimeoutError::Disconnected);
-            }
-            let now = std::time::Instant::now();
-            if now >= deadline {
-                return Err(RecvTimeoutError::Timeout);
-            }
-            let (guard, _timed_out) = self
-                .chan
-                .not_empty
-                .wait_timeout(inner, deadline - now)
-                .unwrap();
-            inner = guard;
         }
     }
 
@@ -299,37 +269,13 @@ mod tests {
     }
 
     #[test]
-    fn recv_timeout_times_out_then_delivers() {
-        let (tx, rx) = unbounded();
-        let t0 = std::time::Instant::now();
-        assert_eq!(
-            rx.recv_timeout(Duration::from_millis(20)),
-            Err(RecvTimeoutError::Timeout)
-        );
-        assert!(t0.elapsed() >= Duration::from_millis(20));
-        tx.send(4u8).unwrap();
-        assert_eq!(rx.recv_timeout(Duration::from_millis(20)), Ok(4));
-    }
-
-    #[test]
-    fn recv_timeout_reports_disconnection() {
-        let (tx, rx) = unbounded::<u8>();
-        drop(tx);
-        assert_eq!(
-            rx.recv_timeout(Duration::from_millis(5)),
-            Err(RecvTimeoutError::Disconnected)
-        );
-    }
-
-    #[test]
-    fn recv_timeout_wakes_on_cross_thread_send() {
+    fn recv_wakes_on_cross_thread_send() {
         let (tx, rx) = unbounded();
         let h = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(10));
             tx.send(11u8).unwrap();
         });
-        // Generous timeout: the send must wake us long before it expires.
-        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(11));
+        assert_eq!(rx.recv(), Ok(11));
         h.join().unwrap();
     }
 
