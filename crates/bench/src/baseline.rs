@@ -16,6 +16,10 @@
 //!   path, recording median **elements/second** alongside the words
 //!   distribution. Rates are machine-dependent like wall time, so they
 //!   are bootstrapped per machine and compared advisorily.
+//! * [`measure_query_cells`] runs the live-query panel: reader threads
+//!   answering count queries from lock-free snapshot cells while the
+//!   channel runtime ingests, recording aggregate **queries/second**
+//!   (advisory, machine-dependent like the throughput rates).
 //! * Each [`Cell`] is `exact` or not. Lock-step words are deterministic
 //!   given the seed set, so the comparator treats any drift as a **hard**
 //!   regression. The channel cell's words depend on thread interleaving,
@@ -338,6 +342,116 @@ pub fn measure_throughput_cells(p: Params, n: u64) -> Vec<Cell> {
     vec![
         mk("throughput/channel", false),
         mk("throughput/channel_feed", true),
+    ]
+}
+
+/// Elements fed per query-storm cell. Smaller than
+/// [`THROUGHPUT_ELEMS`]: the measurement window only has to be long
+/// enough that readers observe thousands of distinct snapshot epochs,
+/// and each cell runs `RUNS × readers` threads.
+pub const QUERY_STORM_ELEMS: u64 = 1_000_000;
+
+/// Reader threads driven by the aggregate `queries/storm` cell (the
+/// acceptance scenario: ≥ 4 concurrent readers against live ingest).
+pub const QUERY_STORM_READERS: usize = 4;
+
+/// One query-storm run: spawn `readers` threads each hammering its own
+/// clone of the executor's [`QueryHandle`] while the main thread feeds
+/// `n` elements through the channel runtime's coalesced batch path,
+/// then quiesces. Readers check snapshot self-consistency (finite
+/// estimate, monotone epochs) on every read. Returns `(words, queries,
+/// aggregate queries/sec over the ingest window)`.
+///
+/// Shared between [`measure_query_cells`] and the `query_storm` binary
+/// so the committed advisory cells and the interactive storm measure
+/// the same thing.
+///
+/// [`QueryHandle`]: dtrack_sim::snapshot::QueryHandle
+pub fn query_storm_run(k: usize, eps: f64, n: u64, readers: usize, seed: u64) -> (u64, u64, f64) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    use dtrack_core::count::RandomizedCount;
+    use dtrack_core::TrackingConfig;
+    use dtrack_sim::Executor;
+
+    let proto = RandomizedCount::new(TrackingConfig::new(k, eps));
+    let batch: Vec<(usize, u64)> = (0..n).map(|t| ((t % k as u64) as usize, t)).collect();
+    let mut ex = ExecConfig::channel().build(&proto, seed);
+    let handle = ex.query_handle();
+    let stop = Arc::new(AtomicBool::new(false));
+    let joins: Vec<_> = (0..readers)
+        .map(|_| {
+            let h = handle.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut queries = 0u64;
+                let mut last_epoch = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let (epoch, est) = h.read(|s| (s.epoch, s.state.estimate()));
+                    assert!(est.is_finite(), "live estimate must be finite");
+                    assert!(epoch >= last_epoch, "snapshot epoch went backwards");
+                    last_epoch = epoch;
+                    queries += 1;
+                }
+                queries
+            })
+        })
+        .collect();
+    let t0 = Instant::now();
+    ex.feed_batch(batch);
+    ex.quiesce();
+    let secs = t0.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    let queries: u64 = joins
+        .into_iter()
+        .map(|j| j.join().expect("reader thread panicked"))
+        .sum();
+    let st = ex.stats();
+    (st.up_words + st.down_words, queries, queries as f64 / secs)
+}
+
+/// Measure the live-query panel: reader threads answering count queries
+/// from published snapshots while the channel runtime ingests at full
+/// speed. `queries/single` runs one reader (per-handle rate);
+/// `queries/storm` runs [`QUERY_STORM_READERS`] readers (aggregate
+/// rate — hazard-pointer reads scale because readers never contend).
+///
+/// Like the `throughput/*` panel, the headline number
+/// ([`Cell::elems_per_sec`], here *queries*/second) is machine-dependent:
+/// `--bootstrap` refreshes it and `--check` compares it advisorily.
+/// Words still guard the ingest path's communication behavior (as a
+/// distribution — thread interleaving makes them inexact).
+pub fn measure_query_cells(p: Params, n: u64) -> Vec<Cell> {
+    const RUNS: u64 = 3;
+    let mk = |id: &str, readers: usize| -> Cell {
+        let mut words = Vec::new();
+        let mut rates = Vec::new();
+        let mut millis = Vec::new();
+        for seed in 0..RUNS {
+            let t0 = Instant::now();
+            let (w, _queries, rate) = query_storm_run(p.k, p.eps, n, readers, seed);
+            millis.push(t0.elapsed().as_secs_f64() * 1e3);
+            words.push(w);
+            rates.push(rate);
+        }
+        let (lo, hi) = (
+            *words.iter().min().expect("≥1 run"),
+            *words.iter().max().expect("≥1 run"),
+        );
+        Cell {
+            id: id.to_string(),
+            words: med_u64(words),
+            millis: med_f64(millis),
+            exact: false,
+            words_min: lo,
+            words_max: hi,
+            elems_per_sec: Some(med_f64(rates)),
+        }
+    };
+    vec![
+        mk("queries/single", 1),
+        mk("queries/storm", QUERY_STORM_READERS),
     ]
 }
 
@@ -817,6 +931,35 @@ mod tests {
         for c in &cells {
             assert!(!c.exact, "{}: thread-timed words are never exact", c.id);
             let rate = c.elems_per_sec.expect("throughput cells carry a rate");
+            assert!(rate > 0.0, "{}: rate {rate}", c.id);
+            assert!(
+                c.words_min <= c.words && c.words <= c.words_max,
+                "{}: median {} outside own range [{}, {}]",
+                c.id,
+                c.words,
+                c.words_min,
+                c.words_max
+            );
+        }
+    }
+
+    #[test]
+    fn query_cells_record_rates_and_word_ranges() {
+        let p = Params {
+            n: 4_000,
+            k: 4,
+            eps: 0.2,
+            seeds: 1,
+        };
+        // Tiny n: this smoke-checks the panel's plumbing (threads spawn,
+        // handles clone, reads stay consistent), not its rates.
+        let cells = measure_query_cells(p, 20_000);
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].id, "queries/single");
+        assert_eq!(cells[1].id, "queries/storm");
+        for c in &cells {
+            assert!(!c.exact, "{}: thread-timed words are never exact", c.id);
+            let rate = c.elems_per_sec.expect("query cells carry a rate");
             assert!(rate > 0.0, "{}: rate {rate}", c.id);
             assert!(
                 c.words_min <= c.words && c.words <= c.words_max,

@@ -19,10 +19,13 @@
 //!
 //! The ingest-throughput panel (`throughput/*` cells, fed
 //! `THROUGHPUT_ELEMS` elements through the channel runtime's batch and
-//! per-element paths) rides along in every mode. Its elements/second
-//! rates are machine-dependent like wall time, so `--bootstrap`
-//! refreshes them and `--check` compares them advisorily — a rate
-//! collapse past the timing factor prints, but never fails the build.
+//! per-element paths) rides along in every mode, as does the live-query
+//! panel (`queries/*` cells: reader threads answering count queries
+//! from lock-free snapshots while ingest runs). Their rates
+//! (elements/second resp. queries/second) are machine-dependent like
+//! wall time, so `--bootstrap` refreshes them and `--check` compares
+//! them advisorily — a rate collapse past the timing factor prints, but
+//! never fails the build.
 //!
 //! The baseline path defaults to `BENCH_baseline.json` in the current
 //! directory; override with the `BENCH_BASELINE` environment variable.
@@ -30,8 +33,8 @@
 //! release baseline (the check compares, it cannot tell why).
 
 use dtrack_bench::baseline::{
-    bootstrap, compare, measure_cells, measure_throughput_cells, parse_json, to_json, Params,
-    THROUGHPUT_ELEMS,
+    bootstrap, compare, measure_cells, measure_query_cells, measure_throughput_cells, parse_json,
+    to_json, Params, QUERY_STORM_ELEMS, THROUGHPUT_ELEMS,
 };
 use dtrack_bench::cli::banner;
 
@@ -65,6 +68,7 @@ fn main() {
 
     let mut cells = measure_cells(params);
     cells.extend(measure_throughput_cells(params, THROUGHPUT_ELEMS));
+    cells.extend(measure_query_cells(params, QUERY_STORM_ELEMS));
     for c in &cells {
         let range = if c.exact {
             String::new()

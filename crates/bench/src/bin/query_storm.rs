@@ -1,0 +1,75 @@
+//! Live query-serving storm: reader threads hammer lock-free
+//! [`QueryHandle`] clones while the channel runtime ingests a stream at
+//! full speed, and the binary reports the aggregate query rate per
+//! reader count.
+//!
+//! This is the interactive face of the `queries/*` panel in
+//! `BENCH_baseline.json` (see `baseline::measure_query_cells`): both
+//! drive [`query_storm_run`], so a rate printed here is directly
+//! comparable to the committed advisory cells. Every read checks
+//! snapshot self-consistency — a finite estimate and per-reader
+//! monotone epochs — so the storm doubles as a stress of the
+//! hazard-pointer reclamation under real ingest load.
+//!
+//! The advisory target (PR acceptance, machine-dependent): ≥ 1M
+//! queries/sec aggregate with ≥ 4 readers against live ingest.
+//!
+//! Run: `cargo run --release -p dtrack-bench --bin query_storm \
+//!       [N] [K] [EPS] [READERS...]`
+//! with defaults N=1_000_000, K=16, EPS=0.05, READERS=1 2 4 8.
+//!
+//! [`QueryHandle`]: dtrack_sim::snapshot::QueryHandle
+//! [`query_storm_run`]: dtrack_bench::baseline::query_storm_run
+
+use dtrack_bench::baseline::{query_storm_run, Params, QUERY_STORM_ELEMS};
+use dtrack_bench::cli::{arg, banner};
+
+fn main() {
+    let n: u64 = arg(0, QUERY_STORM_ELEMS);
+    let k: usize = arg(1, Params::default_ci().k);
+    let eps: f64 = arg(2, Params::default_ci().eps);
+    let readers: Vec<usize> = {
+        let rest: Vec<usize> = std::env::args()
+            .skip(4)
+            .map(|s| {
+                s.parse()
+                    .unwrap_or_else(|e| panic!("bad reader count: {e}"))
+            })
+            .collect();
+        if rest.is_empty() {
+            vec![1, 2, 4, 8]
+        } else {
+            rest
+        }
+    };
+
+    banner(
+        "STORM — lock-free query serving under live ingest",
+        &format!("channel runtime, randomized count, N={n}, k={k}, eps={eps}"),
+    );
+    println!(
+        "{:>8} {:>14} {:>12} {:>14} {:>10}",
+        "readers", "queries", "Mquery/s", "per-reader", "words"
+    );
+    let mut storm_rate = 0.0f64;
+    for &r in &readers {
+        let (words, queries, rate) = query_storm_run(k, eps, n, r, 7);
+        if r >= 4 {
+            storm_rate = storm_rate.max(rate);
+        }
+        println!(
+            "{r:>8} {queries:>14} {:>12.2} {:>13.2}M {words:>10}",
+            rate / 1e6,
+            rate / r as f64 / 1e6,
+        );
+    }
+    println!();
+    if readers.iter().any(|&r| r >= 4) {
+        let verdict = if storm_rate >= 1e6 { "met" } else { "MISSED" };
+        println!(
+            "advisory target (≥1M queries/s aggregate, ≥4 readers): {verdict} \
+             ({:.2}M queries/s)",
+            storm_rate / 1e6
+        );
+    }
+}

@@ -95,7 +95,7 @@ impl<S: Site> Site for ReplicatedSite<S> {
 }
 
 /// Coordinator state: one sub-coordinator per copy.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ReplicatedCoord<C: Coordinator> {
     subs: Vec<C>,
     scratch: Net<C::Down>,

@@ -154,7 +154,7 @@ impl Site for DetFreqSite {
 }
 
 /// Coordinator state: mirrored counters per site.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DetFreqCoord {
     cfg: TrackingConfig,
     coarse: CoarseCoord,

@@ -167,7 +167,7 @@ impl Site for RandFreqSite {
 
 /// Live state of one virtual site at the coordinator. Carries the
 /// sampling probability its messages were generated under.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct LiveSegment {
     p: f64,
     /// `j → c̄ᵢⱼ` (last received counter value).
@@ -250,7 +250,7 @@ impl LiveSegment {
 }
 
 /// Coordinator state for [`RandomizedFrequency`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RandFreqCoord {
     cfg: TrackingConfig,
     coarse: CoarseCoord,

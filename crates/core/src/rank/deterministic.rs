@@ -166,7 +166,7 @@ impl SummaryView {
 }
 
 /// Coordinator state: latest summary per (site, round).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DetRankCoord {
     coarse: CoarseCoord,
     /// `summaries[site]` maps round → latest view for that round.

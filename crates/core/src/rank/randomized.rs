@@ -262,7 +262,7 @@ impl Site for RandRankSite {
 }
 
 /// Coordinator-side view of one chunk.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct ChunkView {
     /// Sampling probability of the chunk's round.
     p: f64,
@@ -341,7 +341,7 @@ impl ChunkView {
 }
 
 /// Coordinator state for [`RandomizedRank`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RandRankCoord {
     cfg: TrackingConfig,
     coarse: CoarseCoord,

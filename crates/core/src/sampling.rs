@@ -100,7 +100,7 @@ impl Site for SamplingSite {
 }
 
 /// Coordinator state: the level-`L` sample.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SamplingCoord {
     capacity: usize,
     level: u32,

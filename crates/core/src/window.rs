@@ -690,6 +690,67 @@ enum BucketState<P: EpochProtocol> {
     Digested(P::Digest),
 }
 
+// Manual `Clone` impls (derive would demand `P: Clone` only, but the body
+// needs the inner coordinator cloneable): cloning a `WinCoord` freezes the
+// whole histogram — live epoch, in-flight `next_live`, and every closed
+// bucket — at one coordinator-apply boundary. Seals mutate the histogram
+// only inside a single `on_message` call, so a clone taken between applies
+// (which is the only time the executors' live-query snapshots are taken)
+// is always seal-consistent: the bucket set and the live segment belong to
+// the same prefix of the stream.
+impl<P: EpochProtocol> Clone for BucketState<P>
+where
+    P::Coord: Clone,
+{
+    fn clone(&self) -> Self {
+        match self {
+            BucketState::Open { epoch, coord } => BucketState::Open {
+                epoch: *epoch,
+                coord: coord.clone(),
+            },
+            BucketState::Digested(d) => BucketState::Digested(d.clone()),
+        }
+    }
+}
+
+impl<P: EpochProtocol> Clone for Bucket<P>
+where
+    P::Coord: Clone,
+{
+    fn clone(&self) -> Self {
+        Bucket {
+            start: self.start,
+            end: self.end,
+            span: self.span,
+            state: self.state.clone(),
+        }
+    }
+}
+
+impl<P: EpochProtocol> Clone for WinCoord<P>
+where
+    P::Coord: Clone,
+{
+    fn clone(&self) -> Self {
+        WinCoord {
+            proto: self.proto.clone(),
+            master_seed: self.master_seed,
+            window: self.window,
+            granularity: self.granularity,
+            tick_every: self.tick_every,
+            n_approx: self.n_approx,
+            epoch: self.epoch,
+            epoch_start: self.epoch_start,
+            live: self.live.clone(),
+            next_live: self.next_live.clone(),
+            await_acks: self.await_acks,
+            seal_start: self.seal_start,
+            closed: self.closed.clone(),
+            sub_net: self.sub_net.clone(),
+        }
+    }
+}
+
 impl<P: EpochProtocol> Bucket<P> {
     fn with_digest<R>(&self, f: impl FnOnce(&P::Digest) -> R) -> R {
         match &self.state {

@@ -91,6 +91,7 @@ use crate::message::Words;
 use crate::net::{Dest, Net, Outbox};
 use crate::protocol::{Coordinator, Protocol, Site, SiteId};
 use crate::rng::{rng_from_seed, splitmix64};
+use crate::snapshot::{snapshot_cell, CellRef, PublishFn, QueryHandle};
 use crate::stats::{CommStats, SpaceStats};
 
 /// When does a message put on the wire reach its destination?
@@ -329,6 +330,18 @@ pub struct EventRuntime<P: Protocol> {
     /// Scratch buffers reused across events to avoid per-event allocation.
     outbox: Outbox<<P::Site as Site>::Up>,
     net: Net<<P::Site as Site>::Down>,
+    /// Live-query publish hook: installed by
+    /// [`EventRuntime::query_handle`], called with the coordinator at
+    /// every arrival boundary (end of `feed`/`feed_at`) whose processing
+    /// reached the coordinator, and after `quiesce` — the event-boundary
+    /// analogue of the lock-step runner's per-apply epochs. `None` until
+    /// a handle exists.
+    publish: Option<PublishFn<P::Coord>>,
+    /// Set when the coordinator applied an up since the last publish;
+    /// arrivals that induce no coordinator traffic republish nothing.
+    coord_dirty: bool,
+    /// Cached reference to the installed snapshot cell.
+    live: Option<CellRef<P::Coord>>,
 }
 
 impl<P: Protocol> EventRuntime<P> {
@@ -358,6 +371,9 @@ impl<P: Protocol> EventRuntime<P> {
             faults: None,
             outbox: Outbox::new(),
             net: Net::new(),
+            publish: None,
+            coord_dirty: false,
+            live: None,
         }
     }
 
@@ -498,6 +514,36 @@ impl<P: Protocol> EventRuntime<P> {
         let at = at.max(self.now);
         self.push(at, Ev::Arrive(site, item));
         self.run_until(at);
+        if self.coord_dirty {
+            if let Some(publish) = self.publish.as_mut() {
+                publish(&self.coord);
+            }
+            self.coord_dirty = false;
+        }
+    }
+
+    /// Create (or clone) a lock-free live-query handle over the
+    /// coordinator. Once a handle exists, every arrival boundary at which
+    /// the coordinator applied an update (and every
+    /// [`EventRuntime::quiesce`]) publishes a fresh snapshot epoch;
+    /// under a delayed policy the snapshot reflects exactly what the
+    /// coordinator has applied so far, in-flight messages excluded — the
+    /// same staleness [`EventRuntime::coord`] documents. Installing a
+    /// handle never changes protocol behavior: messages, words, fault
+    /// schedules and coordinator state stay bit-identical.
+    pub fn query_handle(&mut self) -> QueryHandle<P::Coord>
+    where
+        P::Coord: Clone + Send + Sync + 'static,
+    {
+        if let Some(cell) = &self.live {
+            return cell.handle();
+        }
+        let (mut publisher, handle) = snapshot_cell(self.coord.clone());
+        self.live = Some(handle.cell_ref());
+        self.publish = Some(Box::new(move |coord: &P::Coord| {
+            publisher.publish(coord.clone())
+        }));
+        handle
     }
 
     /// Deliver every in-flight message, advancing the clock as needed —
@@ -515,6 +561,10 @@ impl<P: Protocol> EventRuntime<P> {
                  was never delivered"
             );
         }
+        if let Some(publish) = self.publish.as_mut() {
+            publish(&self.coord);
+        }
+        self.coord_dirty = false;
     }
 
     /// Delay in ticks for the next message put on the wire.
@@ -622,6 +672,7 @@ impl<P: Protocol> EventRuntime<P> {
                     self.flush_site(site);
                 }
                 Ev::Up(from, link_seq, up) => {
+                    self.coord_dirty = true;
                     if self.faults.is_some() {
                         let fl = self.faults.as_deref_mut().expect("fault layer");
                         if !fl.up[from].accept(link_seq, up, &mut fl.stats) {

@@ -92,6 +92,7 @@ pub use faults::{FaultPlan, FaultStats};
 use crate::protocol::{Protocol, Site, SiteId};
 use crate::runner::Runner;
 use crate::runtime::ChannelRuntime;
+use crate::snapshot::QueryHandle;
 use crate::stats::{CommStats, SpaceStats};
 
 /// Uniform driving interface over the three executors.
@@ -161,6 +162,32 @@ pub trait Executor<P: Protocol> {
     where
         R: Send + 'static,
         F: FnOnce(&P::Coord) -> R + Send + 'static;
+
+    /// Create a cloneable, sendable **live-query** handle: reader
+    /// threads answer queries against epoch-stamped immutable snapshots
+    /// of the coordinator (`crate::snapshot`) while ingest continues —
+    /// no quiesce, no locks on either side.
+    ///
+    /// Contract, uniform across executors:
+    ///
+    /// * every answer reflects a **prefix of applied updates** (a whole
+    ///   coordinator state as it existed at some publish boundary —
+    ///   never a torn intermediate);
+    /// * answers lag ingest by **at most one snapshot epoch**: the
+    ///   lock-step and event executors publish at element/arrival
+    ///   boundaries, the channel runtime after every coordinator apply;
+    /// * immediately after [`Executor::quiesce`], a handle read is
+    ///   bit-identical to [`Executor::query`] on the same state;
+    /// * installing a handle changes **no protocol behavior** — message
+    ///   counts, words and coordinator state stay bit-identical (the
+    ///   executor only clones coordinator state into the cell).
+    ///
+    /// Repeated calls return clones of one shared cell. Each clone owns
+    /// its own hazard slot: clone per reader thread rather than sharing
+    /// one handle.
+    fn query_handle(&mut self) -> QueryHandle<P::Coord>
+    where
+        P::Coord: Clone + Send + Sync + 'static;
 }
 
 impl<P: Protocol> Executor<P> for Runner<P> {
@@ -180,8 +207,12 @@ impl<P: Protocol> Executor<P> for Runner<P> {
     }
 
     /// The lock-step runner drains every message before `feed` returns,
-    /// so it is always quiescent.
-    fn quiesce(&mut self) {}
+    /// so it is always quiescent; with a live-query handle installed it
+    /// still republishes here, keeping snapshot epochs aligned with the
+    /// event executor's quiesce boundary.
+    fn quiesce(&mut self) {
+        Runner::publish_now(self);
+    }
 
     fn stats(&self) -> CommStats {
         Runner::stats(self).clone()
@@ -201,6 +232,13 @@ impl<P: Protocol> Executor<P> for Runner<P> {
         F: FnOnce(&P::Coord) -> R + Send + 'static,
     {
         f(Runner::coord(self))
+    }
+
+    fn query_handle(&mut self) -> QueryHandle<P::Coord>
+    where
+        P::Coord: Clone + Send + Sync + 'static,
+    {
+        Runner::query_handle(self)
     }
 }
 
@@ -243,6 +281,13 @@ impl<P: Protocol> Executor<P> for EventRuntime<P> {
         F: FnOnce(&P::Coord) -> R + Send + 'static,
     {
         f(EventRuntime::coord(self))
+    }
+
+    fn query_handle(&mut self) -> QueryHandle<P::Coord>
+    where
+        P::Coord: Clone + Send + Sync + 'static,
+    {
+        EventRuntime::query_handle(self)
     }
 }
 
@@ -293,6 +338,13 @@ where
         F: FnOnce(&P::Coord) -> R + Send + 'static,
     {
         ChannelRuntime::with_coord(self, f)
+    }
+
+    fn query_handle(&mut self) -> QueryHandle<P::Coord>
+    where
+        P::Coord: Clone + Send + Sync + 'static,
+    {
+        ChannelRuntime::query_handle(self)
     }
 }
 
@@ -713,6 +765,13 @@ where
         F: FnOnce(&P::Coord) -> R + Send + 'static,
     {
         dispatch!(self, ex => Executor::<P>::query(ex, f))
+    }
+
+    fn query_handle(&mut self) -> QueryHandle<P::Coord>
+    where
+        P::Coord: Clone + Send + Sync + 'static,
+    {
+        dispatch!(self, ex => Executor::<P>::query_handle(ex))
     }
 }
 

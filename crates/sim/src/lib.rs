@@ -33,6 +33,9 @@
 //! * [`runtime::ChannelRuntime`], a genuinely concurrent executor (one OS
 //!   thread per site) built on the lock-free rings and queues in [`ring`],
 //!   used for robustness tests and throughput measurement,
+//! * [`snapshot`], lock-free epoch-stamped snapshot cells: every executor
+//!   exposes a [`QueryHandle`] ([`Executor::query_handle`]) so unboundedly
+//!   many reader threads answer queries while ingest continues,
 //! * seeded PRNG utilities ([`rng`]) including the geometric skip sampler
 //!   used to make "report with probability `p`" protocols O(1) amortized.
 //!
@@ -58,6 +61,7 @@ pub mod ring;
 pub mod rng;
 pub mod runner;
 pub mod runtime;
+pub mod snapshot;
 pub mod stats;
 
 pub use exec::{
@@ -67,4 +71,5 @@ pub use message::Words;
 pub use net::{Dest, Net, Outbox};
 pub use protocol::{Coordinator, Protocol, Site, SiteId};
 pub use runner::Runner;
+pub use snapshot::{snapshot_cell, CellRef, QueryHandle, Snapshot, SnapshotPublisher};
 pub use stats::{CommStats, SpaceStats};

@@ -56,7 +56,9 @@ pub enum Dest {
 }
 
 /// Downstream sink: messages the coordinator wants delivered to sites.
-#[derive(Debug)]
+/// `Clone` lets coordinators that embed a scratch `Net` (and the windowed
+/// adapter's `WinCoord`) be cloned into live-query snapshots.
+#[derive(Debug, Clone)]
 pub struct Net<D> {
     msgs: Vec<(Dest, D)>,
 }

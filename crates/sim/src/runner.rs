@@ -8,6 +8,7 @@
 use crate::message::Words;
 use crate::net::{Dest, Net, Outbox};
 use crate::protocol::{Coordinator, Protocol, Site, SiteId};
+use crate::snapshot::{snapshot_cell, CellRef, PublishFn, QueryHandle};
 use crate::stats::{CommStats, SpaceStats};
 
 /// Lock-step executor for a tracking protocol.
@@ -21,6 +22,18 @@ pub struct Runner<P: Protocol> {
     net: Net<<P::Site as Site>::Down>,
     /// Safety valve against protocols that ping-pong forever.
     max_rounds_per_event: u32,
+    /// Live-query publish hook: installed by [`Runner::query_handle`],
+    /// called with the coordinator after an element whose drain reached
+    /// the coordinator (one snapshot epoch per coordinator apply). `None`
+    /// until a handle exists — the feed fast paths then pay nothing.
+    publish: Option<PublishFn<P::Coord>>,
+    /// Set by [`Runner::drain_from`] when the coordinator applied at
+    /// least one up since the last publish; elements that induce no
+    /// communication republish nothing (the snapshot is already current).
+    coord_dirty: bool,
+    /// Cached reference to the installed snapshot cell; later
+    /// [`Runner::query_handle`] calls mint fresh handles from it.
+    live: Option<CellRef<P::Coord>>,
 }
 
 impl<P: Protocol> Runner<P> {
@@ -38,6 +51,9 @@ impl<P: Protocol> Runner<P> {
             outbox: Outbox::new(),
             net: Net::new(),
             max_rounds_per_event: 64,
+            publish: None,
+            coord_dirty: false,
+            live: None,
         }
     }
 
@@ -73,6 +89,54 @@ impl<P: Protocol> Runner<P> {
         self.sites[site].on_item(item, &mut self.outbox);
         self.space.observe(site, self.sites[site].space_words());
         self.drain_from(site);
+        self.publish_if_dirty();
+    }
+
+    /// Create (or clone) a lock-free live-query handle over the
+    /// coordinator. Once a handle exists, every element boundary at which
+    /// the coordinator applied an update publishes a fresh snapshot epoch,
+    /// so readers on other threads lag ingest by at most one element;
+    /// [`Runner::publish_now`] (called by the [`crate::exec::Executor`]
+    /// `quiesce` impl) republishes on demand.
+    ///
+    /// Installing a handle never changes protocol behavior — messages,
+    /// words and coordinator state stay bit-identical; the runner merely
+    /// clones the coordinator into the snapshot cell when it changed.
+    pub fn query_handle(&mut self) -> QueryHandle<P::Coord>
+    where
+        P::Coord: Clone + Send + Sync + 'static,
+    {
+        if let Some(cell) = &self.live {
+            return cell.handle();
+        }
+        let (mut publisher, handle) = snapshot_cell(self.coord.clone());
+        self.live = Some(handle.cell_ref());
+        self.publish = Some(Box::new(move |coord: &P::Coord| {
+            publisher.publish(coord.clone())
+        }));
+        handle
+    }
+
+    /// Publish the current coordinator state as a fresh snapshot epoch, if
+    /// a live-query handle is installed (no-op otherwise).
+    pub fn publish_now(&mut self) {
+        if let Some(publish) = self.publish.as_mut() {
+            publish(&self.coord);
+        }
+        self.coord_dirty = false;
+    }
+
+    /// Publish only if the coordinator changed since the last publish —
+    /// the cadence of every feed path, keeping snapshot epochs aligned
+    /// with coordinator applies (and feed cost at zero clones while the
+    /// protocol stays silent).
+    fn publish_if_dirty(&mut self) {
+        if self.coord_dirty {
+            if let Some(publish) = self.publish.as_mut() {
+                publish(&self.coord);
+            }
+            self.coord_dirty = false;
+        }
     }
 
     /// Deliver a stream of `(site, item)` pairs.
@@ -108,6 +172,14 @@ impl<P: Protocol> Runner<P> {
     /// after every element; a transient peak between two quiet elements
     /// of one run is not recorded. Protocol state, messages and words are
     /// bit-identical to the per-element path.
+    ///
+    /// With a live-query handle installed ([`Runner::query_handle`]) the
+    /// batch publishes **at most one** snapshot at its end, not one per
+    /// element: the whole batch is a single ingest step, so the
+    /// ≤-one-epoch staleness contract is kept without cloning the
+    /// coordinator per element. Callers wanting finer live-read
+    /// granularity feed in chunks (see `examples/network_monitor.rs`) or
+    /// per element.
     pub fn feed_batch(&mut self, batch: &[(SiteId, <P::Site as Site>::Item)]) {
         let n = batch.len();
         let mut i = 0;
@@ -133,6 +205,7 @@ impl<P: Protocol> Runner<P> {
                 self.drain_from(site);
             }
         }
+        self.publish_if_dirty();
     }
 
     /// Drain messages starting from `origin`'s outbox until the system is
@@ -154,6 +227,7 @@ impl<P: Protocol> Runner<P> {
                 self.stats.up_msgs += 1;
                 self.stats.up_words += up.words();
                 self.coord.on_message(from, &up, &mut self.net);
+                self.coord_dirty = true;
             }
             // Deliver downs (unicast/broadcast) to the sites, gathering
             // any replies for the next round.

@@ -106,6 +106,19 @@
 //!   (`processed` vs. elements pushed) and bail out if the watched site
 //!   thread has died, so they cannot wait on a counterparty that no
 //!   longer exists.
+//! * **Snapshot publication adds no waits.** Live queries
+//!   ([`ChannelRuntime::query_handle`]) are served by an epoch-stamped
+//!   snapshot cell (`crate::snapshot`): at apply boundaries (coalesced —
+//!   on catch-up, at least every `PUBLISH_EVERY` applies under load, and
+//!   on flush), the coordinator clones its state, swaps the new snapshot
+//!   in with one atomic pointer swap, and reclaims replaced snapshots
+//!   with a wait-free hazard-pointer scan. Readers never block the coordinator
+//!   (a stalled reader can at most delay reclamation of the snapshots it
+//!   pinned, bounded by one per reader) and the coordinator never blocks
+//!   readers (a reader retries its pointer load only while a publish
+//!   races it). Publication happens strictly after an apply and touches
+//!   no lane, credit, or cursor state, so every argument above carries
+//!   over unchanged.
 
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -120,6 +133,7 @@ use crate::protocol::{Coordinator, Protocol, Site, SiteId};
 use crate::ring::{
     mpsc, ring, CachePadded, MpscReceiver, MpscSender, RingConsumer, RingProducer, WakeCell,
 };
+use crate::snapshot::{snapshot_cell, CellRef, QueryHandle};
 use crate::stats::{CommStats, SpaceStats};
 
 /// Capacity of each site's inbound *data* ring. Once a site falls this
@@ -205,10 +219,31 @@ enum SiteCtrl<D> {
     Stop,
 }
 
+/// A live-query publish hook, run by the coordinator thread at apply
+/// boundaries (see [`ChannelRuntime::query_handle`]).
+type PublishHook<C> = Box<dyn FnMut(&C) + Send>;
+
+/// Constructor for a [`PublishHook`], run once on the coordinator thread
+/// against the current state so the snapshot cell is fresh at creation.
+type InstallHook<C> = Box<dyn FnOnce(&C) -> PublishHook<C> + Send>;
+
+/// Under sustained load the coordinator publishes a snapshot at least
+/// every this many applies; when it catches up (both lanes empty) it
+/// publishes immediately. Coalescing bounds the publish cost — one
+/// coordinator clone per `PUBLISH_EVERY` applies worst case — which
+/// matters for heavyweight coordinators (a windowed histogram clones
+/// its whole bucket set); publishing on idle keeps the common lightly
+/// loaded case fresh to the latest apply.
+pub const PUBLISH_EVERY: u32 = 64;
+
 enum CoordMsg<U, C> {
     Up(SiteId, U),
     Flush(Sender<()>),
     Query(Box<dyn FnOnce(&C) + Send>),
+    /// Install a live-query publish hook. The closure builds the hook
+    /// from the coordinator's current state, so the snapshot cell is
+    /// fresh at creation.
+    Install(InstallHook<C>),
     Stop,
 }
 
@@ -267,6 +302,9 @@ where
     /// Wall-clock instant of schedule tick 0, anchored lazily by the
     /// first `feed_at` call.
     pace_anchor: Option<Instant>,
+    /// Cached reference to the live-query snapshot cell, if
+    /// [`ChannelRuntime::query_handle`] installed one.
+    live: Option<CellRef<P::Coord>>,
 }
 
 /// State owned by one site thread. Parameterized over the site and
@@ -312,9 +350,13 @@ impl<S: Site, C> SiteWorker<S, C> {
     fn on_ctrl(&mut self, msg: SiteCtrl<S::Down>) -> bool {
         match msg {
             SiteCtrl::Down(d) => {
-                self.in_flight.fetch_sub(1, Ordering::SeqCst);
                 self.site.on_message(&d, &mut self.out);
                 self.flush();
+                // Decrement only after any response ups are counted:
+                // `in_flight` must never transiently read zero while
+                // causally-pending work exists, or quiesce would return
+                // mid-conversation.
+                self.in_flight.fetch_sub(1, Ordering::SeqCst);
                 true
             }
             SiteCtrl::Stop => false,
@@ -484,7 +526,6 @@ where
                                   net: &mut Net<SiteDown<P>>,
                                   from: SiteId,
                                   up: SiteUp<P>| {
-                    in_flight.fetch_sub(1, Ordering::SeqCst);
                     credit[from].release();
                     // The release may un-gate a credit-parked site.
                     site_wakes[from].wake();
@@ -512,21 +553,65 @@ where
                             }
                         }
                     }
+                    // Decrement after the resulting downs are counted
+                    // (mirrors the site side): `in_flight == 0` then
+                    // means genuinely settled, not mid-apply.
+                    in_flight.fetch_sub(1, Ordering::SeqCst);
                 };
+                // Live-query publish hook; `None` until a QueryHandle is
+                // installed, so runs without readers pay nothing. Applies
+                // mark the snapshot dirty; publication is coalesced (see
+                // [`PUBLISH_EVERY`]): on catch-up, every PUBLISH_EVERY
+                // applies under sustained load, and always on Flush —
+                // each published state is a whole coordinator between two
+                // applies, so every cadence keeps prefix consistency.
+                let mut hook: Option<PublishHook<P::Coord>> = None;
+                let mut dirty_applies = 0u32;
                 loop {
                     // Priority lane first: urgent ups (heartbeats, seal
                     // acks) jump any backlog of ordinary reports.
                     while let Some((from, up)) = urgent_rx.try_recv() {
                         process_up(&mut coord, &mut net, from, up);
+                        dirty_applies += 1;
+                    }
+                    if dirty_applies >= PUBLISH_EVERY {
+                        if let Some(publish) = hook.as_mut() {
+                            publish(&coord);
+                        }
+                        dirty_applies = 0;
                     }
                     match coord_rx.try_recv() {
-                        Some(CoordMsg::Up(from, up)) => process_up(&mut coord, &mut net, from, up),
+                        Some(CoordMsg::Up(from, up)) => {
+                            process_up(&mut coord, &mut net, from, up);
+                            dirty_applies += 1;
+                        }
                         Some(CoordMsg::Flush(ack)) => {
+                            // Publish before acking so a caller returning
+                            // from quiesce() reads a snapshot at least as
+                            // fresh as the flushed state. Skipped when no
+                            // apply happened since the last publish — the
+                            // snapshot is already current.
+                            if dirty_applies > 0 {
+                                if let Some(publish) = hook.as_mut() {
+                                    publish(&coord);
+                                }
+                                dirty_applies = 0;
+                            }
                             let _ = ack.send(());
                         }
                         Some(CoordMsg::Query(f)) => f(&coord),
+                        Some(CoordMsg::Install(make)) => hook = Some(make(&coord)),
                         Some(CoordMsg::Stop) => break,
                         None => {
+                            // Caught up: flush any pending snapshot before
+                            // parking so idle readers see the latest apply.
+                            if dirty_applies > 0 {
+                                if let Some(publish) = hook.as_mut() {
+                                    publish(&coord);
+                                }
+                                dirty_applies = 0;
+                                continue; // messages may have raced the publish
+                            }
                             if coord_rx.is_disconnected()
                                 && urgent_rx.is_disconnected()
                                 && coord_rx.is_empty()
@@ -560,6 +645,7 @@ where
             staging: (0..k).map(|_| Vec::new()).collect(),
             tick: Duration::from_micros(1),
             pace_anchor: None,
+            live: None,
         }
     }
 
@@ -702,8 +788,19 @@ where
             self.coord_tx.send(CoordMsg::Flush(cack_tx));
             let _ = cack_rx.recv();
             if self.in_flight.load(Ordering::SeqCst) == 0 {
-                // Nothing new may appear because no items are being fed
-                // during quiesce (caller contract).
+                // Settled: nothing queued and nothing mid-apply (both
+                // endpoints count their responses before decrementing
+                // the trigger), and nothing new may appear because no
+                // items are being fed during quiesce (caller contract).
+                // The applies that settled the system may have landed
+                // *after* this sweep's flush published, though — e.g. a
+                // site's reply to a down that the flushed state had only
+                // just emitted. One final flush republishes so a live
+                // handle read after quiesce is bit-identical to a
+                // stop-the-world query.
+                let (fack_tx, fack_rx) = bounded(1);
+                self.coord_tx.send(CoordMsg::Flush(fack_tx));
+                let _ = fack_rx.recv();
                 return sweeps;
             }
             assert!(sweeps < 10_000, "channel runtime failed to quiesce");
@@ -725,6 +822,39 @@ where
             let _ = tx.send(f(c));
         })));
         rx.recv().expect("coordinator thread terminated")
+    }
+
+    /// Create (or clone) a lock-free live-query handle over the
+    /// coordinator. The coordinator thread publishes an epoch-stamped
+    /// immutable snapshot at apply boundaries — whenever it catches up
+    /// with its message lanes, at least every [`PUBLISH_EVERY`] applies
+    /// under sustained load, and on every flush — so any number of
+    /// reader threads answer queries while ingest continues: no lock on
+    /// either side, and every answer reflects a whole coordinator state
+    /// between two applies (a prefix of the applied updates, never a
+    /// torn intermediate). Immediately after [`ChannelRuntime::quiesce`],
+    /// a handle read is bit-identical to [`ChannelRuntime::with_coord`].
+    ///
+    /// Installing a handle never changes protocol behavior: no messages
+    /// are added and no words are charged; the coordinator merely clones
+    /// its state into the snapshot cell at publish boundaries.
+    pub fn query_handle(&mut self) -> QueryHandle<P::Coord>
+    where
+        P::Coord: Clone + Sync,
+    {
+        if let Some(cell) = &self.live {
+            return cell.handle();
+        }
+        let (tx, rx) = bounded(1);
+        self.coord_tx
+            .send(CoordMsg::Install(Box::new(move |coord: &P::Coord| {
+                let (mut publisher, handle) = snapshot_cell(coord.clone());
+                let _ = tx.send(handle);
+                Box::new(move |coord: &P::Coord| publisher.publish(coord.clone()))
+            })));
+        let handle = rx.recv().expect("coordinator thread terminated");
+        self.live = Some(handle.cell_ref());
+        handle
     }
 
     /// Stop all threads and join them, returning final statistics.

@@ -56,12 +56,32 @@ fn main() {
     let truth = exact.heavy_hitters(threshold as u64);
     let truth_flows: Vec<u64> = truth.iter().map(|&(f, _)| f).collect();
 
+    // The NOC watches the tracker *live*: ingest proceeds in chunks and
+    // a lock-free `QueryHandle` reads the latest published snapshot
+    // between chunks, without ever stopping the packet stream. The final
+    // report reads the same handle after quiesce — bit-identical to a
+    // stop-the-world query.
+    const CHUNKS: usize = 8;
+    let chunk_len = batch.len().div_ceil(CHUNKS);
+    println!("scenario: {exec} — hot flows rotate {phases}× over {n} packets");
+
     // (reported heavy hitters, per-true-flow direct estimates, stats, space).
     let (reported, estimates, stats, peak) = if let Some(win) = exec.window {
         let mut ex = exec.mode.build(&Windowed::new(proto, win), 7);
-        ex.feed_batch(batch);
+        let handle = ex.query_handle();
+        let mut fed = 0u64;
+        for chunk in batch.chunks(chunk_len) {
+            ex.feed_batch(chunk.to_vec());
+            fed += chunk.len() as u64;
+            let (epoch, live) =
+                handle.read(|s| (s.epoch, s.state.windowed_heavy_hitters(report_at).len()));
+            println!(
+                "  live @ {fed:>7} pkts: {live:>3} candidate heavy flows (snapshot epoch {epoch})"
+            );
+        }
         ex.quiesce();
-        let (hh, ests) = ex.query(move |c: &WinCoord<RandomizedFrequency>| {
+        let (hh, ests) = handle.read(|s| {
+            let c: &WinCoord<RandomizedFrequency> = &s.state;
             let ests: Vec<f64> = truth_flows
                 .iter()
                 .map(|&f| c.windowed_frequency(f))
@@ -71,9 +91,19 @@ fn main() {
         (hh, ests, ex.stats(), ex.space().max_peak())
     } else {
         let mut ex = exec.mode.build(&proto, 7);
-        ex.feed_batch(batch);
+        let handle = ex.query_handle();
+        let mut fed = 0u64;
+        for chunk in batch.chunks(chunk_len) {
+            ex.feed_batch(chunk.to_vec());
+            fed += chunk.len() as u64;
+            let (epoch, live) = handle.read(|s| (s.epoch, s.state.heavy_hitters(report_at).len()));
+            println!(
+                "  live @ {fed:>7} pkts: {live:>3} candidate heavy flows (snapshot epoch {epoch})"
+            );
+        }
         ex.quiesce();
-        let (hh, ests) = ex.query(move |c: &RandFreqCoord| {
+        let (hh, ests) = handle.read(|s| {
+            let c: &RandFreqCoord = &s.state;
             let ests: Vec<f64> = truth_flows
                 .iter()
                 .map(|&f| c.estimate_frequency(f))
@@ -83,9 +113,8 @@ fn main() {
         (hh, ests, ex.stats(), ex.space().max_peak())
     };
 
-    println!("scenario: {exec} — hot flows rotate {phases}× over {n} packets");
     println!(
-        "flows with ≥1% of the last {w} packets (true heavy hitters): {}",
+        "\nflows with ≥1% of the last {w} packets (true heavy hitters): {}",
         truth.len()
     );
     println!(

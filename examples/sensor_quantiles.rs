@@ -40,7 +40,11 @@ fn main() {
     let proto = RandomizedRank::new(TrackingConfig::new(k, eps));
     let mut all: Vec<u64> = Vec::with_capacity(n as usize);
 
-    // Quantile queries, whole-stream or windowed, via Executor::query.
+    // Quantile queries, whole-stream or windowed, through a lock-free
+    // live-query handle: the base station reads the latest published
+    // snapshot **without stopping ingest** — mid-run answers may lag
+    // in-flight readings by at most one snapshot epoch, and the final
+    // post-quiesce read is bit-identical to a stop-the-world query.
     macro_rules! drive {
         ($ex:expr, $query:expr) => {{
             let mut ex = $ex;
@@ -50,19 +54,22 @@ fn main() {
             if let AnyExec::Channel(rt) = &mut ex {
                 rt.set_tick(Duration::from_nanos(500));
             }
+            let handle = ex.query_handle();
+            let query = $query;
             let mut t = 0u64;
             for a in schedule {
                 ex.feed_at(a.at, a.site, a.item);
                 all.push(a.item);
                 t += 1;
-                // Periodically stop the world and query the base station.
-                if t % 100_000 == 0 {
-                    ex.quiesce();
-                    let (p50, p95, total): (u64, u64, f64) = ex.query($query);
+                // Periodic live reads: no quiesce, readings keep flowing.
+                if t % 100_000 == 0 && t < n {
+                    let (p50, p95, total): (u64, u64, f64) = handle.read(|s| query(&s.state));
                     report(&all, exec.window, t, p50, p95, total);
                 }
             }
             ex.quiesce();
+            let (p50, p95, total): (u64, u64, f64) = handle.read(|s| query(&s.state));
+            report(&all, exec.window, n, p50, p95, total);
             let stats = ex.stats();
             println!(
                 "\nradio cost: {} messages, {} words total ({:.4} words/reading)",

@@ -4,11 +4,101 @@
 //! schedules over randomly assembled scenario strings.
 
 use dtrack::core::count::{DeterministicCount, RandomizedCount};
-use dtrack::core::frequency::RandomizedFrequency;
-use dtrack::core::rank::RandomizedRank;
+use dtrack::core::frequency::{DeterministicFrequency, RandomizedFrequency};
+use dtrack::core::rank::{DeterministicRank, RandomizedRank};
+use dtrack::core::sampling::ContinuousSampling;
 use dtrack::core::TrackingConfig;
-use dtrack::sim::{ExecConfig, Executor, FaultPlan, Runner};
+use dtrack::sim::exec::EventRuntime;
+use dtrack::sim::{ExecConfig, Executor, FaultPlan, Protocol, Runner, Site};
 use proptest::prelude::*;
+
+/// Snapshot-equivalence harness for the live-query layer (the staleness
+/// battery lives in `tests/query_storm.rs`). With a [`QueryHandle`]
+/// installed, the lock-step `Runner` and the instant `EventRuntime`
+/// publish at identical boundaries — once per element fed, once per
+/// quiesce — so their `(epoch, answers)` pairs must agree bit-for-bit
+/// at **every** epoch, not merely at quiescence. The channel executor's
+/// publish points are scheduling-dependent (one per coordinator apply),
+/// so its property is necessarily weaker: epochs are monotone under
+/// reads racing real threads, answers stay finite, and the post-quiesce
+/// handle answer equals the stop-the-world query exactly.
+///
+/// [`QueryHandle`]: dtrack::sim::QueryHandle
+fn assert_snapshot_equivalence<P, Q>(
+    name: &str,
+    proto: &P,
+    seed: u64,
+    arrivals: &[(usize, u64)],
+    queries: Q,
+) where
+    P: Protocol,
+    P::Site: Site<Item = u64> + Send + 'static,
+    P::Coord: Clone + Send + Sync + 'static,
+    <P::Site as Site>::Up: Send + 'static,
+    <P::Site as Site>::Down: Send + 'static,
+    Q: Fn(&P::Coord) -> Vec<f64> + Clone + Send + 'static,
+{
+    // Lock-step vs instant event executor: identical epochs, identical
+    // answers, at every publish boundary.
+    let mut runner = Runner::new(proto, seed);
+    let mut event = EventRuntime::new(proto, seed);
+    let hr = runner.query_handle();
+    let he = Executor::<P>::query_handle(&mut event);
+    assert_eq!(hr.epoch(), 0, "{name}: runner handle not fresh at epoch 0");
+    assert_eq!(he.epoch(), 0, "{name}: event handle not fresh at epoch 0");
+    for &(site, item) in arrivals {
+        runner.feed(site, &item);
+        event.feed(site, item);
+        let a = hr.read(|s| (s.epoch, queries(&s.state)));
+        let b = he.read(|s| (s.epoch, queries(&s.state)));
+        assert_eq!(a, b, "{name}: runner/event snapshots diverged mid-stream");
+        assert!(
+            a.1.iter().all(|v| v.is_finite()),
+            "{name}: non-finite live answer {:?}",
+            a.1
+        );
+    }
+    Executor::<P>::quiesce(&mut runner);
+    event.quiesce();
+    let a = hr.read(|s| (s.epoch, queries(&s.state)));
+    let b = he.read(|s| (s.epoch, queries(&s.state)));
+    assert_eq!(
+        a, b,
+        "{name}: runner/event snapshots diverged after quiesce"
+    );
+    assert_eq!(
+        a.1,
+        queries(runner.coord()),
+        "{name}: post-quiesce handle answers differ from the coordinator"
+    );
+
+    // Channel executor: monotone epochs while real threads race, exact
+    // agreement with the stop-the-world query once quiesced.
+    let mut ch = ExecConfig::channel().build(proto, seed);
+    let hc = Executor::<P>::query_handle(&mut ch);
+    let mut last_epoch = 0u64;
+    for &(site, item) in arrivals {
+        ch.feed(site, item);
+        let (epoch, ans) = hc.read(|s| (s.epoch, queries(&s.state)));
+        assert!(epoch >= last_epoch, "{name}: channel epoch went backwards");
+        last_epoch = epoch;
+        assert!(
+            ans.iter().all(|v| v.is_finite()),
+            "{name}: non-finite channel live answer {ans:?}"
+        );
+    }
+    ch.quiesce();
+    let truth = ch.query({
+        let q = queries.clone();
+        move |c: &P::Coord| q(c)
+    });
+    let (epoch, ans) = hc.read(|s| (s.epoch, queries(&s.state)));
+    assert!(epoch >= last_epoch, "{name}: channel epoch went backwards");
+    assert_eq!(
+        ans, truth,
+        "{name}: channel post-quiesce handle answers differ from query"
+    );
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -212,5 +302,71 @@ proptest! {
         let bound = 40.0 / (eps * (k as f64).sqrt()) + 80.0;
         prop_assert!((r.space().max_peak() as f64) < bound,
             "peak {} ≥ {bound}", r.space().max_peak());
+    }
+
+    /// Live-query snapshots agree across all three executors for every
+    /// Table-1 protocol, on arbitrary arrival interleavings: runner and
+    /// instant event runtime are bit-identical at matching epochs
+    /// (strong form), the channel runtime is monotone while racing and
+    /// exact after quiesce (weak form — its epochs are real-scheduling
+    /// artifacts). See `assert_snapshot_equivalence` for the contract.
+    #[test]
+    fn live_handles_agree_across_executors_for_all_protocols(
+        sites in proptest::collection::vec(0usize..4, 20..80),
+        seed in 0u64..500,
+    ) {
+        let cfg = TrackingConfig::new(4, 0.2);
+        // Small-domain items exercise count/frequency merging; rank and
+        // sampling assume duplicate-free streams, so they get distinct
+        // items from the same interleaving.
+        let zipfish: Vec<(usize, u64)> = sites.iter().enumerate()
+            .map(|(t, &s)| (s, (t as u64 * 7) % 16)).collect();
+        let distinct: Vec<(usize, u64)> = sites.iter().enumerate()
+            .map(|(t, &s)| (s, t as u64)).collect();
+
+        assert_snapshot_equivalence(
+            "randomized count", &RandomizedCount::new(cfg), seed, &zipfish,
+            |c: &dtrack::core::count::RandCountCoord| vec![c.estimate()],
+        );
+        assert_snapshot_equivalence(
+            "deterministic count", &DeterministicCount::new(cfg), seed, &zipfish,
+            |c: &dtrack::core::count::DetCountCoord| vec![c.estimate()],
+        );
+        assert_snapshot_equivalence(
+            "randomized frequency", &RandomizedFrequency::new(cfg), seed, &zipfish,
+            |c: &dtrack::core::frequency::RandFreqCoord| {
+                (0..10).map(|j| c.estimate_frequency(j)).collect()
+            },
+        );
+        assert_snapshot_equivalence(
+            "deterministic frequency", &DeterministicFrequency::new(cfg), seed, &zipfish,
+            |c: &dtrack::core::frequency::DetFreqCoord| {
+                (0..10).map(|j| c.estimate_frequency(j)).collect()
+            },
+        );
+        assert_snapshot_equivalence(
+            "randomized rank", &RandomizedRank::new(cfg), seed, &distinct,
+            |c: &dtrack::core::rank::RandRankCoord| {
+                [u64::MAX / 4, u64::MAX / 2, u64::MAX / 4 * 3]
+                    .iter().map(|&x| c.estimate_rank(x)).collect()
+            },
+        );
+        assert_snapshot_equivalence(
+            "deterministic rank", &DeterministicRank::new(cfg), seed, &distinct,
+            |c: &dtrack::core::rank::DetRankCoord| {
+                [u64::MAX / 4, u64::MAX / 2, u64::MAX / 4 * 3]
+                    .iter().map(|&x| c.estimate_rank(x)).collect()
+            },
+        );
+        assert_snapshot_equivalence(
+            "continuous sampling", &ContinuousSampling::new(cfg), seed, &distinct,
+            |c: &dtrack::core::sampling::SamplingCoord| {
+                vec![
+                    c.estimate_count(),
+                    c.estimate_frequency(3),
+                    c.estimate_rank(u64::MAX / 2),
+                ]
+            },
+        );
     }
 }
