@@ -672,7 +672,9 @@ impl<P: Protocol> EventRuntime<P> {
                     self.flush_site(site);
                 }
                 Ev::Up(from, link_seq, up) => {
-                    self.coord_dirty = true;
+                    // `coord_dirty` is set only when an up is actually
+                    // applied: ups the fault layer drops/dedups/defers must
+                    // not burn a publish epoch on unchanged state.
                     if self.faults.is_some() {
                         let fl = self.faults.as_deref_mut().expect("fault layer");
                         if !fl.up[from].accept(link_seq, up, &mut fl.stats) {
@@ -683,10 +685,12 @@ impl<P: Protocol> EventRuntime<P> {
                             let Some(msg) = fl.up[from].pop_ready() else {
                                 break;
                             };
+                            self.coord_dirty = true;
                             self.coord.on_message(from, &msg, &mut self.net);
                             self.flush_coord();
                         }
                     } else {
+                        self.coord_dirty = true;
                         self.coord.on_message(from, &up, &mut self.net);
                         self.flush_coord();
                     }

@@ -569,10 +569,19 @@ where
                 let mut dirty_applies = 0u32;
                 loop {
                     // Priority lane first: urgent ups (heartbeats, seal
-                    // acks) jump any backlog of ordinary reports.
+                    // acks) jump any backlog of ordinary reports. The
+                    // cadence check runs inside the drain too — a
+                    // continuously non-empty urgent lane must not defer
+                    // publication past PUBLISH_EVERY applies.
                     while let Some((from, up)) = urgent_rx.try_recv() {
                         process_up(&mut coord, &mut net, from, up);
                         dirty_applies += 1;
+                        if dirty_applies >= PUBLISH_EVERY {
+                            if let Some(publish) = hook.as_mut() {
+                                publish(&coord);
+                            }
+                            dirty_applies = 0;
+                        }
                     }
                     if dirty_applies >= PUBLISH_EVERY {
                         if let Some(publish) = hook.as_mut() {

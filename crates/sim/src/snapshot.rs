@@ -19,18 +19,26 @@
 //! * Each [`QueryHandle`] owns a **hazard slot** — one `AtomicPtr` in an
 //!   append-only registry shared through the cell.
 //! * A reader publishes the pointer it is about to dereference into its slot
-//!   (`SeqCst`), then re-validates that `current` still equals it. If not, it
-//!   retries with the fresh pointer.
-//! * The publisher swaps in the new snapshot, pushes the old pointer onto a
-//!   private retired list, then scans all hazard slots and frees every
-//!   retired snapshot that no slot protects.
+//!   (`SeqCst`), then re-validates that `current` still equals it (`SeqCst`).
+//!   If not, it retries with the fresh pointer.
+//! * The publisher swaps in the new snapshot (`SeqCst`), pushes the old
+//!   pointer onto a private retired list, then scans all hazard slots
+//!   (`SeqCst` loads of the list head, links, and each hazard) and frees
+//!   every retired snapshot that no slot protects.
 //!
-//! The `SeqCst` pairing makes this sound: for any reader/publisher race,
-//! either the reader's hazard store precedes the publisher's scan in the
-//! total order (the scan sees the hazard and defers the free), or the
-//! publisher's swap precedes the reader's re-validation load (the reader
-//! observes the new pointer and retries). Either way a snapshot is never
-//! freed while a reader holds a reference into it.
+//! This is Dekker-style store→load communication in both directions, so
+//! *both* sides of *both* pairs must be `SeqCst` — acquire/release alone
+//! permits the classic both-loads-see-stale outcome (the reader re-validates
+//! against the old snapshot while the scan misses its hazard: use-after-
+//! free). With every operation above in the single total order, any
+//! reader/publisher race resolves safely: either the reader's hazard store
+//! precedes the publisher's hazard load (the scan sees the hazard and defers
+//! the free), or the publisher's swap precedes the reader's re-validation
+//! load (the reader observes the new pointer and retries). The slot-list
+//! push in `attach` is a `SeqCst` CAS for the same reason: a slot published
+//! before its first hazard store cannot be skipped by a scan that the
+//! hazard store precedes. Either way a snapshot is never freed while a
+//! reader holds a reference into it.
 //!
 //! The retired list is bounded by the number of hazard slots plus one, so
 //! memory use is `O(readers)` snapshots regardless of publish rate. If the
@@ -171,7 +179,10 @@ impl<C> SnapshotPublisher<C> {
             epoch: self.epoch,
             state,
         }));
-        let old = self.shared.current.swap(fresh, Ordering::AcqRel);
+        // SeqCst, not AcqRel: the swap must take part in the single total
+        // order that the Dekker-style safety argument below relies on
+        // (swap → hazard scan vs. hazard store → current re-load).
+        let old = self.shared.current.swap(fresh, Ordering::SeqCst);
         self.retired.push(old);
         self.scan();
     }
@@ -196,13 +207,16 @@ impl<C> SnapshotPublisher<C> {
     /// Frees every retired snapshot that no hazard slot currently protects.
     fn scan(&mut self) {
         self.retired.retain(|&snap| {
-            let mut slot = self.shared.slots.load(Ordering::Acquire);
+            // The head/next loads are SeqCst so a slot pushed (SeqCst CAS
+            // in `attach`) before a reader's hazard store cannot be missed
+            // by a scan that the hazard store precedes in the total order.
+            let mut slot = self.shared.slots.load(Ordering::SeqCst);
             while !slot.is_null() {
                 let node = unsafe { &*slot };
                 if node.hazard.load(Ordering::SeqCst) == snap {
                     return true; // still protected — keep for a later scan
                 }
-                slot = node.next.load(Ordering::Acquire);
+                slot = node.next.load(Ordering::SeqCst);
             }
             unsafe { drop(Box::from_raw(snap)) };
             false
@@ -275,10 +289,13 @@ impl<C> QueryHandle<C> {
         let mut head = shared.slots.load(Ordering::Acquire);
         loop {
             unsafe { (*fresh).next.store(head, Ordering::Relaxed) };
+            // SeqCst so the slot's publication is ordered before this
+            // handle's first hazard store in the total order — a scan the
+            // hazard store precedes must traverse through this slot.
             match shared.slots.compare_exchange_weak(
                 head,
                 fresh,
-                Ordering::AcqRel,
+                Ordering::SeqCst,
                 Ordering::Acquire,
             ) {
                 Ok(_) => break,
@@ -307,6 +324,16 @@ impl<C> QueryHandle<C> {
             // snapshot so we neither clobber the slot nor race reclamation.
             return f(unsafe { &*already });
         }
+        // Clears the hazard on unwind too: a panicking `f` must not leave
+        // the slot pinned (later reads would take the nested branch and
+        // serve the stale snapshot forever, which could never be freed).
+        struct HazardGuard<'a, C>(&'a Slot<C>);
+        impl<C> Drop for HazardGuard<'_, C> {
+            fn drop(&mut self) {
+                self.0.hazard.store(ptr::null_mut(), Ordering::Release);
+            }
+        }
+        let _guard = HazardGuard(slot);
         let mut snap = self.shared.current.load(Ordering::Acquire);
         loop {
             slot.hazard.store(snap, Ordering::SeqCst);
@@ -316,9 +343,7 @@ impl<C> QueryHandle<C> {
             }
             snap = check;
         }
-        let out = f(unsafe { &*snap });
-        slot.hazard.store(ptr::null_mut(), Ordering::Release);
-        out
+        f(unsafe { &*snap })
     }
 
     /// The epoch of the snapshot a read would currently observe.
@@ -422,6 +447,22 @@ mod tests {
         publisher.publish(2);
         let (outer, inner) = handle.read(|s| (s.state, handle.read(|t| t.state)));
         assert_eq!((outer, inner), (2, 2));
+    }
+
+    #[test]
+    fn panicking_read_releases_hazard() {
+        let (mut publisher, handle) = snapshot_cell(1u64);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle.read(|_| panic!("reader closure panicked"))
+        }));
+        assert!(caught.is_err());
+        // The hazard must have been cleared on unwind: a later read takes
+        // the normal path and observes newly published state, and the
+        // pre-panic snapshot is reclaimable (publish twice so it is both
+        // retired and scanned).
+        publisher.publish(2);
+        publisher.publish(3);
+        assert_eq!(handle.read(|s| (s.epoch, s.state)), (2, 3));
     }
 
     #[test]
