@@ -20,6 +20,11 @@
 //!   answering count queries from lock-free snapshot cells while the
 //!   channel runtime ingests, recording aggregate **queries/second**
 //!   (advisory, machine-dependent like the throughput rates).
+//! * [`measure_topology_cells`] runs the hierarchical-topology panel:
+//!   the randomized count protocol on the flat star vs a binary
+//!   depth-4 aggregation tree, recording root-load words **per level**
+//!   (`topology/*` cells). Advisory by design — the panel watches the
+//!   per-level load profile, not single words.
 //! * Each [`Cell`] is `exact` or not. Lock-step words are deterministic
 //!   given the seed set, so the comparator treats any drift as a **hard**
 //!   regression. The channel cell's words depend on thread interleaving,
@@ -44,7 +49,10 @@ use std::time::Instant;
 
 use dtrack_sim::ExecConfig;
 
-use crate::measure::{count_run, frequency_run, rank_run, CountAlgo, FreqAlgo, RankAlgo};
+use crate::measure::{
+    count_run, frequency_run, rank_run, tree_count_run, CountAlgo, FreqAlgo, RankAlgo,
+};
+use dtrack_sim::TreeSpec;
 
 /// Baseline parameters of one measurement matrix.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -267,6 +275,88 @@ pub fn measure_cells(p: Params) -> Vec<Cell> {
             }
         })
         .collect()
+}
+
+/// Fanout of the topology panel's tree: binary, so the default CI
+/// `k = 16` yields a depth-4 tree (8/4/2 aggregators) with **three**
+/// internal boundaries — enough levels that the per-level load profile
+/// is a real curve, not a single point.
+pub const TOPOLOGY_FANOUT: usize = 2;
+
+/// Depth of the topology panel's tree (see [`TOPOLOGY_FANOUT`]).
+pub const TOPOLOGY_DEPTH: usize = 4;
+
+/// Measure the hierarchical-topology panel: the randomized count
+/// protocol on the flat star vs a binary depth-[`TOPOLOGY_DEPTH`] tree,
+/// recording the **root-load words per level** — `topology/flat_root`
+/// (the flat star's root sees every word), `topology/leaf` (the tree's
+/// leaf ↔ level-1 boundary, accounted by the executor), and
+/// `topology/levelL` for each internal boundary (the highest level is
+/// the tree's root load).
+///
+/// All cells are **advisory** (`exact: false`): the panel exists to
+/// watch the load *profile* — a restream blow-up at some level — not to
+/// hard-pin single words, and keeping it advisory means tuning the
+/// ε-split or the replay cursors doesn't demand a lockstep
+/// re-baseline. Like every advisory cell, `--bootstrap` refreshes the
+/// wall-times and `--check` compares words against the recorded range.
+pub fn measure_topology_cells(p: Params) -> Vec<Cell> {
+    let exec = ExecConfig::lockstep();
+    let spec = TreeSpec::new(TOPOLOGY_FANOUT).with_depth(TOPOLOGY_DEPTH);
+    let seeds = p.seeds.max(INEXACT_SEEDS);
+    // One timed flat run + one timed tree run per seed; every cell of
+    // the panel is carved out of the same runs.
+    let mut flat_words = Vec::new();
+    let mut flat_ms = Vec::new();
+    let mut tree_ms = Vec::new();
+    let mut leaf_words = Vec::new();
+    let mut level_words: Vec<Vec<u64>> = vec![Vec::new(); TOPOLOGY_DEPTH - 1];
+    for seed in 0..seeds {
+        let t0 = Instant::now();
+        flat_words.push(
+            count_run(exec, CountAlgo::Randomized, p.k, p.eps, p.n, seed)
+                .0
+                .words,
+        );
+        flat_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        let t1 = Instant::now();
+        let run = tree_count_run(exec, spec, CountAlgo::Randomized, p.k, p.eps, p.n, seed);
+        tree_ms.push(t1.elapsed().as_secs_f64() * 1e3);
+        leaf_words.push(run.leaf_words);
+        assert_eq!(
+            run.internal.len(),
+            TOPOLOGY_DEPTH - 1,
+            "topology panel expects a depth-{TOPOLOGY_DEPTH} tree"
+        );
+        for (l, load) in run.internal.iter().enumerate() {
+            level_words[l].push(load.total_words());
+        }
+    }
+    let cell = |id: String, words: Vec<u64>, millis: f64| -> Cell {
+        let (lo, hi) = (
+            *words.iter().min().expect("≥1 seed"),
+            *words.iter().max().expect("≥1 seed"),
+        );
+        Cell {
+            id,
+            words: med_u64(words),
+            millis,
+            exact: false,
+            words_min: lo,
+            words_max: hi,
+            elems_per_sec: None,
+        }
+    };
+    let flat_ms = med_f64(flat_ms);
+    let tree_ms = med_f64(tree_ms);
+    let mut cells = vec![
+        cell("topology/flat_root".into(), flat_words, flat_ms),
+        cell("topology/leaf".into(), leaf_words, tree_ms),
+    ];
+    for (l, words) in level_words.into_iter().enumerate() {
+        cells.push(cell(format!("topology/level{}", l + 1), words, tree_ms));
+    }
+    cells
 }
 
 /// Elements fed per throughput cell when the `perf_baseline` binary
@@ -970,6 +1060,47 @@ mod tests {
                 c.words_max
             );
         }
+    }
+
+    #[test]
+    fn topology_cells_record_per_level_loads_advisorily() {
+        let p = Params {
+            n: 4_000,
+            k: 16, // must fit the binary depth-4 shape (2^4 = 16)
+            eps: 0.2,
+            seeds: 1,
+        };
+        let cells = measure_topology_cells(p);
+        let ids: Vec<&str> = cells.iter().map(|c| c.id.as_str()).collect();
+        assert_eq!(
+            ids,
+            [
+                "topology/flat_root",
+                "topology/leaf",
+                "topology/level1",
+                "topology/level2",
+                "topology/level3",
+            ]
+        );
+        for c in &cells {
+            assert!(!c.exact, "{}: topology cells are advisory", c.id);
+            assert!(c.words > 0, "{}: no words measured", c.id);
+            assert!(
+                c.words_min <= c.words && c.words <= c.words_max,
+                "{}: median {} outside own range [{}, {}]",
+                c.id,
+                c.words,
+                c.words_min,
+                c.words_max
+            );
+        }
+        // The per-level profile must shrink toward the root: each level
+        // aggregates more of the stream behind fewer, coarser replays.
+        let level = |id: &str| cells.iter().find(|c| c.id == id).unwrap().words;
+        assert!(
+            level("topology/level3") < level("topology/flat_root"),
+            "tree root load must undercut the flat star even at CI scale"
+        );
     }
 
     #[test]

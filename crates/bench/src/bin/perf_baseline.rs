@@ -21,7 +21,9 @@
 //! `THROUGHPUT_ELEMS` elements through the channel runtime's batch and
 //! per-element paths) rides along in every mode, as does the live-query
 //! panel (`queries/*` cells: reader threads answering count queries
-//! from lock-free snapshots while ingest runs). Their rates
+//! from lock-free snapshots while ingest runs) and the
+//! hierarchical-topology panel (`topology/*` cells: flat-star vs
+//! binary-tree root-load words per level, advisory). Their rates
 //! (elements/second resp. queries/second) are machine-dependent like
 //! wall time, so `--bootstrap` refreshes them and `--check` compares
 //! them advisorily — a rate collapse past the timing factor prints, but
@@ -33,8 +35,8 @@
 //! release baseline (the check compares, it cannot tell why).
 
 use dtrack_bench::baseline::{
-    bootstrap, compare, measure_cells, measure_query_cells, measure_throughput_cells, parse_json,
-    to_json, Params, QUERY_STORM_ELEMS, THROUGHPUT_ELEMS,
+    bootstrap, compare, measure_cells, measure_query_cells, measure_throughput_cells,
+    measure_topology_cells, parse_json, to_json, Params, QUERY_STORM_ELEMS, THROUGHPUT_ELEMS,
 };
 use dtrack_bench::cli::banner;
 
@@ -69,6 +71,7 @@ fn main() {
     let mut cells = measure_cells(params);
     cells.extend(measure_throughput_cells(params, THROUGHPUT_ELEMS));
     cells.extend(measure_query_cells(params, QUERY_STORM_ELEMS));
+    cells.extend(measure_topology_cells(params));
     for c in &cells {
         let range = if c.exact {
             String::new()

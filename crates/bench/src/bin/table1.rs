@@ -106,7 +106,15 @@ fn main() {
         ),
     ];
 
+    // The sampling baseline keeps raw samples, not a mergeable digest,
+    // so it has no tree composition — under a +tree scenario its rows
+    // are skipped (with a note) rather than aborting the whole table.
+    let mut skipped_sampling = false;
     for (problem, algo, f, rows_n) in rows {
+        if exec.tree.is_some() && algo.starts_with("sampling") {
+            skipped_sampling = true;
+            continue;
+        }
         let (cs, err) = med(&*f);
         t.row([
             problem.to_string(),
@@ -126,4 +134,10 @@ fn main() {
         1.0 / (k as f64).sqrt()
     );
     println!("sampling [9] ≈ 1/ε² logN words regardless of k; NEW space ≈ 1/(ε√k) words.");
+    if skipped_sampling {
+        println!(
+            "note: sampling [9] rows skipped — the continuous-sampling \
+             baseline has no tree composition (drop +tree to include them)."
+        );
+    }
 }

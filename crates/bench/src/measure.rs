@@ -26,7 +26,7 @@ use dtrack_core::rank::{DetRankCoord, DeterministicRank, RandRankCoord, Randomiz
 use dtrack_core::sampling::{ContinuousSampling, SamplingCoord};
 use dtrack_core::window::{WinCoord, Windowed};
 use dtrack_core::TrackingConfig;
-use dtrack_sim::{ExecConfig, Executor, Protocol};
+use dtrack_sim::{ExecConfig, Executor, LevelLoad, Protocol, Tree, TreeCoord, TreeSpec};
 use dtrack_sketch::exact::{ExactCounts, ExactRanks};
 use dtrack_workload::items::{DistinctSeq, ItemGen, ZipfItems};
 use dtrack_workload::{Arrival, RoundRobin, SiteAssign, UniformSites, Workload};
@@ -143,6 +143,18 @@ pub fn count_run(
             w,
             seed,
         );
+    }
+    if let Some(spec) = exec.tree {
+        let run = tree_count_run(
+            ExecConfig { tree: None, ..exec },
+            spec,
+            algo,
+            k,
+            eps,
+            n,
+            seed,
+        );
+        return (run.cost, run.err);
     }
     let cfg = TrackingConfig::new(k, eps);
     let batch = round_robin_batch(k, n);
@@ -310,6 +322,18 @@ pub fn frequency_run(
             w,
             seed,
         );
+    }
+    if let Some(spec) = exec.tree {
+        let run = tree_frequency_run(
+            ExecConfig { tree: None, ..exec },
+            spec,
+            algo,
+            k,
+            eps,
+            n,
+            seed,
+        );
+        return (run.cost, run.err);
     }
     let cfg = TrackingConfig::new(k, eps);
     let arrivals = freq_workload(k, n, seed ^ 0xF00D);
@@ -501,6 +525,26 @@ pub fn frequency_single_probe_error(
             (a.site, a.item)
         })
         .collect();
+    if let Some(spec) = exec.tree {
+        let exec = ExecConfig { tree: None, ..exec };
+        macro_rules! tree_run {
+            ($proto:expr, $ty:ty) => {{
+                let proto = Tree::new($proto, spec);
+                let mut ex = exec.build(&proto, seed);
+                ex.feed_batch(batch);
+                ex.quiesce();
+                let est: f64 = ex.query(|c: &TreeCoord<$ty>| c.root().estimate_frequency(0));
+                (est - exact.frequency(0) as f64).abs() / n as f64
+            }};
+        }
+        return match algo {
+            FreqAlgo::Randomized => tree_run!(RandomizedFrequency::new(cfg), RandomizedFrequency),
+            FreqAlgo::Deterministic => {
+                tree_run!(DeterministicFrequency::new(cfg), DeterministicFrequency)
+            }
+            FreqAlgo::Sampling => panic!("{NO_TREE_SUPPORT}"),
+        };
+    }
     macro_rules! run {
         ($proto:expr, $est:expr) => {{
             let mut ex = exec.build(&$proto, seed);
@@ -552,6 +596,18 @@ pub fn rank_run(
             w,
             seed,
         );
+    }
+    if let Some(spec) = exec.tree {
+        let run = tree_rank_run(
+            ExecConfig { tree: None, ..exec },
+            spec,
+            algo,
+            k,
+            eps,
+            n,
+            seed,
+        );
+        return (run.cost, run.err);
     }
     let cfg = TrackingConfig::new(k, eps);
     let batch = rank_batch(k, n, seed);
@@ -634,6 +690,211 @@ pub fn windowed_rank_run(
         RankAlgo::Randomized => run!(RandomizedRank::new(cfg), RandomizedRank),
         RankAlgo::Deterministic => run!(DeterministicRank::new(cfg), DeterministicRank),
         RankAlgo::Sampling => run!(ContinuousSampling::new(cfg), ContinuousSampling),
+    }
+}
+
+/// Outcome of one hierarchical (tree) run: the combined cost/error
+/// (what [`count_run`] and friends return for `+tree` scenarios) plus
+/// the per-boundary breakdown `exp_topology` tables.
+#[derive(Debug, Clone)]
+pub struct TreeRun {
+    /// Combined accounting: leaf-boundary traffic (the executor's
+    /// `CommStats`) **plus** every internal aggregator boundary.
+    pub cost: CommSpace,
+    /// The problem's error metric at the tree root (same definition as
+    /// the flat run's).
+    pub err: f64,
+    /// Words on the leaf ↔ level-1 boundary alone (the executor's
+    /// accounting, before internal boundaries are folded in).
+    pub leaf_words: u64,
+    /// Internal boundaries, one per aggregator level (empty at depth 1).
+    pub internal: Vec<LevelLoad>,
+}
+
+impl TreeRun {
+    /// Words crossing the root's own links — the bottleneck metric the
+    /// topology exists to shrink. At depth 1 the root *is* the flat
+    /// coordinator, so the leaf boundary is the root boundary.
+    pub fn root_words(&self) -> u64 {
+        self.internal
+            .last()
+            .map(LevelLoad::total_words)
+            .unwrap_or(self.leaf_words)
+    }
+}
+
+/// Fold internal-boundary traffic into the executor's leaf accounting.
+fn tree_run_outcome(leaf: CommSpace, err: f64, internal: Vec<LevelLoad>) -> TreeRun {
+    let mut cost = leaf;
+    for l in &internal {
+        cost.msgs += l.total_msgs();
+        cost.words += l.total_words();
+    }
+    TreeRun {
+        cost,
+        err,
+        leaf_words: leaf.words,
+        internal,
+    }
+}
+
+/// Panic message for the baselines with no [`dtrack_sim::TreeProtocol`]
+/// impl (continuous sampling keeps raw samples, not a mergeable digest,
+/// so there is nothing to re-stream level over level).
+const NO_TREE_SUPPORT: &str = "+tree is not supported for the continuous-sampling baseline: \
+     ContinuousSampling has no TreeProtocol impl (its coordinator keeps \
+     raw samples, not a mergeable digest) — use the randomized or \
+     deterministic protocols, or drop the +tree suffix";
+
+/// [`count_run`] under a hierarchical topology: the protocol wrapped in
+/// [`Tree`] with shape `spec`, queried at the root. Called by
+/// [`count_run`] for `+tree:F[:D]` scenarios; callable directly when
+/// the per-boundary breakdown ([`TreeRun::internal`],
+/// [`TreeRun::root_words`]) is wanted — `spec` governs, `exec.tree`
+/// must be `None`.
+///
+/// # Panics
+///
+/// Panics for [`CountAlgo::Sampling`] (no `TreeProtocol` impl) and on
+/// a windowed `exec` (`+tree`+`+window` needs per-level epoch
+/// alignment; the scenario parser rejects the combination).
+pub fn tree_count_run(
+    exec: ExecConfig,
+    spec: TreeSpec,
+    algo: CountAlgo,
+    k: usize,
+    eps: f64,
+    n: u64,
+    seed: u64,
+) -> TreeRun {
+    assert!(exec.tree.is_none(), "pass the tree shape via `spec`");
+    assert!(exec.window.is_none(), "+tree does not combine with +window");
+    let cfg = TrackingConfig::new(k, eps);
+    let batch = round_robin_batch(k, n);
+    macro_rules! run {
+        ($proto:expr, $ty:ty, $est:expr) => {{
+            let proto = Tree::new($proto, spec);
+            let mut ex = exec.build(&proto, seed);
+            ex.feed_batch(batch);
+            ex.quiesce();
+            let est: f64 = ex.query(|c: &TreeCoord<$ty>| $est(c.root()));
+            let err = (est - n as f64).abs() / n as f64;
+            let internal = ex.query(|c: &TreeCoord<$ty>| c.internal_loads().to_vec());
+            tree_run_outcome(CommSpace::from_exec(&ex), err, internal)
+        }};
+    }
+    match algo {
+        CountAlgo::Randomized => {
+            run!(
+                RandomizedCount::new(cfg),
+                RandomizedCount,
+                |c: &RandCountCoord| c.estimate()
+            )
+        }
+        CountAlgo::Deterministic => {
+            run!(
+                DeterministicCount::new(cfg),
+                DeterministicCount,
+                |c: &DetCountCoord| c.estimate()
+            )
+        }
+        CountAlgo::Sampling => panic!("{NO_TREE_SUPPORT}"),
+    }
+}
+
+/// [`frequency_run`] under a hierarchical topology (see
+/// [`tree_count_run`] for the contract): maximum `|f̂ − f|/n` over the
+/// standard probes, answered at the tree root.
+pub fn tree_frequency_run(
+    exec: ExecConfig,
+    spec: TreeSpec,
+    algo: FreqAlgo,
+    k: usize,
+    eps: f64,
+    n: u64,
+    seed: u64,
+) -> TreeRun {
+    assert!(exec.tree.is_none(), "pass the tree shape via `spec`");
+    assert!(exec.window.is_none(), "+tree does not combine with +window");
+    let cfg = TrackingConfig::new(k, eps);
+    let arrivals = freq_workload(k, n, seed ^ 0xF00D);
+    let mut exact = ExactCounts::new();
+    let batch: Vec<(usize, u64)> = arrivals
+        .iter()
+        .map(|a| {
+            exact.observe(a.item);
+            (a.site, a.item)
+        })
+        .collect();
+    let probes = freq_probes();
+    macro_rules! run {
+        ($proto:expr, $ty:ty) => {{
+            let proto = Tree::new($proto, spec);
+            let mut ex = exec.build(&proto, seed);
+            ex.feed_batch(batch);
+            ex.quiesce();
+            let worst = probes
+                .iter()
+                .map(|&j| {
+                    let estimate: f64 =
+                        ex.query(move |c: &TreeCoord<$ty>| c.root().estimate_frequency(j));
+                    (estimate - exact.frequency(j) as f64).abs() / n as f64
+                })
+                .fold(0.0f64, f64::max);
+            let internal = ex.query(|c: &TreeCoord<$ty>| c.internal_loads().to_vec());
+            tree_run_outcome(CommSpace::from_exec(&ex), worst, internal)
+        }};
+    }
+    match algo {
+        FreqAlgo::Randomized => run!(RandomizedFrequency::new(cfg), RandomizedFrequency),
+        FreqAlgo::Deterministic => run!(DeterministicFrequency::new(cfg), DeterministicFrequency),
+        FreqAlgo::Sampling => panic!("{NO_TREE_SUPPORT}"),
+    }
+}
+
+/// [`rank_run`] under a hierarchical topology (see [`tree_count_run`]
+/// for the contract): maximum `|rank̂ − rank|/n` over the deciles,
+/// answered at the tree root.
+pub fn tree_rank_run(
+    exec: ExecConfig,
+    spec: TreeSpec,
+    algo: RankAlgo,
+    k: usize,
+    eps: f64,
+    n: u64,
+    seed: u64,
+) -> TreeRun {
+    assert!(exec.tree.is_none(), "pass the tree shape via `spec`");
+    assert!(exec.window.is_none(), "+tree does not combine with +window");
+    let cfg = TrackingConfig::new(k, eps);
+    let batch = rank_batch(k, n, seed);
+    let mut exact = ExactRanks::new();
+    for &(_, item) in &batch {
+        exact.insert(item);
+    }
+    macro_rules! run {
+        ($proto:expr, $ty:ty) => {{
+            let proto = Tree::new($proto, spec);
+            let mut ex = exec.build(&proto, seed);
+            ex.feed_batch(batch);
+            ex.quiesce();
+            let worst = (1..10)
+                .map(|d| {
+                    let x = exact.quantile(d as f64 / 10.0).unwrap();
+                    let truth = exact.rank(x) as f64;
+                    let estimate: f64 =
+                        ex.query(move |c: &TreeCoord<$ty>| c.root().estimate_rank(x));
+                    (estimate - truth).abs() / n as f64
+                })
+                .fold(0.0f64, f64::max);
+            let internal = ex.query(|c: &TreeCoord<$ty>| c.internal_loads().to_vec());
+            tree_run_outcome(CommSpace::from_exec(&ex), worst, internal)
+        }};
+    }
+    match algo {
+        RankAlgo::Randomized => run!(RandomizedRank::new(cfg), RandomizedRank),
+        RankAlgo::Deterministic => run!(DeterministicRank::new(cfg), DeterministicRank),
+        RankAlgo::Sampling => panic!("{NO_TREE_SUPPORT}"),
     }
 }
 

@@ -102,6 +102,21 @@ impl crate::window::EpochProtocol for DeterministicCount {
     }
 }
 
+/// Tree aggregation: each level re-runs the deterministic tracker with
+/// its share of the error budget; an aggregator replays its estimate's
+/// growth as anonymous elements (count sites ignore item values).
+impl dtrack_sim::exec::topology::TreeProtocol for DeterministicCount {
+    type Cursor = crate::topology::ScalarCursor;
+
+    fn level_instance(&self, children: usize, eps_factor: f64) -> Self {
+        Self::new(TrackingConfig::new(children, self.cfg.epsilon * eps_factor))
+    }
+
+    fn restream(coord: &DetCountCoord, cursor: &mut Self::Cursor, emit: &mut dyn FnMut(&u64)) {
+        cursor.advance(coord.estimate(), &mut |v| emit(&v));
+    }
+}
+
 impl Protocol for DeterministicCount {
     type Site = DetCountSite;
     type Coord = DetCountCoord;

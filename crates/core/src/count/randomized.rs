@@ -258,6 +258,25 @@ impl crate::window::EpochProtocol for RandomizedCount {
     }
 }
 
+/// Tree aggregation: each level re-runs §2.1's tracker over its own
+/// children with its share of the error budget (the ablation arm keeps
+/// its no-re-thinning behavior at every level); an aggregator replays
+/// its estimate's growth as anonymous elements.
+impl dtrack_sim::exec::topology::TreeProtocol for RandomizedCount {
+    type Cursor = crate::topology::ScalarCursor;
+
+    fn level_instance(&self, children: usize, eps_factor: f64) -> Self {
+        Self {
+            cfg: TrackingConfig::new(children, self.cfg.epsilon * eps_factor),
+            rethin: self.rethin,
+        }
+    }
+
+    fn restream(coord: &RandCountCoord, cursor: &mut Self::Cursor, emit: &mut dyn FnMut(&u64)) {
+        cursor.advance(coord.estimate(), &mut |v| emit(&v));
+    }
+}
+
 impl Protocol for RandomizedCount {
     type Site = RandCountSite;
     type Coord = RandCountCoord;

@@ -67,7 +67,7 @@ impl DeterministicFrequency {
 }
 
 /// Site state: Misra–Gries counters plus last-reported values.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DetFreqSite {
     cfg: TrackingConfig,
     coarse: CoarseSite,
@@ -240,6 +240,22 @@ impl crate::window::EpochProtocol for DeterministicFrequency {
 
     fn merge(a: Self::Digest, b: &Self::Digest) -> Self::Digest {
         a.merged(b)
+    }
+}
+
+/// Tree aggregation: each level re-runs the Misra–Gries tracker with
+/// its share of the error budget; an aggregator replays each tracked
+/// item's estimate growth as copies of that item.
+impl dtrack_sim::exec::topology::TreeProtocol for DeterministicFrequency {
+    type Cursor = crate::topology::ItemCursor;
+
+    fn level_instance(&self, children: usize, eps_factor: f64) -> Self {
+        Self::new(TrackingConfig::new(children, self.cfg.epsilon * eps_factor))
+    }
+
+    fn restream(coord: &DetFreqCoord, cursor: &mut Self::Cursor, emit: &mut dyn FnMut(&u64)) {
+        let digest = <Self as crate::window::EpochProtocol>::digest(coord);
+        cursor.advance(&digest, &mut |item| emit(&item));
     }
 }
 

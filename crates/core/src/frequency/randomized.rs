@@ -90,7 +90,7 @@ impl RandomizedFrequency {
 }
 
 /// Site state for [`RandomizedFrequency`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RandFreqSite {
     cfg: TrackingConfig,
     coarse: CoarseSite,
@@ -403,6 +403,24 @@ impl crate::window::EpochProtocol for RandomizedFrequency {
 
     fn merge(a: Self::Digest, b: &Self::Digest) -> Self::Digest {
         a.merged(b)
+    }
+}
+
+/// Tree aggregation: each level re-runs §3.1's tracker over its own
+/// children with its share of the error budget; an aggregator replays
+/// each tracked item's estimate growth as copies of that item.
+/// Corrections-only items (estimate ≤ 0) are never replayed — see
+/// `crate::topology::ItemCursor`.
+impl dtrack_sim::exec::topology::TreeProtocol for RandomizedFrequency {
+    type Cursor = crate::topology::ItemCursor;
+
+    fn level_instance(&self, children: usize, eps_factor: f64) -> Self {
+        Self::new(TrackingConfig::new(children, self.cfg.epsilon * eps_factor))
+    }
+
+    fn restream(coord: &RandFreqCoord, cursor: &mut Self::Cursor, emit: &mut dyn FnMut(&u64)) {
+        let digest = <Self as crate::window::EpochProtocol>::digest(coord);
+        cursor.advance(&digest, &mut |item| emit(&item));
     }
 }
 

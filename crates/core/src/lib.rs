@@ -56,6 +56,7 @@ pub mod frequency;
 pub mod rank;
 pub mod reduction;
 pub mod sampling;
+pub mod topology;
 pub mod window;
 
 pub use config::TrackingConfig;

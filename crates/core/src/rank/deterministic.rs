@@ -70,7 +70,7 @@ impl DeterministicRank {
 }
 
 /// Site state: per-round GK summary plus the reporting threshold.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DetRankSite {
     cfg: TrackingConfig,
     coarse: CoarseSite,
@@ -253,6 +253,24 @@ impl crate::window::EpochProtocol for DeterministicRank {
 
     fn merge(a: Self::Digest, b: &Self::Digest) -> Self::Digest {
         a.merged(b)
+    }
+}
+
+/// Tree aggregation: each level re-runs the GK-based deterministic tracker with its
+/// share of the error budget; an aggregator replays its digest's CDF
+/// growth as value copies (CDF-matching greedy — see
+/// `crate::topology::CdfCursor`; repeated values are fine, the
+/// receiving summaries handle duplicates by design).
+impl dtrack_sim::exec::topology::TreeProtocol for DeterministicRank {
+    type Cursor = crate::topology::CdfCursor;
+
+    fn level_instance(&self, children: usize, eps_factor: f64) -> Self {
+        Self::new(TrackingConfig::new(children, self.cfg.epsilon * eps_factor))
+    }
+
+    fn restream(coord: &DetRankCoord, cursor: &mut Self::Cursor, emit: &mut dyn FnMut(&u64)) {
+        let digest = <Self as crate::window::EpochProtocol>::digest(coord);
+        cursor.advance(&digest, &mut |v| emit(&v));
     }
 }
 

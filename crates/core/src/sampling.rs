@@ -68,7 +68,7 @@ impl ContinuousSampling {
 }
 
 /// Site state: just the current level and a PRNG — `O(1)` space.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SamplingSite {
     level: u32,
     rng: SmallRng,

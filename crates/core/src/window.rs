@@ -401,6 +401,13 @@ impl WeightedValues {
     pub fn is_empty(&self) -> bool {
         self.0.is_empty()
     }
+
+    /// The stored `(value, weight)` points, sorted by value — the raw
+    /// CDF support, used by the topology layer's CDF-matching replay
+    /// (`crate::topology::CdfCursor`).
+    pub fn points(&self) -> &[(u64, f64)] {
+        &self.0
+    }
 }
 
 impl RankDigest for WeightedValues {

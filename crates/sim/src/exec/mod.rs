@@ -85,9 +85,11 @@
 
 pub mod event;
 pub mod faults;
+pub mod topology;
 
 pub use event::{DeliveryPolicy, EventRuntime, LinkModel};
 pub use faults::{FaultPlan, FaultStats};
+pub use topology::{LevelLoad, Tree, TreeCoord, TreeProtocol, TreeSpec};
 
 use crate::protocol::{Protocol, Site, SiteId};
 use crate::runner::Runner;
@@ -498,6 +500,7 @@ impl std::str::FromStr for ExecMode {
 ///
 /// | suffix | meaning |
 /// |---|---|
+/// | `+tree:F` / `+tree:F:D` | aggregate through a fanout-`F` tree, `D` levels (see [`topology`]) |
 /// | `+window:W` | track the last `W ≥ 2` elements (`Windowed<P>`) |
 /// | `+loss:P` | each link transmission lost w.p. `P ∈ [0, 0.9]`, retransmitted |
 /// | `+dup:P` | each link message duplicated w.p. `P ∈ [0, 1]` |
@@ -505,15 +508,25 @@ impl std::str::FromStr for ExecMode {
 /// | `+straggle:S` | site 0's links take `S` extra ticks per hop |
 ///
 /// e.g. `lockstep`, `channel+window:65536`, `event:fixed:8+window:4096`,
-/// `event+loss:0.05+dup:0.05+churn`. Fault suffixes require an `event`
-/// mode (see [`ExecMode::build_faulty`]). When `window` is set, the run
-/// functions in `dtrack-bench` wrap the protocol in
-/// `dtrack_core::window::Windowed` and report sliding-window answers;
-/// when it is `None` they track the whole stream, exactly as before.
+/// `event+loss:0.05+dup:0.05+churn`, `lockstep+tree:16:2`. Fault
+/// suffixes require an `event` mode (see [`ExecMode::build_faulty`]).
+/// Like the window half, the tree half wraps the **protocol** (in
+/// [`topology::Tree`]) rather than the executor: callers that support
+/// tree scenarios read [`ExecConfig::tree`], wrap, and build via
+/// [`ExecMode::build`] — the `dtrack-bench` run functions do this.
+/// `+tree` does not (yet) combine with `+window`: the combination is
+/// rejected at parse time rather than measuring an unsupported stack
+/// (a windowed tree needs per-level epoch alignment, a documented
+/// deferral). When `window` is set, the run functions in `dtrack-bench`
+/// wrap the protocol in `dtrack_core::window::Windowed` and report
+/// sliding-window answers; when it is `None` they track the whole
+/// stream, exactly as before.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExecConfig {
     /// Which executor (and delivery policy) runs the protocol.
     pub mode: ExecMode,
+    /// Aggregation-tree shape; `None` = the paper's flat star.
+    pub tree: Option<TreeSpec>,
     /// Sliding-window size `W` in elements; `None` = whole stream.
     pub window: Option<u64>,
     /// Link faults to inject ([`FaultPlan::none`] = reliable links).
@@ -525,6 +538,7 @@ impl ExecConfig {
     pub const fn lockstep() -> Self {
         Self {
             mode: ExecMode::LockStep,
+            tree: None,
             window: None,
             faults: FaultPlan::none(),
         }
@@ -534,6 +548,7 @@ impl ExecConfig {
     pub const fn event(policy: DeliveryPolicy) -> Self {
         Self {
             mode: ExecMode::Event(policy),
+            tree: None,
             window: None,
             faults: FaultPlan::none(),
         }
@@ -543,6 +558,7 @@ impl ExecConfig {
     pub const fn channel() -> Self {
         Self {
             mode: ExecMode::Channel,
+            tree: None,
             window: None,
             faults: FaultPlan::none(),
         }
@@ -554,6 +570,12 @@ impl ExecConfig {
         self
     }
 
+    /// The same scenario aggregated through a [`topology::Tree`].
+    pub const fn with_tree(mut self, spec: TreeSpec) -> Self {
+        self.tree = Some(spec);
+        self
+    }
+
     /// The same scenario with link faults injected (event modes only —
     /// see [`ExecMode::build_faulty`]).
     pub const fn faulty(mut self, plan: FaultPlan) -> Self {
@@ -561,15 +583,17 @@ impl ExecConfig {
         self
     }
 
-    /// Build the selected executor for a **whole-stream** protocol run.
+    /// Build the selected executor for a **flat, whole-stream** protocol
+    /// run.
     ///
     /// # Panics
     ///
-    /// Panics if this is a windowed scenario: the window wraps the
-    /// protocol (`dtrack_core::window::Windowed`), not the executor, so
-    /// generic code cannot apply it here without changing the protocol
-    /// type. Wrap the protocol yourself and build via [`ExecMode::build`]
-    /// (or use the `dtrack-bench` run functions, which do exactly that).
+    /// Panics if this is a windowed or tree scenario: both halves wrap
+    /// the protocol (`dtrack_core::window::Windowed`,
+    /// [`topology::Tree`]), not the executor, so generic code cannot
+    /// apply them here without changing the protocol type. Wrap the
+    /// protocol yourself and build via [`ExecMode::build`] (or use the
+    /// `dtrack-bench` run functions, which do exactly that).
     pub fn build<P: Protocol>(self, protocol: &P, master_seed: u64) -> AnyExec<P>
     where
         P::Site: Send + 'static,
@@ -584,6 +608,12 @@ impl ExecConfig {
              protocol in dtrack_core::window::Windowed and build with \
              ExecMode::build_faulty (the dtrack-bench run functions do this)"
         );
+        assert!(
+            self.tree.is_none(),
+            "ExecConfig::build cannot apply a tree:F scenario — wrap the \
+             protocol in dtrack_sim::exec::topology::Tree and build with \
+             ExecMode::build_faulty (the dtrack-bench run functions do this)"
+        );
         self.mode.build_faulty(self.faults, protocol, master_seed)
     }
 }
@@ -592,6 +622,7 @@ impl From<ExecMode> for ExecConfig {
     fn from(mode: ExecMode) -> Self {
         Self {
             mode,
+            tree: None,
             window: None,
             faults: FaultPlan::none(),
         }
@@ -600,10 +631,14 @@ impl From<ExecMode> for ExecConfig {
 
 impl std::fmt::Display for ExecConfig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        // Canonical suffix order: window, then the plan's own canonical
-        // loss/dup/churn/straggle order. Parsing accepts any order but
-        // re-renders like this, so Display∘FromStr is a fixpoint.
+        // Canonical suffix order: tree, window, then the plan's own
+        // canonical loss/dup/churn/straggle order. Parsing accepts any
+        // order but re-renders like this, so Display∘FromStr is a
+        // fixpoint.
         write!(f, "{}", self.mode)?;
+        if let Some(t) = self.tree {
+            write!(f, "+tree:{t}")?;
+        }
         if let Some(w) = self.window {
             write!(f, "+window:{w}")?;
         }
@@ -617,6 +652,7 @@ impl std::str::FromStr for ExecConfig {
     fn from_str(s: &str) -> Result<Self, String> {
         let mut parts = s.split('+');
         let mode: ExecMode = parts.next().unwrap_or("").parse()?;
+        let mut tree = None;
         let mut window = None;
         let mut faults = FaultPlan::none();
         let mut seen: Vec<&str> = Vec::new();
@@ -641,6 +677,27 @@ impl std::str::FromStr for ExecConfig {
                     .map_err(|_| format!("scenario {s:?}: {v:?} is not a number in +{name}"))
             };
             match name {
+                "tree" => {
+                    // +tree:F or +tree:F:D (fanout, optional depth).
+                    let v = need("F[:D]")?;
+                    let (fan, depth) = match v.split_once(':') {
+                        Some((fan, d)) => (fan, Some(d)),
+                        None => (v, None),
+                    };
+                    let fanout = fan.parse::<usize>().map_err(|_| {
+                        format!("scenario {s:?}: tree fanout {fan:?} is not an integer")
+                    })?;
+                    let mut spec = TreeSpec::new(fanout);
+                    if let Some(d) = depth {
+                        let d = d.parse::<usize>().map_err(|_| {
+                            format!("scenario {s:?}: tree depth {d:?} is not an integer")
+                        })?;
+                        spec = spec.with_depth(d);
+                    }
+                    spec.validate()
+                        .map_err(|e| format!("scenario {s:?}: {e}"))?;
+                    tree = Some(spec);
+                }
                 "window" => {
                     let w = need("W")?
                         .parse::<u64>()
@@ -665,8 +722,8 @@ impl std::str::FromStr for ExecConfig {
                 }
                 _ => {
                     return Err(format!(
-                        "scenario {s:?}: unknown suffix +{name} (expected window:W | \
-                         loss:P | dup:P | churn[:R] | straggle:S)"
+                        "scenario {s:?}: unknown suffix +{name} (expected tree:F[:D] | \
+                         window:W | loss:P | dup:P | churn[:R] | straggle:S)"
                     ));
                 }
             }
@@ -680,8 +737,16 @@ impl std::str::FromStr for ExecConfig {
                  the event executor, e.g. event:fixed:8{faults}"
             ));
         }
+        if tree.is_some() && window.is_some() {
+            return Err(format!(
+                "scenario {s:?}: +tree does not combine with +window yet — a \
+                 windowed tree needs per-level epoch alignment (documented \
+                 deferral; run the halves separately)"
+            ));
+        }
         Ok(Self {
             mode,
+            tree,
             window,
             faults,
         })
@@ -884,6 +949,35 @@ mod tests {
     }
 
     #[test]
+    fn scenario_parses_tree_suffix() {
+        let cases: Vec<(&str, ExecConfig)> = vec![
+            (
+                "lockstep+tree:4",
+                ExecConfig::lockstep().with_tree(TreeSpec::new(4)),
+            ),
+            (
+                "lockstep+tree:16:2",
+                ExecConfig::lockstep().with_tree(TreeSpec::new(16).with_depth(2)),
+            ),
+            (
+                "channel+tree:8",
+                ExecConfig::channel().with_tree(TreeSpec::new(8)),
+            ),
+            // Trees compose with event policies and faults (which act on
+            // the leaf links).
+            (
+                "event:fixed:8+tree:4:3+loss:0.05",
+                ExecConfig::event(DeliveryPolicy::FixedLatency(8))
+                    .with_tree(TreeSpec::new(4).with_depth(3))
+                    .faulty(FaultPlan::none().with_loss(0.05)),
+            ),
+        ];
+        for (spec, want) in cases {
+            assert_eq!(spec.parse::<ExecConfig>().unwrap(), want, "{spec}");
+        }
+    }
+
+    #[test]
     fn malformed_specs_are_rejected() {
         for bad in [
             "",
@@ -918,10 +1012,22 @@ mod tests {
             "event+churn:0.6",
             "event+straggle",
             "event+straggle:1.5",
+            // tree suffixes: missing/garbage/out-of-range values
+            "lockstep+tree",
+            "lockstep+tree:",
+            "lockstep+tree:x",
+            "lockstep+tree:1",
+            "lockstep+tree:0:2",
+            "lockstep+tree:4:0",
+            "lockstep+tree:4:2:9",
+            // tree + window is a documented deferral, not a silent stack
+            "lockstep+tree:4+window:4096",
+            "event+window:4096+tree:4",
             // duplicate suffixes
             "event+loss:0.1+loss:0.2",
             "event+window:16+window:16",
             "event+churn+churn:0.2",
+            "lockstep+tree:4+tree:8",
             // active faults require the event executor
             "lockstep+loss:0.1",
             "channel+dup:0.1",
@@ -942,6 +1048,12 @@ mod tests {
         );
         assert!(err("event+bogus:1").contains("unknown suffix +bogus"));
         assert!(err("event+loss:0.1+loss:0.2").contains("duplicate +loss"));
+        assert!(err("lockstep+tree:1").contains("fanout"));
+        assert!(
+            err("lockstep+tree:4+window:4096").contains("does not combine"),
+            "{}",
+            err("lockstep+tree:4+window:4096")
+        );
         assert!(
             err("lockstep+loss:0.1").contains("require"),
             "{}",
@@ -968,6 +1080,9 @@ mod tests {
             "event+straggle:64",
             "event:fixed:8+window:4096+loss:0.05+dup:0.05+churn:0.1+straggle:16",
             "event:reorder:8+loss:0.3",
+            "lockstep+tree:4",
+            "channel+tree:16:2",
+            "event:fixed:8+tree:4:3+loss:0.05",
         ] {
             let cfg: ExecConfig = spec.parse().unwrap();
             assert_eq!(cfg.to_string().parse::<ExecConfig>().unwrap(), cfg);
@@ -976,6 +1091,7 @@ mod tests {
         for canonical in [
             "event:instant+window:4096+loss:0.05+dup:0.05+churn:0.1+straggle:16",
             "event:fixed:8+loss:0.3",
+            "lockstep+tree:16:2",
         ] {
             let cfg: ExecConfig = canonical.parse().unwrap();
             assert_eq!(cfg.to_string(), canonical);
@@ -986,6 +1102,8 @@ mod tests {
             cfg.to_string(),
             "event:instant+window:4096+loss:0.05+straggle:16"
         );
+        let cfg: ExecConfig = "event+loss:0.05+tree:4".parse().unwrap();
+        assert_eq!(cfg.to_string(), "event:instant+tree:4+loss:0.05");
     }
 
     #[test]
@@ -1022,5 +1140,43 @@ mod tests {
             }
         }
         let _ = ExecConfig::lockstep().windowed(16).build(&Nop, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tree:F")]
+    fn tree_build_panics_instead_of_ignoring_the_tree() {
+        use crate::net::{Net, Outbox};
+        use crate::protocol::Coordinator;
+        struct NopSite;
+        impl Site for NopSite {
+            type Item = u64;
+            type Up = u64;
+            type Down = u64;
+            fn on_item(&mut self, _: &u64, _: &mut Outbox<u64>) {}
+            fn on_message(&mut self, _: &u64, _: &mut Outbox<u64>) {}
+            fn space_words(&self) -> u64 {
+                1
+            }
+        }
+        struct NopCoord;
+        impl Coordinator for NopCoord {
+            type Up = u64;
+            type Down = u64;
+            fn on_message(&mut self, _: SiteId, _: &u64, _: &mut Net<u64>) {}
+        }
+        struct Nop;
+        impl Protocol for Nop {
+            type Site = NopSite;
+            type Coord = NopCoord;
+            fn k(&self) -> usize {
+                1
+            }
+            fn build(&self, _: u64) -> (Vec<NopSite>, NopCoord) {
+                (vec![NopSite], NopCoord)
+            }
+        }
+        let _ = ExecConfig::lockstep()
+            .with_tree(TreeSpec::new(4))
+            .build(&Nop, 0);
     }
 }

@@ -66,6 +66,7 @@ pub mod stats;
 
 pub use exec::{
     AnyExec, DeliveryPolicy, EventRuntime, ExecConfig, ExecMode, Executor, FaultPlan, FaultStats,
+    LevelLoad, Tree, TreeCoord, TreeProtocol, TreeSpec,
 };
 pub use message::Words;
 pub use net::{Dest, Net, Outbox};

@@ -9,7 +9,7 @@ use dtrack::core::rank::{DeterministicRank, RandomizedRank};
 use dtrack::core::sampling::ContinuousSampling;
 use dtrack::core::TrackingConfig;
 use dtrack::sim::exec::EventRuntime;
-use dtrack::sim::{ExecConfig, Executor, FaultPlan, Protocol, Runner, Site};
+use dtrack::sim::{ExecConfig, Executor, FaultPlan, Protocol, Runner, Site, Tree, TreeSpec};
 use proptest::prelude::*;
 
 /// Snapshot-equivalence harness for the live-query layer (the staleness
@@ -367,6 +367,76 @@ proptest! {
                     c.estimate_rank(u64::MAX / 2),
                 ]
             },
+        );
+    }
+
+    /// A depth-1 `+tree` is the flat star, bit for bit, on ANY
+    /// interleaving and seed — same estimate bits, same message and
+    /// word accounting (the `Tree` layer forwards verbatim until it has
+    /// levels to add).
+    #[test]
+    fn depth1_tree_equals_flat_on_any_interleaving(
+        sites in proptest::collection::vec(0usize..6, 1..400),
+        seed in 0u64..1000,
+        fanout in 2usize..9,
+    ) {
+        let cfg = TrackingConfig::new(6, 0.2);
+        let proto = RandomizedCount::new(cfg);
+        let tree = Tree::new(proto, TreeSpec::new(fanout).with_depth(1));
+        let mut rf = Runner::new(&proto, seed);
+        let mut rt = Runner::new(&tree, seed);
+        for (t, &s) in sites.iter().enumerate() {
+            rf.feed(s, &(t as u64));
+            rt.feed(s, &(t as u64));
+            prop_assert_eq!(
+                rf.coord().estimate().to_bits(),
+                rt.coord().root().estimate().to_bits(),
+                "depth-1 root diverged from flat at t = {}", t
+            );
+        }
+        prop_assert_eq!(rf.stats(), rt.stats());
+    }
+
+    /// The split-ε bound, as a property: a depth-2 deterministic-count
+    /// tree over ANY interleaving keeps `n̂ ≤ n` (replay floors only
+    /// under-replay) and `n ≤ (1+ε/2)²·n̂ + A·(1+ε/2)²` where `A` counts
+    /// the aggregators — each level contributes its `(1+ε/2)` factor
+    /// and each aggregator loses < 1 element to its replay floor. The
+    /// tree answer therefore stays within the combined budget of the
+    /// flat star's answer (both live in `[floor, n]`, so their gap is
+    /// bounded by the larger deficit).
+    #[test]
+    fn depth2_tree_count_stays_within_the_split_eps_bound(
+        sites in proptest::collection::vec(0usize..6, 1..800),
+        eps in 0.05f64..0.5,
+        seed in 0u64..500,
+    ) {
+        let cfg = TrackingConfig::new(6, eps);
+        let proto = DeterministicCount::new(cfg);
+        let tree = Tree::new(proto, TreeSpec::new(3).with_depth(2));
+        let mut rf = Runner::new(&proto, seed);
+        let mut rt = Runner::new(&tree, seed);
+        for (t, &s) in sites.iter().enumerate() {
+            rf.feed(s, &(t as u64));
+            rt.feed(s, &(t as u64));
+        }
+        let n = sites.len() as f64;
+        let aggs = rt.coord().aggregators() as f64;
+        let per2 = (1.0 + eps / 2.0).powi(2);
+        let est = rt.coord().root().estimate();
+        prop_assert!(est <= n + 1e-9, "tree n̂ {} > n {}", est, n);
+        prop_assert!(
+            n <= est * per2 + aggs * per2 + 1e-9,
+            "n {} > (1+ε/2)²·n̂ + A·(1+ε/2)²  (n̂ = {}, A = {})", n, est, aggs
+        );
+        // Tree-vs-flat gap: flat ≥ n/(1+ε), tree ≥ n/(1+ε/2)² − A, and
+        // both ≤ n, so the gap is at most the larger deficit from n.
+        let flat = rf.coord().estimate();
+        let floor = (n / (1.0 + eps)).min(n / per2 - aggs);
+        prop_assert!(
+            (est - flat).abs() <= n - floor + 1e-9,
+            "tree {} vs flat {} further apart than the split-ε budget {}",
+            est, flat, n - floor
         );
     }
 }
