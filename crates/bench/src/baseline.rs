@@ -359,6 +359,111 @@ pub fn measure_topology_cells(p: Params) -> Vec<Cell> {
     cells
 }
 
+/// Measure the wire-codec panel: the same nine protocol scenarios as
+/// [`measure_cells`]'s exact word cells, but recording total **codec
+/// bytes** (`CommSpace::bytes` — every message's measured size under
+/// `dtrack_sim::wire`) in the cell's `words` slot, under ids prefixed
+/// `bytes/`.
+///
+/// The cells are **advisory** (`exact: false`) by design: the byte
+/// totals are deterministic on the lock-step executor, but the codec is
+/// an encoding choice, not protocol behavior — varint width tuning or a
+/// tag reshuffle must not demand the hard-gate ritual reserved for word
+/// (≡ algorithm) changes. The words cells stay the proof obligation;
+/// these watch the bytes-per-word ratio against the recorded range.
+pub fn measure_wire_cells(p: Params) -> Vec<Cell> {
+    let exec = ExecConfig::lockstep();
+    let (n, k, eps) = (p.n, p.k, p.eps);
+    type ByteFn<'a> = (&'a str, Box<dyn Fn(u64) -> u64>);
+    let cells: Vec<ByteFn> = vec![
+        (
+            "bytes/count/deterministic",
+            Box::new(move |s| {
+                count_run(exec, CountAlgo::Deterministic, k, eps, n, s)
+                    .0
+                    .bytes
+            }),
+        ),
+        (
+            "bytes/count/randomized",
+            Box::new(move |s| count_run(exec, CountAlgo::Randomized, k, eps, n, s).0.bytes),
+        ),
+        (
+            "bytes/count/sampling",
+            Box::new(move |s| count_run(exec, CountAlgo::Sampling, k, eps, n, s).0.bytes),
+        ),
+        (
+            "bytes/frequency/deterministic",
+            Box::new(move |s| {
+                frequency_run(exec, FreqAlgo::Deterministic, k, eps, n, s)
+                    .0
+                    .bytes
+            }),
+        ),
+        (
+            "bytes/frequency/randomized",
+            Box::new(move |s| {
+                frequency_run(exec, FreqAlgo::Randomized, k, eps, n, s)
+                    .0
+                    .bytes
+            }),
+        ),
+        (
+            "bytes/rank/deterministic",
+            Box::new(move |s| {
+                rank_run(exec, RankAlgo::Deterministic, k, eps, n, s)
+                    .0
+                    .bytes
+            }),
+        ),
+        (
+            "bytes/rank/randomized",
+            Box::new(move |s| rank_run(exec, RankAlgo::Randomized, k, eps, n, s).0.bytes),
+        ),
+        (
+            "bytes/count/windowed",
+            Box::new(move |s| {
+                count_run(exec.windowed(n / 4), CountAlgo::Randomized, k, eps, n, s)
+                    .0
+                    .bytes
+            }),
+        ),
+        (
+            "bytes/frequency/windowed",
+            Box::new(move |s| {
+                frequency_run(exec.windowed(n / 4), FreqAlgo::Randomized, k, eps, n, s)
+                    .0
+                    .bytes
+            }),
+        ),
+    ];
+    cells
+        .into_iter()
+        .map(|(id, f)| {
+            let mut bytes = Vec::new();
+            let mut millis = Vec::new();
+            for seed in 0..p.seeds {
+                let t0 = Instant::now();
+                bytes.push(f(seed));
+                millis.push(t0.elapsed().as_secs_f64() * 1e3);
+            }
+            let (lo, hi) = (
+                *bytes.iter().min().expect("≥1 seed"),
+                *bytes.iter().max().expect("≥1 seed"),
+            );
+            Cell {
+                id: id.to_string(),
+                words: med_u64(bytes),
+                millis: med_f64(millis),
+                exact: false,
+                words_min: lo,
+                words_max: hi,
+                elems_per_sec: None,
+            }
+        })
+        .collect()
+}
+
 /// Elements fed per throughput cell when the `perf_baseline` binary
 /// measures ingest rates. Large enough that ring wraparound, credit
 /// stalls, and park/unpark cycles all happen thousands of times; small

@@ -23,7 +23,11 @@
 //! panel (`queries/*` cells: reader threads answering count queries
 //! from lock-free snapshots while ingest runs) and the
 //! hierarchical-topology panel (`topology/*` cells: flat-star vs
-//! binary-tree root-load words per level, advisory). Their rates
+//! binary-tree root-load words per level, advisory) and the wire-format
+//! panel (`bytes/*` cells: total codec bytes per protocol, advisory —
+//! byte totals are deterministic on lock-step but the codec is an
+//! encoding choice, not protocol behavior, so tuning it must not trip
+//! the hard word gate). Their rates
 //! (elements/second resp. queries/second) are machine-dependent like
 //! wall time, so `--bootstrap` refreshes them and `--check` compares
 //! them advisorily — a rate collapse past the timing factor prints, but
@@ -36,7 +40,8 @@
 
 use dtrack_bench::baseline::{
     bootstrap, compare, measure_cells, measure_query_cells, measure_throughput_cells,
-    measure_topology_cells, parse_json, to_json, Params, QUERY_STORM_ELEMS, THROUGHPUT_ELEMS,
+    measure_topology_cells, measure_wire_cells, parse_json, to_json, Params, QUERY_STORM_ELEMS,
+    THROUGHPUT_ELEMS,
 };
 use dtrack_bench::cli::banner;
 
@@ -72,6 +77,7 @@ fn main() {
     cells.extend(measure_throughput_cells(params, THROUGHPUT_ELEMS));
     cells.extend(measure_query_cells(params, QUERY_STORM_ELEMS));
     cells.extend(measure_topology_cells(params));
+    cells.extend(measure_wire_cells(params));
     for c in &cells {
         let range = if c.exact {
             String::new()

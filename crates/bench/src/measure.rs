@@ -38,6 +38,12 @@ pub struct CommSpace {
     pub msgs: u64,
     /// Total words, both directions.
     pub words: u64,
+    /// Total wire-codec bytes, both directions (the measured size of
+    /// every message under `dtrack_sim::wire` — see
+    /// [`dtrack_sim::Words::wire_bytes`]). For `+tree` scenarios this
+    /// covers the site ↔ coordinator boundary only; internal aggregator
+    /// boundaries are accounted in words.
+    pub bytes: u64,
     /// Broadcast events.
     pub broadcasts: u64,
     /// Peak resident words over all sites.
@@ -52,6 +58,7 @@ impl CommSpace {
         Self {
             msgs: stats.total_msgs(),
             words: stats.total_words(),
+            bytes: stats.total_bytes(),
             broadcasts: stats.broadcast_events,
             max_space: ex.space().max_peak(),
         }
@@ -925,6 +932,12 @@ mod tests {
                 let (cs, err) = count_run(exec, algo, 4, 0.2, 20_000, 1);
                 assert!(cs.msgs > 0);
                 assert!(cs.words >= cs.msgs);
+                // The wire codec never does worse than a tag byte plus a
+                // maximal 10-byte varint per word.
+                assert!(
+                    cs.bytes > 0 && cs.bytes <= 11 * cs.words,
+                    "{exec:?} {algo:?}"
+                );
                 assert!(err < 0.5, "{exec:?} {algo:?} err {err}");
             }
         }

@@ -6,7 +6,8 @@
 //! algorithms even with two-way communication [29], which is exactly what
 //! the randomized protocol beats by `√k`.
 
-use dtrack_sim::{Coordinator, Net, Outbox, Protocol, Site, SiteId, Words};
+use dtrack_sim::wire::{WireError, WireReader, WireWriter};
+use dtrack_sim::{Coordinator, Decode, Encode, Net, Outbox, Protocol, Site, SiteId, Words};
 
 use crate::config::TrackingConfig;
 
@@ -17,6 +18,22 @@ pub struct DetCountUp(pub u64);
 impl Words for DetCountUp {
     fn words(&self) -> u64 {
         1
+    }
+
+    fn wire_bytes(&self) -> u64 {
+        dtrack_sim::wire::measured(self)
+    }
+}
+
+impl Encode for DetCountUp {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_varint(self.0);
+    }
+}
+
+impl Decode for DetCountUp {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(DetCountUp(r.varint()?))
     }
 }
 

@@ -9,5 +9,5 @@
 mod deterministic;
 mod randomized;
 
-pub use deterministic::{DetCountCoord, DetCountSite, DeterministicCount};
+pub use deterministic::{DetCountCoord, DetCountSite, DetCountUp, DeterministicCount};
 pub use randomized::{CountDown, CountUp, RandCountCoord, RandCountSite, RandomizedCount};

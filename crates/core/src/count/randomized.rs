@@ -14,7 +14,8 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 
 use dtrack_sim::rng::{flip, rng_from_seed, site_seed, GeometricSkips};
-use dtrack_sim::{Coordinator, Net, Outbox, Protocol, Site, SiteId, Words};
+use dtrack_sim::wire::{WireError, WireReader, WireWriter};
+use dtrack_sim::{Coordinator, Decode, Encode, Net, Outbox, Protocol, Site, SiteId, Words};
 
 use crate::coarse::{CoarseCoord, CoarseSite};
 use crate::config::TrackingConfig;
@@ -34,6 +35,40 @@ impl Words for CountUp {
     fn words(&self) -> u64 {
         1
     }
+
+    fn wire_bytes(&self) -> u64 {
+        dtrack_sim::wire::measured(self)
+    }
+}
+
+impl Encode for CountUp {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            CountUp::Coarse(n) => {
+                w.put_u8(0);
+                w.put_varint(*n);
+            }
+            CountUp::Report(n) => {
+                w.put_u8(1);
+                w.put_varint(*n);
+            }
+            CountUp::Adjusted(n) => {
+                w.put_u8(2);
+                w.put_varint(*n);
+            }
+        }
+    }
+}
+
+impl Decode for CountUp {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(CountUp::Coarse(r.varint()?)),
+            1 => Ok(CountUp::Report(r.varint()?)),
+            2 => Ok(CountUp::Adjusted(r.varint()?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
 }
 
 /// Coordinator → site messages.
@@ -49,6 +84,23 @@ pub enum CountDown {
 impl Words for CountDown {
     fn words(&self) -> u64 {
         1
+    }
+
+    fn wire_bytes(&self) -> u64 {
+        dtrack_sim::wire::measured(self)
+    }
+}
+
+impl Encode for CountDown {
+    fn encode(&self, w: &mut WireWriter) {
+        let CountDown::NewRound { n_bar } = self;
+        w.put_varint(*n_bar);
+    }
+}
+
+impl Decode for CountDown {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(CountDown::NewRound { n_bar: r.varint()? })
     }
 }
 

@@ -13,7 +13,8 @@
 //! that Theorem 3.1's randomized protocol beats by `√k`. Space is the
 //! optimal `O(1/ε)` per site.
 
-use dtrack_sim::{Coordinator, Net, Outbox, Protocol, Site, SiteId, Words};
+use dtrack_sim::wire::{WireError, WireReader, WireWriter};
+use dtrack_sim::{Coordinator, Decode, Encode, Net, Outbox, Protocol, Site, SiteId, Words};
 use dtrack_sketch::hash::FastMap;
 
 use crate::coarse::{CoarseCoord, CoarseSite};
@@ -35,6 +36,36 @@ impl Words for DetFreqUp {
             DetFreqUp::Counter(_, _) => 2,
         }
     }
+
+    fn wire_bytes(&self) -> u64 {
+        dtrack_sim::wire::measured(self)
+    }
+}
+
+impl Encode for DetFreqUp {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            DetFreqUp::Coarse(n) => {
+                w.put_u8(0);
+                w.put_varint(*n);
+            }
+            DetFreqUp::Counter(item, value) => {
+                w.put_u8(1);
+                w.put_varint(*item);
+                w.put_varint(*value);
+            }
+        }
+    }
+}
+
+impl Decode for DetFreqUp {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(DetFreqUp::Coarse(r.varint()?)),
+            1 => Ok(DetFreqUp::Counter(r.varint()?, r.varint()?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
 }
 
 /// Coordinator → site messages.
@@ -50,6 +81,23 @@ pub enum DetFreqDown {
 impl Words for DetFreqDown {
     fn words(&self) -> u64 {
         1
+    }
+
+    fn wire_bytes(&self) -> u64 {
+        dtrack_sim::wire::measured(self)
+    }
+}
+
+impl Encode for DetFreqDown {
+    fn encode(&self, w: &mut WireWriter) {
+        let DetFreqDown::NewRound { n_bar } = self;
+        w.put_varint(*n_bar);
+    }
+}
+
+impl Decode for DetFreqDown {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(DetFreqDown::NewRound { n_bar: r.varint()? })
     }
 }
 

@@ -16,7 +16,9 @@ mod deterministic;
 mod randomized;
 pub mod topk;
 
-pub use deterministic::{DetFreqCoord, DetFreqSite, DeterministicFrequency};
+pub use deterministic::{
+    DetFreqCoord, DetFreqDown, DetFreqSite, DetFreqUp, DeterministicFrequency,
+};
 pub use randomized::{
     FreqDown, FreqUp, RandFreqCoord, RandFreqSite, RandomizedFrequency, UncorrectedFrequency,
 };

@@ -21,7 +21,8 @@
 use rand::rngs::SmallRng;
 
 use dtrack_sim::rng::{flip, rng_from_seed, site_seed};
-use dtrack_sim::{Coordinator, Net, Outbox, Protocol, Site, SiteId, Words};
+use dtrack_sim::wire::{WireError, WireReader, WireWriter};
+use dtrack_sim::{Coordinator, Decode, Encode, Net, Outbox, Protocol, Site, SiteId, Words};
 use dtrack_sketch::hash::FastMap;
 use dtrack_sketch::sticky::{StickyCounters, StickyEvent};
 
@@ -58,6 +59,53 @@ impl Words for FreqUp {
             _ => 1,
         }
     }
+
+    fn wire_bytes(&self) -> u64 {
+        dtrack_sim::wire::measured(self)
+    }
+}
+
+impl Encode for FreqUp {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            FreqUp::Coarse(n) => {
+                w.put_u8(0);
+                w.put_varint(*n);
+            }
+            FreqUp::CounterNew(item) => {
+                w.put_u8(1);
+                w.put_varint(*item);
+            }
+            FreqUp::CounterUpdate(item, value) => {
+                w.put_u8(2);
+                w.put_varint(*item);
+                w.put_varint(*value);
+            }
+            FreqUp::Sample(item) => {
+                w.put_u8(3);
+                w.put_varint(*item);
+            }
+            FreqUp::VirtualSplit => w.put_u8(4),
+            FreqUp::RoundAck(n_bar) => {
+                w.put_u8(5);
+                w.put_varint(*n_bar);
+            }
+        }
+    }
+}
+
+impl Decode for FreqUp {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(FreqUp::Coarse(r.varint()?)),
+            1 => Ok(FreqUp::CounterNew(r.varint()?)),
+            2 => Ok(FreqUp::CounterUpdate(r.varint()?, r.varint()?)),
+            3 => Ok(FreqUp::Sample(r.varint()?)),
+            4 => Ok(FreqUp::VirtualSplit),
+            5 => Ok(FreqUp::RoundAck(r.varint()?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
 }
 
 /// Coordinator → site messages.
@@ -73,6 +121,23 @@ pub enum FreqDown {
 impl Words for FreqDown {
     fn words(&self) -> u64 {
         1
+    }
+
+    fn wire_bytes(&self) -> u64 {
+        dtrack_sim::wire::measured(self)
+    }
+}
+
+impl Encode for FreqDown {
+    fn encode(&self, w: &mut WireWriter) {
+        let FreqDown::NewRound { n_bar } = self;
+        w.put_varint(*n_bar);
+    }
+}
+
+impl Decode for FreqDown {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(FreqDown::NewRound { n_bar: r.varint()? })
     }
 }
 

@@ -9,7 +9,8 @@
 //! the paper attributes to [6] ("O(k/ε²·logN) under certain inputs") and
 //! the natural deterministic comparator for Theorem 4.1's `√k/ε·logN`.
 
-use dtrack_sim::{Coordinator, Net, Outbox, Protocol, Site, SiteId, Words};
+use dtrack_sim::wire::{WireError, WireReader, WireWriter};
+use dtrack_sim::{Coordinator, Decode, Encode, Net, Outbox, Protocol, Site, SiteId, Words};
 use dtrack_sketch::gk::{GkSummary, GkTuple};
 
 use crate::coarse::{CoarseCoord, CoarseSite};
@@ -38,6 +39,67 @@ impl Words for DetRankUp {
             DetRankUp::Summary { tuples, .. } => 2 + 3 * tuples.len() as u64,
         }
     }
+
+    fn wire_bytes(&self) -> u64 {
+        dtrack_sim::wire::measured(self)
+    }
+}
+
+// GK tuples are encoded columnar: the tuple values `v` form a sorted
+// run (a GK summary invariant), so they delta-compress; `g` and `delta`
+// are small by construction (≤ 2εn_local) and follow as plain varints.
+// `GkTuple` lives in `dtrack-sketch`, which does not depend on
+// `dtrack-sim`, so the fields are serialized inline here rather than
+// via an `Encode` impl on the sketch type.
+impl Encode for DetRankUp {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            DetRankUp::Coarse(n) => {
+                w.put_u8(0);
+                w.put_varint(*n);
+            }
+            DetRankUp::Summary {
+                round,
+                n_local,
+                tuples,
+            } => {
+                w.put_u8(1);
+                w.put_varint(u64::from(*round));
+                w.put_varint(*n_local);
+                let values: Vec<u64> = tuples.iter().map(|t| t.v).collect();
+                w.put_delta_run(&values);
+                for t in tuples {
+                    w.put_varint(t.g);
+                    w.put_varint(t.delta);
+                }
+            }
+        }
+    }
+}
+
+impl Decode for DetRankUp {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(DetRankUp::Coarse(r.varint()?)),
+            1 => {
+                let round = r.varint_u32()?;
+                let n_local = r.varint()?;
+                let values = r.delta_run()?;
+                let mut tuples = Vec::with_capacity(values.len());
+                for v in values {
+                    let g = r.varint()?;
+                    let delta = r.varint()?;
+                    tuples.push(GkTuple { v, g, delta });
+                }
+                Ok(DetRankUp::Summary {
+                    round,
+                    n_local,
+                    tuples,
+                })
+            }
+            t => Err(WireError::BadTag(t)),
+        }
+    }
 }
 
 /// Coordinator → site messages.
@@ -53,6 +115,25 @@ pub enum DetRankDown {
 impl Words for DetRankDown {
     fn words(&self) -> u64 {
         1
+    }
+
+    fn wire_bytes(&self) -> u64 {
+        dtrack_sim::wire::measured(self)
+    }
+}
+
+impl Encode for DetRankDown {
+    fn encode(&self, w: &mut WireWriter) {
+        let DetRankDown::NewRound { round } = self;
+        w.put_varint(u64::from(*round));
+    }
+}
+
+impl Decode for DetRankDown {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(DetRankDown::NewRound {
+            round: r.varint_u32()?,
+        })
     }
 }
 

@@ -14,5 +14,5 @@
 mod deterministic;
 mod randomized;
 
-pub use deterministic::{DetRankCoord, DetRankSite, DeterministicRank};
+pub use deterministic::{DetRankCoord, DetRankDown, DetRankSite, DetRankUp, DeterministicRank};
 pub use randomized::{RandRankCoord, RandRankSite, RandomizedRank, RankDown, RankUp};

@@ -25,7 +25,8 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 
 use dtrack_sim::rng::{flip, rng_from_seed, site_seed};
-use dtrack_sim::{Coordinator, Net, Outbox, Protocol, Site, SiteId, Words};
+use dtrack_sim::wire::{WireError, WireReader, WireWriter};
+use dtrack_sim::{Coordinator, Decode, Encode, Net, Outbox, Protocol, Site, SiteId, Words};
 use dtrack_sketch::hash::FastMap;
 use dtrack_sketch::kll::{KllSketch, KllSummary};
 
@@ -79,6 +80,87 @@ impl Words for RankUp {
             RankUp::Summary { summary, .. } => 2 + summary.words(),
         }
     }
+
+    fn wire_bytes(&self) -> u64 {
+        dtrack_sim::wire::measured(self)
+    }
+}
+
+// A `KllSummary` is serialized inline (it lives in `dtrack-sketch`,
+// which does not depend on `dtrack-sim`): varint `n`, varint level
+// count, then one delta run per level — each level's items are sorted
+// (a KLL invariant), so they gap-compress. The accounting mirrors
+// `KllSummary::words` = stored + levels + 1: one varint per stored
+// item/level-length/`n`.
+impl Encode for RankUp {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            RankUp::Coarse(n) => {
+                w.put_u8(0);
+                w.put_varint(*n);
+            }
+            RankUp::ChunkStart { chunk, n_bar } => {
+                w.put_u8(1);
+                w.put_varint(u64::from(*chunk));
+                w.put_varint(*n_bar);
+            }
+            RankUp::Sample { chunk, value } => {
+                w.put_u8(2);
+                w.put_varint(u64::from(*chunk));
+                w.put_varint(*value);
+            }
+            RankUp::Summary {
+                chunk,
+                level,
+                summary,
+            } => {
+                w.put_u8(3);
+                w.put_varint(u64::from(*chunk));
+                w.put_varint(u64::from(*level));
+                w.put_varint(summary.n);
+                w.put_varint(summary.levels.len() as u64);
+                for items in &summary.levels {
+                    w.put_delta_run(items);
+                }
+            }
+        }
+    }
+}
+
+impl Decode for RankUp {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(RankUp::Coarse(r.varint()?)),
+            1 => Ok(RankUp::ChunkStart {
+                chunk: r.varint_u32()?,
+                n_bar: r.varint()?,
+            }),
+            2 => Ok(RankUp::Sample {
+                chunk: r.varint_u32()?,
+                value: r.varint()?,
+            }),
+            3 => {
+                let chunk = r.varint_u32()?;
+                let level = r.varint_u32()?;
+                let n = r.varint()?;
+                let num_levels = r.varint()?;
+                // Each level costs ≥ 1 byte (its run length varint).
+                if num_levels > r.remaining() as u64 {
+                    return Err(WireError::Truncated);
+                }
+                let mut levels = Vec::with_capacity(num_levels as usize);
+                for _ in 0..num_levels {
+                    levels.push(r.delta_run()?);
+                }
+                Ok(RankUp::Summary {
+                    chunk,
+                    level,
+                    summary: KllSummary { levels, n },
+                })
+            }
+            t => Err(WireError::BadTag(t)),
+        }
+    }
 }
 
 /// Coordinator → site messages.
@@ -94,6 +176,23 @@ pub enum RankDown {
 impl Words for RankDown {
     fn words(&self) -> u64 {
         1
+    }
+
+    fn wire_bytes(&self) -> u64 {
+        dtrack_sim::wire::measured(self)
+    }
+}
+
+impl Encode for RankDown {
+    fn encode(&self, w: &mut WireWriter) {
+        let RankDown::NewRound { n_bar } = self;
+        w.put_varint(*n_bar);
+    }
+}
+
+impl Decode for RankDown {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(RankDown::NewRound { n_bar: r.varint()? })
     }
 }
 

@@ -17,7 +17,8 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 
 use dtrack_sim::rng::{rng_from_seed, site_seed};
-use dtrack_sim::{Coordinator, Net, Outbox, Protocol, Site, SiteId, Words};
+use dtrack_sim::wire::{WireError, WireReader, WireWriter};
+use dtrack_sim::{Coordinator, Decode, Encode, Net, Outbox, Protocol, Site, SiteId, Words};
 
 use crate::config::TrackingConfig;
 
@@ -37,6 +38,26 @@ impl Words for SampleUp {
     fn words(&self) -> u64 {
         2
     }
+
+    fn wire_bytes(&self) -> u64 {
+        dtrack_sim::wire::measured(self)
+    }
+}
+
+impl Encode for SampleUp {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_varint(self.item);
+        w.put_varint(u64::from(self.level));
+    }
+}
+
+impl Decode for SampleUp {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(SampleUp {
+            item: r.varint()?,
+            level: r.varint_u32()?,
+        })
+    }
 }
 
 /// Coordinator → site message: the new global level.
@@ -46,6 +67,22 @@ pub struct LevelDown(pub u32);
 impl Words for LevelDown {
     fn words(&self) -> u64 {
         1
+    }
+
+    fn wire_bytes(&self) -> u64 {
+        dtrack_sim::wire::measured(self)
+    }
+}
+
+impl Encode for LevelDown {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_varint(u64::from(self.0));
+    }
+}
+
+impl Decode for LevelDown {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(LevelDown(r.varint_u32()?))
     }
 }
 

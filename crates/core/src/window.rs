@@ -147,7 +147,8 @@ use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
 use dtrack_sim::rng::splitmix64;
-use dtrack_sim::{Coordinator, Net, Outbox, Protocol, Site, SiteId, Words};
+use dtrack_sim::wire::{varint_len, WireError, WireReader, WireWriter};
+use dtrack_sim::{Coordinator, Decode, Encode, Net, Outbox, Protocol, Site, SiteId, Words};
 
 /// Maximum closed buckets per span class before the two oldest merge.
 ///
@@ -482,6 +483,49 @@ impl<U: Words> Words for WinUp<U> {
     fn urgent(&self) -> bool {
         matches!(self, WinUp::Tick | WinUp::SealAck { .. })
     }
+
+    /// Structural: one tag byte, the epoch varint where present, plus
+    /// the inner message's own measured bytes — so byte accounting
+    /// composes under only `U: Words`, without requiring a codec on
+    /// the inner message.
+    fn wire_bytes(&self) -> u64 {
+        match self {
+            WinUp::Tick => 1,
+            WinUp::SealAck { epoch } => 1 + varint_len(*epoch),
+            WinUp::Inner { epoch, msg } => 1 + varint_len(*epoch) + msg.wire_bytes(),
+        }
+    }
+}
+
+impl<U: Encode> Encode for WinUp<U> {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            WinUp::Tick => w.put_u8(0),
+            WinUp::SealAck { epoch } => {
+                w.put_u8(1);
+                w.put_varint(*epoch);
+            }
+            WinUp::Inner { epoch, msg } => {
+                w.put_u8(2);
+                w.put_varint(*epoch);
+                msg.encode(w);
+            }
+        }
+    }
+}
+
+impl<U: Decode> Decode for WinUp<U> {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(WinUp::Tick),
+            1 => Ok(WinUp::SealAck { epoch: r.varint()? }),
+            2 => Ok(WinUp::Inner {
+                epoch: r.varint()?,
+                msg: U::decode(r)?,
+            }),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
 }
 
 /// Coordinator → site messages of the windowed adapter.
@@ -517,6 +561,43 @@ impl<D: Words> Words for WinDown<D> {
     /// distinguish per message.)
     fn urgent(&self) -> bool {
         matches!(self, WinDown::Seal { .. })
+    }
+
+    /// Structural, mirroring [`WinUp::wire_bytes`].
+    fn wire_bytes(&self) -> u64 {
+        match self {
+            WinDown::Seal { next } => 1 + varint_len(*next),
+            WinDown::Inner { epoch, msg } => 1 + varint_len(*epoch) + msg.wire_bytes(),
+        }
+    }
+}
+
+impl<D: Encode> Encode for WinDown<D> {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            WinDown::Seal { next } => {
+                w.put_u8(0);
+                w.put_varint(*next);
+            }
+            WinDown::Inner { epoch, msg } => {
+                w.put_u8(1);
+                w.put_varint(*epoch);
+                msg.encode(w);
+            }
+        }
+    }
+}
+
+impl<D: Decode> Decode for WinDown<D> {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(WinDown::Seal { next: r.varint()? }),
+            1 => Ok(WinDown::Inner {
+                epoch: r.varint()?,
+                msg: D::decode(r)?,
+            }),
+            t => Err(WireError::BadTag(t)),
+        }
     }
 }
 

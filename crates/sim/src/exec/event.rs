@@ -758,6 +758,7 @@ impl<P: Protocol> EventRuntime<P> {
         for up in outbox.drain() {
             self.stats.up_msgs += 1;
             self.stats.up_words += up.words();
+            self.stats.up_bytes += up.wire_bytes();
             let base = self.delay();
             if self.faults.is_some() {
                 let (seq, at, dup_at) = self.fault_schedule(true, from, base);
@@ -785,6 +786,7 @@ impl<P: Protocol> EventRuntime<P> {
                 Dest::Site(to) => {
                     self.stats.down_msgs += 1;
                     self.stats.down_words += down.words();
+                    self.stats.down_bytes += down.wire_bytes();
                     self.send_down(to, down);
                 }
                 Dest::Broadcast => {
@@ -792,6 +794,7 @@ impl<P: Protocol> EventRuntime<P> {
                     let k = self.sites.len() as u64;
                     self.stats.down_msgs += k;
                     self.stats.down_words += k * down.words();
+                    self.stats.down_bytes += k * down.wire_bytes();
                     for to in 0..self.sites.len() {
                         self.send_down(to, down.clone());
                     }

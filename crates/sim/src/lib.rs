@@ -63,14 +63,19 @@ pub mod runner;
 pub mod runtime;
 pub mod snapshot;
 pub mod stats;
+pub mod transport;
+pub mod wire;
 
 pub use exec::{
     AnyExec, DeliveryPolicy, EventRuntime, ExecConfig, ExecMode, Executor, FaultPlan, FaultStats,
     LevelLoad, Tree, TreeCoord, TreeProtocol, TreeSpec,
 };
-pub use message::Words;
+pub use message::{Decode, Encode, Words};
 pub use net::{Dest, Net, Outbox};
 pub use protocol::{Coordinator, Protocol, Site, SiteId};
 pub use runner::Runner;
 pub use snapshot::{snapshot_cell, CellRef, QueryHandle, Snapshot, SnapshotPublisher};
 pub use stats::{CommStats, SpaceStats};
+pub use transport::{
+    in_process_links, CoordHalf, CoordLink, SiteHalf, SiteLink, TcpCoordLink, TcpSiteLink,
+};

@@ -226,6 +226,7 @@ impl<P: Protocol> Runner<P> {
             for (from, up) in ups.drain(..) {
                 self.stats.up_msgs += 1;
                 self.stats.up_words += up.words();
+                self.stats.up_bytes += up.wire_bytes();
                 self.coord.on_message(from, &up, &mut self.net);
                 self.coord_dirty = true;
             }
@@ -237,6 +238,7 @@ impl<P: Protocol> Runner<P> {
                     Dest::Site(to) => {
                         self.stats.down_msgs += 1;
                         self.stats.down_words += down.words();
+                        self.stats.down_bytes += down.wire_bytes();
                         self.sites[to].on_message(&down, &mut self.outbox);
                         self.space.observe(to, self.sites[to].space_words());
                         ups.extend(self.outbox.drain().map(|m| (to, m)));
@@ -246,6 +248,7 @@ impl<P: Protocol> Runner<P> {
                         let k = self.sites.len() as u64;
                         self.stats.down_msgs += k;
                         self.stats.down_words += k * down.words();
+                        self.stats.down_bytes += k * down.wire_bytes();
                         for to in 0..self.sites.len() {
                             self.sites[to].on_message(&down, &mut self.outbox);
                             self.space.observe(to, self.sites[to].space_words());

@@ -168,8 +168,10 @@ pub const SITE_CREDIT: u64 = 64;
 struct AtomicStats {
     up_msgs: AtomicU64,
     up_words: AtomicU64,
+    up_bytes: AtomicU64,
     down_msgs: AtomicU64,
     down_words: AtomicU64,
+    down_bytes: AtomicU64,
     broadcast_events: AtomicU64,
     elements: AtomicU64,
 }
@@ -179,8 +181,10 @@ impl AtomicStats {
         CommStats {
             up_msgs: self.up_msgs.load(Ordering::SeqCst),
             up_words: self.up_words.load(Ordering::SeqCst),
+            up_bytes: self.up_bytes.load(Ordering::SeqCst),
             down_msgs: self.down_msgs.load(Ordering::SeqCst),
             down_words: self.down_words.load(Ordering::SeqCst),
+            down_bytes: self.down_bytes.load(Ordering::SeqCst),
             broadcast_events: self.broadcast_events.load(Ordering::SeqCst),
             elements: self.elements.load(Ordering::SeqCst),
         }
@@ -336,6 +340,9 @@ impl<S: Site, C> SiteWorker<S, C> {
         for up in self.out.drain() {
             self.stats.up_msgs.fetch_add(1, Ordering::Relaxed);
             self.stats.up_words.fetch_add(up.words(), Ordering::Relaxed);
+            self.stats
+                .up_bytes
+                .fetch_add(up.wire_bytes(), Ordering::Relaxed);
             self.in_flight.fetch_add(1, Ordering::SeqCst);
             self.credit[self.id].charge();
             if up.urgent() {
@@ -536,6 +543,9 @@ where
                             Dest::Site(to) => {
                                 stats.down_msgs.fetch_add(1, Ordering::Relaxed);
                                 stats.down_words.fetch_add(d.words(), Ordering::Relaxed);
+                                stats
+                                    .down_bytes
+                                    .fetch_add(d.wire_bytes(), Ordering::Relaxed);
                                 in_flight.fetch_add(1, Ordering::SeqCst);
                                 ctrl_txs[to].send(SiteCtrl::Down(d));
                             }
@@ -546,6 +556,9 @@ where
                                 stats
                                     .down_words
                                     .fetch_add(kk * d.words(), Ordering::Relaxed);
+                                stats
+                                    .down_bytes
+                                    .fetch_add(kk * d.wire_bytes(), Ordering::Relaxed);
                                 in_flight.fetch_add(ctrl_txs.len() as i64, Ordering::SeqCst);
                                 for tx in &ctrl_txs {
                                     tx.send(SiteCtrl::Down(d.clone()));

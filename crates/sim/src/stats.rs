@@ -14,10 +14,17 @@ pub struct CommStats {
     pub up_msgs: u64,
     /// Site → coordinator words.
     pub up_words: u64,
+    /// Site → coordinator bytes under the wire codec
+    /// ([`Words::wire_bytes`]), charged at the same points as words.
+    ///
+    /// [`Words::wire_bytes`]: crate::message::Words::wire_bytes
+    pub up_bytes: u64,
     /// Coordinator → site messages (a broadcast counts `k`).
     pub down_msgs: u64,
     /// Coordinator → site words (a broadcast counts `k × words`).
     pub down_words: u64,
+    /// Coordinator → site bytes (a broadcast counts `k × wire_bytes`).
+    pub down_bytes: u64,
     /// Number of broadcast *events* (each already charged `k` messages).
     pub broadcast_events: u64,
     /// Total elements fed to the sites.
@@ -35,6 +42,11 @@ impl CommStats {
         self.up_words + self.down_words
     }
 
+    /// Total codec bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.up_bytes + self.down_bytes
+    }
+
     /// Words per element processed — a useful normalized cost.
     pub fn words_per_element(&self) -> f64 {
         if self.elements == 0 {
@@ -49,8 +61,10 @@ impl CommStats {
     pub fn merge(&mut self, other: &CommStats) {
         self.up_msgs += other.up_msgs;
         self.up_words += other.up_words;
+        self.up_bytes += other.up_bytes;
         self.down_msgs += other.down_msgs;
         self.down_words += other.down_words;
+        self.down_bytes += other.down_bytes;
         self.broadcast_events += other.broadcast_events;
         self.elements += other.elements;
     }
@@ -115,13 +129,16 @@ mod tests {
         let s = CommStats {
             up_msgs: 3,
             up_words: 7,
+            up_bytes: 9,
             down_msgs: 2,
             down_words: 5,
+            down_bytes: 6,
             broadcast_events: 1,
             elements: 10,
         };
         assert_eq!(s.total_msgs(), 5);
         assert_eq!(s.total_words(), 12);
+        assert_eq!(s.total_bytes(), 15);
         assert!((s.words_per_element() - 1.2).abs() < 1e-12);
     }
 
@@ -135,8 +152,10 @@ mod tests {
         let mut a = CommStats {
             up_msgs: 1,
             up_words: 1,
+            up_bytes: 2,
             down_msgs: 1,
             down_words: 1,
+            down_bytes: 2,
             broadcast_events: 0,
             elements: 1,
         };

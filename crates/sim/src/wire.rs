@@ -1,0 +1,505 @@
+//! Byte-accurate wire format for protocol messages.
+//!
+//! The paper's cost model charges communication in *words* ([`Words`]);
+//! this module gives every message a concrete byte encoding so the same
+//! runs can also be measured in bytes — the number a deployment's
+//! network bill is actually denominated in. The codec is deliberately
+//! dependency-free and stable:
+//!
+//! * **LEB128 varints** for unsigned integers: 7 bits per byte, high
+//!   bit = continuation. Small counters (the overwhelming majority of
+//!   tracking traffic) cost 1–3 bytes instead of a full 8-byte word.
+//! * **Zig-zag** mapping for signed integers (`(n << 1) ^ (n >> 63)`),
+//!   so small negative values stay small on the wire.
+//! * **Delta runs** for sorted value sequences (GK tuple values, KLL
+//!   level items): the first value verbatim, then successive gaps —
+//!   sorted summaries compress to near the entropy of their gaps.
+//! * **One-byte tags** for enum variants, written by each message's
+//!   [`Encode`] impl.
+//!
+//! [`Encode`]/[`Decode`] (the traits messages implement) live next to
+//! [`Words`] in [`crate::message`]; this module provides the writer /
+//! reader primitives, the measured-length helpers, and the
+//! length-prefixed **frame** layer the socket transport
+//! ([`crate::runtime`]) ships frames through.
+//!
+//! ## Relation to the word model
+//!
+//! The byte codec mirrors the word accounting structurally: wherever
+//! [`Words`] charges a length word for a `Vec` (`1 + Σ` — see
+//! `Words for Vec<T>`), the codec writes exactly one varint length
+//! prefix; wherever a message costs one word per integer, the codec
+//! writes one varint per integer. Ratios of `bytes / (8 · words)` are
+//! therefore interpretable per message: they measure varint + delta
+//! compression, never a change in what is sent.
+//!
+//! [`Words`]: crate::message::Words
+
+use std::io::{self, Read, Write};
+
+use crate::message::{Decode, Encode};
+
+/// Decoding failure: the bytes do not parse as the expected message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended inside a value.
+    Truncated,
+    /// A varint ran past 10 bytes / overflowed 64 bits, or a decoded
+    /// value exceeded its field's range (e.g. a `u32` field > `u32::MAX`).
+    Overflow,
+    /// An enum tag byte matched no variant.
+    BadTag(u8),
+    /// Bytes remained after the value was fully decoded.
+    Trailing(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "input truncated mid-value"),
+            WireError::Overflow => write!(f, "varint overflow or field out of range"),
+            WireError::BadTag(t) => write!(f, "unknown message tag {t:#04x}"),
+            WireError::Trailing(n) => write!(f, "{n} trailing bytes after value"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Byte sink for [`Encode`] impls.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// Fresh, empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bytes written so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consume the writer, yielding the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// One raw byte (enum variant tags).
+    pub fn put_u8(&mut self, b: u8) {
+        self.buf.push(b);
+    }
+
+    /// Unsigned LEB128 varint: 7 bits per byte, high bit = continuation.
+    pub fn put_varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Signed integer, zig-zag mapped then varint encoded.
+    pub fn put_signed(&mut self, v: i64) {
+        self.put_varint(((v << 1) ^ (v >> 63)) as u64);
+    }
+
+    /// IEEE-754 double, 8 bytes little-endian (doubles don't varint).
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// A **sorted** run of values as a varint length, the first value
+    /// verbatim, then successive deltas. The words model charges the
+    /// same sequence `1 + len` words (length + one word per value);
+    /// this is its byte-exact mirror with gap compression.
+    ///
+    /// Debug-asserts sortedness — an unsorted run would still round-trip
+    /// through [`WireReader::delta_run`] only if non-decreasing.
+    pub fn put_delta_run(&mut self, values: &[u64]) {
+        debug_assert!(
+            values.windows(2).all(|w| w[0] <= w[1]),
+            "delta runs require sorted input"
+        );
+        self.put_varint(values.len() as u64);
+        let mut prev = 0u64;
+        for (i, &v) in values.iter().enumerate() {
+            if i == 0 {
+                self.put_varint(v);
+            } else {
+                self.put_varint(v - prev);
+            }
+            prev = v;
+        }
+    }
+}
+
+/// Byte source for [`Decode`] impls.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Read from `buf`, starting at its first byte.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// One raw byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        let b = *self.buf.get(self.pos).ok_or(WireError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Unsigned LEB128 varint (rejects encodings past 64 bits).
+    pub fn varint(&mut self) -> Result<u64, WireError> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            if shift == 63 && byte > 1 {
+                return Err(WireError::Overflow);
+            }
+            v |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(WireError::Overflow);
+            }
+        }
+    }
+
+    /// Varint bounded to `u32` range (tags like rounds and chunk ids).
+    pub fn varint_u32(&mut self) -> Result<u32, WireError> {
+        u32::try_from(self.varint()?).map_err(|_| WireError::Overflow)
+    }
+
+    /// Zig-zag-mapped signed integer.
+    pub fn signed(&mut self) -> Result<i64, WireError> {
+        let z = self.varint()?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+
+    /// IEEE-754 double, 8 bytes little-endian.
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        if self.remaining() < 8 {
+            return Err(WireError::Truncated);
+        }
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.buf[self.pos..self.pos + 8]);
+        self.pos += 8;
+        Ok(f64::from_bits(u64::from_le_bytes(b)))
+    }
+
+    /// Inverse of [`WireWriter::put_delta_run`]: a sorted run of values.
+    pub fn delta_run(&mut self) -> Result<Vec<u64>, WireError> {
+        let len = self.varint()?;
+        // A value costs ≥ 1 byte on the wire, so a length exceeding the
+        // remaining input is corrupt — reject before allocating.
+        if len > self.remaining() as u64 {
+            return Err(WireError::Truncated);
+        }
+        let mut out = Vec::with_capacity(len as usize);
+        let mut prev = 0u64;
+        for i in 0..len {
+            let d = self.varint()?;
+            let v = if i == 0 {
+                d
+            } else {
+                prev.checked_add(d).ok_or(WireError::Overflow)?
+            };
+            out.push(v);
+            prev = v;
+        }
+        Ok(out)
+    }
+
+    /// Assert full consumption (framing gives each message its own
+    /// byte range, so trailing bytes mean corruption).
+    pub fn finish(self) -> Result<(), WireError> {
+        match self.remaining() {
+            0 => Ok(()),
+            n => Err(WireError::Trailing(n)),
+        }
+    }
+}
+
+/// Encode `v` into a fresh byte vector.
+pub fn encode_to_vec<T: Encode + ?Sized>(v: &T) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    v.encode(&mut w);
+    w.into_bytes()
+}
+
+/// Measured wire size of `v` in bytes under the byte codec. This is
+/// what [`Words::wire_bytes`] overrides report for messages with a
+/// codec, and what the byte columns in `CommStats` accumulate.
+///
+/// [`Words::wire_bytes`]: crate::message::Words::wire_bytes
+pub fn measured<T: Encode + ?Sized>(v: &T) -> u64 {
+    let mut w = WireWriter::new();
+    v.encode(&mut w);
+    w.len() as u64
+}
+
+/// Number of bytes the varint encoding of `v` occupies (1–10).
+pub fn varint_len(v: u64) -> u64 {
+    (64 - v.max(1).leading_zeros() as u64).div_ceil(7)
+}
+
+/// Decode one `T` from `bytes`, requiring every byte be consumed.
+pub fn decode_exact<T: Decode>(bytes: &[u8]) -> Result<T, WireError> {
+    let mut r = WireReader::new(bytes);
+    let v = T::decode(&mut r)?;
+    r.finish()?;
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------
+// Frame layer: length-prefixed frames for the socket transport.
+// ---------------------------------------------------------------------
+
+/// Hard cap on one frame's payload. Generously above any real message
+/// (the largest — a full GK summary refresh — is a few hundred KB at
+/// extreme parameters), small enough that a corrupt length prefix is
+/// rejected instead of driving an absurd allocation.
+pub const MAX_FRAME_LEN: usize = 1 << 24;
+
+/// Write one frame: a 1-byte kind, a 4-byte little-endian payload
+/// length, then the payload. The kind byte is transport-level routing
+/// (data vs. control), distinct from the message tag *inside* the
+/// payload.
+pub fn write_frame<W: Write>(w: &mut W, kind: u8, payload: &[u8]) -> io::Result<()> {
+    assert!(
+        payload.len() <= MAX_FRAME_LEN,
+        "frame exceeds MAX_FRAME_LEN"
+    );
+    let mut header = [0u8; 5];
+    header[0] = kind;
+    header[1..5].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)
+}
+
+/// Read one frame written by [`write_frame`]. Returns `Ok(None)` on a
+/// clean EOF at a frame boundary (the peer closed); errors with
+/// `UnexpectedEof` on truncation inside a frame and `InvalidData` on a
+/// length prefix past [`MAX_FRAME_LEN`].
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<(u8, Vec<u8>)>> {
+    let mut header = [0u8; 5];
+    // Distinguish clean EOF (no bytes at all) from a torn header.
+    let mut filled = 0;
+    while filled < header.len() {
+        match r.read(&mut header[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame-header",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let kind = header[0];
+    let len = u32::from_le_bytes(header[1..5].try_into().expect("4 bytes")) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap {MAX_FRAME_LEN}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed mid-frame")
+        } else {
+            e
+        }
+    })?;
+    Ok(Some((kind, payload)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trips_at_all_widths() {
+        for shift in 0..64 {
+            for near in [-1i64, 0, 1] {
+                let v = (1u64 << shift).wrapping_add(near as u64);
+                let mut w = WireWriter::new();
+                w.put_varint(v);
+                assert_eq!(w.len() as u64, varint_len(v), "len helper at {v}");
+                let mut r = WireReader::new(w.as_bytes());
+                assert_eq!(r.varint().unwrap(), v);
+                r.finish().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn varint_is_compact_for_small_values() {
+        let mut w = WireWriter::new();
+        w.put_varint(0);
+        w.put_varint(127);
+        assert_eq!(w.len(), 2, "values < 128 cost one byte");
+        w.put_varint(128);
+        assert_eq!(w.len(), 4, "128 needs two bytes");
+    }
+
+    #[test]
+    fn signed_round_trips_and_stays_small_near_zero() {
+        for v in [-3i64, -1, 0, 1, 3, i64::MIN, i64::MAX] {
+            let mut w = WireWriter::new();
+            w.put_signed(v);
+            if (-64..64).contains(&v) {
+                assert_eq!(w.len(), 1, "small magnitudes cost one byte ({v})");
+            }
+            let mut r = WireReader::new(w.as_bytes());
+            assert_eq!(r.signed().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn f64_round_trips_bitwise() {
+        for v in [0.0, -0.0, 1.5, f64::MIN_POSITIVE, f64::INFINITY] {
+            let mut w = WireWriter::new();
+            w.put_f64(v);
+            assert_eq!(w.len(), 8);
+            let mut r = WireReader::new(w.as_bytes());
+            assert_eq!(r.f64().unwrap().to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn delta_run_round_trips_and_compresses_gaps() {
+        let run: Vec<u64> = (0..100).map(|i| 1_000_000 + 3 * i).collect();
+        let mut w = WireWriter::new();
+        w.put_delta_run(&run);
+        // 1 length byte + 3 bytes for the first value + 1 byte per gap.
+        assert!(w.len() < 110, "gap compression failed: {} bytes", w.len());
+        let mut r = WireReader::new(w.as_bytes());
+        assert_eq!(r.delta_run().unwrap(), run);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn empty_delta_run_is_one_byte() {
+        let mut w = WireWriter::new();
+        w.put_delta_run(&[]);
+        assert_eq!(w.len(), 1);
+        let mut r = WireReader::new(w.as_bytes());
+        assert!(r.delta_run().unwrap().is_empty());
+    }
+
+    #[test]
+    fn truncated_inputs_are_rejected() {
+        let mut w = WireWriter::new();
+        w.put_varint(u64::MAX);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = WireReader::new(&bytes[..cut]);
+            assert_eq!(r.varint(), Err(WireError::Truncated), "cut at {cut}");
+        }
+        let mut r = WireReader::new(&[0x80]); // continuation, then EOF
+        assert_eq!(r.varint(), Err(WireError::Truncated));
+        let mut r = WireReader::new(&[1, 2, 3]);
+        assert_eq!(r.f64(), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn overlong_and_overflowing_varints_are_rejected() {
+        // 11 continuation bytes: walks past the 64-bit budget.
+        let mut r = WireReader::new(&[0xFF; 11]);
+        assert_eq!(r.varint(), Err(WireError::Overflow));
+        // 10 bytes whose top byte pushes past bit 63.
+        let mut bytes = vec![0xFF; 9];
+        bytes.push(0x02);
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.varint(), Err(WireError::Overflow));
+    }
+
+    #[test]
+    fn delta_run_rejects_absurd_lengths_without_allocating() {
+        let mut w = WireWriter::new();
+        w.put_varint(u64::MAX); // claimed length
+        let mut r = WireReader::new(w.as_bytes());
+        assert_eq!(r.delta_run(), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn finish_flags_trailing_bytes() {
+        let mut w = WireWriter::new();
+        w.put_varint(7);
+        w.put_u8(0xAB);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.varint().unwrap(), 7);
+        assert_eq!(r.finish(), Err(WireError::Trailing(1)));
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_byte_pipe() {
+        let mut pipe = Vec::new();
+        write_frame(&mut pipe, 1, b"hello").unwrap();
+        write_frame(&mut pipe, 2, b"").unwrap();
+        let mut cursor = io::Cursor::new(pipe);
+        assert_eq!(
+            read_frame(&mut cursor).unwrap(),
+            Some((1, b"hello".to_vec()))
+        );
+        assert_eq!(read_frame(&mut cursor).unwrap(), Some((2, Vec::new())));
+        assert_eq!(read_frame(&mut cursor).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn torn_frames_error_instead_of_hanging_or_panicking() {
+        let mut pipe = Vec::new();
+        write_frame(&mut pipe, 1, b"payload").unwrap();
+        // Cut inside the header and inside the payload.
+        for cut in [1usize, 3, 6, 9] {
+            let mut cursor = io::Cursor::new(pipe[..cut].to_vec());
+            let err = read_frame(&mut cursor).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut pipe = vec![0u8; 5];
+        pipe[0] = 1;
+        pipe[1..5].copy_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
+        let mut cursor = io::Cursor::new(pipe);
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

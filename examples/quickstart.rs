@@ -7,20 +7,22 @@
 //! `EXEC` is an `ExecConfig` scenario spec (default `lockstep`):
 //! `lockstep | channel | event[:instant] | event:fixed:D |
 //! event:random:MIN:MAX | event:reorder:W`, optionally suffixed
-//! `+window:W` to track only the last `W` elements and — on event modes
-//! — `+loss:P`, `+dup:P`, `+churn[:R]`, `+straggle:S` to inject link
-//! faults, e.g.
+//! `+window:W` to track only the last `W` elements, `+tree:F[:D]` to
+//! aggregate through a fanout-`F` tree instead of the flat star, and —
+//! on event modes — `+loss:P`, `+dup:P`, `+churn[:R]`, `+straggle:S`
+//! to inject link faults, e.g.
 //!
 //! ```text
 //! cargo run --release --example quickstart -- event:random:1:32
 //! cargo run --release --example quickstart -- lockstep+window:100000
+//! cargo run --release --example quickstart -- lockstep+tree:4
 //! cargo run --release --example quickstart -- event+loss:0.05+dup:0.05+churn
 //! ```
 
 use dtrack::core::count::{DeterministicCount, RandomizedCount};
 use dtrack::core::window::{WinCoord, Windowed};
 use dtrack::core::TrackingConfig;
-use dtrack::sim::{ExecConfig, Executor};
+use dtrack::sim::{ExecConfig, Executor, Tree, TreeCoord};
 
 fn main() {
     let exec: ExecConfig = std::env::args()
@@ -50,6 +52,24 @@ fn main() {
                     ex.space().max_peak(),
                 )
             }};
+        }
+        // `+tree` and `+window` are mutually exclusive (the scenario
+        // parser rejects the combination), so dispatching on tree first
+        // loses nothing.
+        if let Some(spec) = exec.tree {
+            return if randomized {
+                let (est, m, w, s) = drive!(
+                    Tree::new(RandomizedCount::new(cfg), spec),
+                    |c: &TreeCoord<RandomizedCount>| c.root().estimate()
+                );
+                (est, n as f64, m, w, s)
+            } else {
+                let (est, m, w, s) = drive!(
+                    Tree::new(DeterministicCount::new(cfg), spec),
+                    |c: &TreeCoord<DeterministicCount>| c.root().estimate()
+                );
+                (est, n as f64, m, w, s)
+            };
         }
         match (randomized, exec.window) {
             (true, None) => {

@@ -6,7 +6,9 @@
 //!
 //! * the [`proptest!`] macro with an optional
 //!   `#![proptest_config(...)]` header and `name in strategy` parameters,
-//! * range strategies (`0u64..50`, `0.02f64..0.5`, ...),
+//! * range strategies (`0u64..50`, `0.02f64..0.5`, ...), whole-domain
+//!   [`any`], constant [`Just`], and tuples of strategies,
+//! * combinators: [`Strategy::prop_map`] and the [`prop_oneof!`] union,
 //! * [`collection::vec`] and [`collection::hash_set`],
 //! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
 //! * [`ProptestConfig::with_cases`].
@@ -107,6 +109,144 @@ pub trait Strategy {
 
     /// Generate one value.
     fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f` (no shrinking to invert, so
+    /// a plain closure suffices).
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Always generates a clone of the given value.
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Whole-domain strategy for primitives: `any::<u64>()` etc.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Types with a uniform whole-domain generator (the stand-in's version
+/// of proptest's `Arbitrary`; no per-type strategy customization).
+pub trait Arbitrary {
+    /// Draw one uniform value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Uniform choice among same-valued strategies — the engine behind
+/// [`prop_oneof!`] (unweighted; real proptest's `N => strat` weights are
+/// not supported).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given options (must be non-empty).
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].new_value(rng)
+    }
+}
+
+/// Box a strategy for [`Union`] storage (a fn, not a method, so
+/// `prop_oneof!` can drive type inference across its arms).
+#[doc(hidden)]
+pub fn box_strategy<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+/// Choose uniformly among strategies generating the same type:
+/// `prop_oneof![s1, s2, ...]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::box_strategy($strat)),+])
+    };
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident/$idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A/0, B/1);
+    (A/0, B/1, C/2);
+    (A/0, B/1, C/2, D/3);
 }
 
 macro_rules! impl_int_range_strategy {
@@ -213,7 +353,8 @@ pub mod prelude {
     //! One-stop import for tests: `use proptest::prelude::*;`.
 
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
     };
 }
 
@@ -324,6 +465,34 @@ mod tests {
             &mut rng,
         );
         assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn combinators_compose() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Msg {
+            A(u64),
+            B(u64, u32),
+            C,
+        }
+        let strat = prop_oneof![
+            any::<u64>().prop_map(Msg::A),
+            (0u64..100, any::<u32>()).prop_map(|(a, b)| Msg::B(a, b)),
+            Just(Msg::C),
+        ];
+        let mut rng = TestRng::for_case("t::combinators", 0);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            match Strategy::new_value(&strat, &mut rng) {
+                Msg::A(_) => seen[0] = true,
+                Msg::B(a, _) => {
+                    assert!(a < 100);
+                    seen[1] = true;
+                }
+                Msg::C => seen[2] = true,
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "all arms exercised: {seen:?}");
     }
 
     proptest! {
